@@ -1,0 +1,340 @@
+package xcontainers
+
+// One testing.B benchmark per table/figure of the paper's evaluation,
+// plus ablation benchmarks over the design choices DESIGN.md calls out.
+// Each benchmark both exercises the harness and reports the headline
+// metric of its experiment through b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the evaluation's numbers.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/arch"
+	"xcontainers/internal/bench"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+	"xcontainers/internal/workload"
+)
+
+// BenchmarkTable1ABOM regenerates Table 1 (ABOM efficacy): it runs the
+// twelve application binary models under the X-Container interpreter
+// and reports the mean syscall reduction.
+func BenchmarkTable1ABOM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		appList := apps.Table1Apps()
+		for _, app := range appList {
+			r, err := bench.MeasureABOM(app, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += r.Reduction
+		}
+		b.ReportMetric(100*sum/float64(len(appList)), "mean-reduction-%")
+	}
+}
+
+// BenchmarkFig3Macro regenerates Figure 3 and reports the X-Container
+// over Docker throughput ratio for memcached on GCE.
+func BenchmarkFig3Macro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		docker := runtimes.MustNew(runtimes.Config{Kind: runtimes.Docker, Patched: true, Cloud: runtimes.GoogleGCE})
+		xc := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.GoogleGCE})
+		app := apps.Memcached()
+		d := workload.ServerLoad{App: app, RT: docker, Cores: 8, Concurrency: 50}.Run()
+		x := workload.ServerLoad{App: app, RT: xc, Cores: 8, Concurrency: 50}.Run()
+		b.ReportMetric(x.Throughput/d.Throughput, "x-over-docker")
+	}
+}
+
+// BenchmarkFig4Syscall regenerates Figure 4's headline: relative raw
+// syscall throughput of X-Containers over patched Docker.
+func BenchmarkFig4Syscall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		docker := runtimes.MustNew(runtimes.Config{Kind: runtimes.Docker, Patched: true, Cloud: runtimes.AmazonEC2})
+		xc := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.AmazonEC2})
+		ds, err := workload.RunUnixBench(docker, workload.TestSyscall, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs, err := workload.RunUnixBench(xc, workload.TestSyscall, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(xs.OpsPS/ds.OpsPS, "x-over-docker")
+	}
+}
+
+// BenchmarkFig5Micro regenerates Figure 5 for every microbenchmark and
+// reports X-Container/Docker for the pipe test.
+func BenchmarkFig5Micro(b *testing.B) {
+	for _, test := range workload.AllUnixBenchTests() {
+		b.Run(string(test), func(b *testing.B) {
+			docker := runtimes.MustNew(runtimes.Config{Kind: runtimes.Docker, Patched: true, Cloud: runtimes.AmazonEC2})
+			xc := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.AmazonEC2})
+			for i := 0; i < b.N; i++ {
+				ds, err := workload.RunUnixBench(docker, test, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				xs, err := workload.RunUnixBench(xc, test, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(xs.OpsPS/ds.OpsPS, "x-over-docker")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6aNginx1 regenerates Figure 6a (X vs Graphene, 1 worker).
+func BenchmarkFig6aNginx1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunFig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// BenchmarkFig6bNginx4 regenerates Figure 6b (X vs Graphene, 4 workers).
+func BenchmarkFig6bNginx4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig6b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6cPhpMysql regenerates Figure 6c (PHP+MySQL topologies).
+func BenchmarkFig6cPhpMysql(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig6c(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Scalability regenerates one Figure 8 point per
+// sub-benchmark (N=100 and N=400) and reports the X/Docker ratio.
+func BenchmarkFig8Scalability(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run("N="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := bench.Fig8Point(runtimes.Docker, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				x, err := bench.Fig8Point(runtimes.XContainer, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(x/d, "x-over-docker")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9LoadBalance regenerates Figure 9.
+func BenchmarkFig9LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawn regenerates the §4.5 instantiation-cost table.
+func BenchmarkSpawn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSpawn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: each toggles one design decision of the paper.
+
+// BenchmarkAblationABOM measures the syscall loop with ABOM enabled vs
+// disabled (every call keeps trapping into the X-Kernel).
+func BenchmarkAblationABOM(b *testing.B) {
+	run := func(b *testing.B, enabled bool) float64 {
+		rt := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.LocalCluster})
+		rt.Hyper.ABOM.Enabled = enabled
+		c, err := rt.NewContainer("ab", 1, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clk := &cycles.Clock{}
+		p, err := rt.StartProcess(c, workload.SyscallLoopProgram(2000), clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.CPU.Run(1e8); err != nil {
+			b.Fatal(err)
+		}
+		return float64(2000*workload.SyscallsPerIteration) / clk.Now().Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		on := run(b, true)
+		off := run(b, false)
+		b.ReportMetric(on/off, "abom-speedup")
+	}
+}
+
+// BenchmarkAblationGlobalBit compares intra-container context-switch
+// cost with the §4.3 global-bit mapping against the stock-PV full
+// flush.
+func BenchmarkAblationGlobalBit(b *testing.B) {
+	xc := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster})
+	pv := runtimes.MustNew(runtimes.Config{Kind: runtimes.XenContainer, Cloud: runtimes.LocalCluster})
+	for i := 0; i < b.N; i++ {
+		with := xc.CtxSwitch(true)
+		without := pv.CtxSwitch(true)
+		b.ReportMetric(float64(without)/float64(with), "flush-penalty")
+	}
+}
+
+// BenchmarkAblationIret compares the user-mode iret emulation (§4.2)
+// against stock PV's hypercall iret.
+func BenchmarkAblationIret(b *testing.B) {
+	costs := cycles.Default
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(costs.IretHypercall)/float64(costs.IretUserMode), "iret-speedup")
+	}
+}
+
+// BenchmarkAblationPatterns measures per-pattern ABOM coverage: what
+// fraction of each wrapper shape's calls get converted.
+func BenchmarkAblationPatterns(b *testing.B) {
+	shapes := []struct {
+		name  string
+		build func(a *arch.Assembler)
+	}{
+		{"case1", func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }},
+		{"rex9", func(a *arch.Assembler) { a.SyscallN64(uint32(syscalls.Getpid)) }},
+		{"gapped", func(a *arch.Assembler) {
+			a.MovR32(arch.RAX, uint32(syscalls.Getpid))
+			a.PushRdi()
+			a.PopRdi()
+			a.Syscall()
+		}},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster})
+				c, err := rt.NewContainer("pat", 1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				asm := arch.NewAssembler(arch.UserTextBase)
+				asm.Loop(500, shape.build)
+				asm.Hlt()
+				p, err := rt.StartProcess(c, asm.MustAssemble(), &cycles.Clock{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.CPU.Run(1e7); err != nil {
+					b.Fatal(err)
+				}
+				total := c.LibOS.Stats.FunctionCallSyscalls + c.LibOS.Stats.TrappedSyscalls
+				b.ReportMetric(100*float64(c.LibOS.Stats.FunctionCallSyscalls)/float64(total), "converted-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHierSched compares flat vs hierarchical scheduling
+// of the same 400-container workload (the Fig. 8 mechanism in
+// isolation: same runtime costs, only the scheduling structure
+// changes).
+func BenchmarkAblationHierSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flat, err := bench.Fig8PointStructured(runtimes.XContainer, 400, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hier, err := bench.Fig8PointStructured(runtimes.XContainer, 400, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(hier/flat, "hier-over-flat")
+	}
+}
+
+// BenchmarkInterpreter measures the instruction interpreter itself
+// (simulator engineering, not a paper figure).
+func BenchmarkInterpreter(b *testing.B) {
+	text := workload.SyscallLoopProgram(1000)
+	rt := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster})
+	c, err := rt.NewContainer("interp", 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := rt.StartProcess(c, text, &cycles.Clock{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.CPU.Run(1e8); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(p.CPU.Counters.Instructions))
+	}
+}
+
+// TestEvaluationHeadlines is the root-level sanity gate: the three
+// numbers the paper's abstract leads with must reproduce.
+func TestEvaluationHeadlines(t *testing.T) {
+	// "up to 27× higher raw system call throughput compared to Docker"
+	docker := runtimes.MustNew(runtimes.Config{Kind: runtimes.Docker, Patched: true, Cloud: runtimes.AmazonEC2})
+	xc := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.AmazonEC2})
+	ds, err := workload.RunUnixBench(docker, workload.TestSyscall, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := workload.RunUnixBench(xc, workload.TestSyscall, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := xs.OpsPS / ds.OpsPS; r < 24 || r > 30 {
+		t.Errorf("syscall speedup = %.1fx, paper: up to 27x", r)
+	}
+	// "twice the throughput compared to Graphene" (NGINX).
+	a, err := bench.RunFig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range a.Tables[0].Rows {
+		if row[0] == "X-Container" {
+			var v float64
+			if _, err := fmt.Sscanf(row[2], "%f", &v); err != nil || v < 2 {
+				t.Errorf("X/Graphene = %s, paper: over twice", row[2])
+			}
+		}
+	}
+	// "approximately 3× the performance of Unikernel" (PHP+MySQL merged).
+	c, err := bench.RunFig6c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uDed, xMerged float64
+	for _, row := range c.Tables[0].Rows {
+		switch row[0] {
+		case "Unikernel":
+			fmt.Sscanf(row[2], "%f", &uDed)
+		case "X-Container":
+			fmt.Sscanf(row[3], "%f", &xMerged)
+		}
+	}
+	if r := xMerged / uDed; r < 2.5 || r > 4 {
+		t.Errorf("merged PHP+MySQL vs Unikernel = %.2fx, paper ≈3x", r)
+	}
+}

@@ -1,0 +1,70 @@
+// Command xcbench regenerates the paper's evaluation: every table and
+// figure of §5 plus the §4.5 spawn-cost observation and the ablation
+// studies. Without arguments it runs everything.
+//
+// Usage:
+//
+//	xcbench -list
+//	xcbench -exp table1
+//	xcbench -exp fig3,fig8 -markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xcontainers/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	csv := flag.Bool("csv", false, "emit CSV (for external plotting)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	} else {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		e, ok := bench.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xcbench: unknown experiment %q (try -list)\n", id)
+			failed = true
+			continue
+		}
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcbench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		switch {
+		case *markdown:
+			fmt.Print(rep.Markdown())
+		case *csv:
+			fmt.Print(rep.CSV())
+		default:
+			fmt.Print(rep)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

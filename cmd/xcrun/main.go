@@ -1,0 +1,88 @@
+// Command xcrun boots one application under one container architecture
+// and reports its execution statistics — the quickest way to see the
+// X-Container mechanism (trap once, patch, then function calls) against
+// the baselines.
+//
+// Usage:
+//
+//	xcrun -runtime xcontainer -app memcached -iters 100
+//	xcrun -runtime docker -app Nginx
+//	xcrun -runtime gvisor -app Redis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/core"
+	"xcontainers/internal/runtimes"
+)
+
+var kindNames = map[string]runtimes.Kind{
+	"docker":          runtimes.Docker,
+	"xen-container":   runtimes.XenContainer,
+	"xcontainer":      runtimes.XContainer,
+	"gvisor":          runtimes.GVisor,
+	"clear-container": runtimes.ClearContainer,
+	"unikernel":       runtimes.Unikernel,
+	"graphene":        runtimes.Graphene,
+}
+
+func main() {
+	rtName := flag.String("runtime", "xcontainer", "docker|xen-container|xcontainer|gvisor|clear-container|unikernel|graphene")
+	appName := flag.String("app", "memcached", "application model (Table 1 name)")
+	iters := flag.Uint("iters", 50, "main-loop iterations")
+	patched := flag.Bool("patched", true, "apply Meltdown mitigations")
+	flag.Parse()
+
+	kind, ok := kindNames[strings.ToLower(*rtName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xcrun: unknown runtime %q\n", *rtName)
+		os.Exit(2)
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcrun:", err)
+		os.Exit(1)
+	}
+	text, err := app.BuildBinary(uint32(*iters), 100)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcrun:", err)
+		os.Exit(1)
+	}
+	platform, err := core.NewPlatform(core.PlatformConfig{
+		Kind: kind, MeltdownPatched: *patched, Cloud: runtimes.LocalCluster,
+		FastToolstack: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcrun:", err)
+		os.Exit(1)
+	}
+	inst, err := platform.Boot(core.Image{Name: app.Name, Program: text})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcrun:", err)
+		os.Exit(1)
+	}
+	elapsed, err := inst.Run(500_000_000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcrun:", err)
+		os.Exit(1)
+	}
+	s := inst.Stats()
+	total := s.RawSyscalls + s.FunctionCalls
+	fmt.Printf("app:            %s (%s)\n", app.Name, app.Language)
+	fmt.Printf("runtime:        %s\n", platform.Runtime().Name())
+	fmt.Printf("virtual time:   %v\n", elapsed)
+	fmt.Printf("instructions:   %d\n", s.Instructions)
+	fmt.Printf("syscalls:       %d raw traps, %d function calls\n", s.RawSyscalls, s.FunctionCalls)
+	if kind == runtimes.XContainer && total > 0 {
+		fmt.Printf("ABOM:           %d sites patched, %.1f%% of syscalls converted\n",
+			s.ABOMPatches, 100*float64(s.FunctionCalls)/float64(total))
+	}
+	if inst.BootTime > 0 {
+		fmt.Printf("boot time:      %v\n", inst.BootTime)
+	}
+}

@@ -1,0 +1,108 @@
+// Command xctl is the toolstack front-end — the xl analogue for the
+// simulated X-Containers platform. It drives a scripted sequence of
+// domain operations (create, balloon, migrate, destroy) against
+// in-process hosts, demonstrating the management API end to end.
+//
+// Usage:
+//
+//	xctl demo                 run the full lifecycle demonstration
+//	xctl surfaces             print the isolation surfaces (xl info)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/core"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+	"xcontainers/internal/xkernel"
+)
+
+func main() {
+	cmd := "demo"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	switch cmd {
+	case "demo":
+		demo()
+	case "surfaces":
+		surfaces()
+	default:
+		fmt.Fprintf(os.Stderr, "xctl: unknown command %q (try: demo, surfaces)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func surfaces() {
+	x := xkernel.XKernelSurface()
+	l := xkernel.LinuxSurface()
+	fmt.Printf("%-16s %-14s %-12s %s\n", "boundary", "entry points", "TCB (KLoC)", "shared")
+	fmt.Printf("%-16s %-14d %-12d %v\n", x.Name, x.Interfaces, x.TCBKLoC, x.SharedState)
+	fmt.Printf("%-16s %-14d %-12d %v\n", l.Name, l.Interfaces, l.TCBKLoC, l.SharedState)
+}
+
+func demo() {
+	program := arch.NewAssembler(arch.UserTextBase).
+		Loop(1000, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
+		Hlt().MustAssemble()
+
+	newHost := func(name string, memMB int) *core.Platform {
+		p, err := core.NewPlatform(core.PlatformConfig{
+			Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster,
+			MachineMB: memMB, FastToolstack: true,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("xctl: host %s up (%d MB)\n", name, memMB)
+		return p
+	}
+
+	hostA := newHost("host-a", 1024)
+	hostB := newHost("host-b", 1024)
+
+	fmt.Println("\nxctl create worker (128 MB, 1 vCPU)")
+	inst, err := hostA.Boot(core.Image{Name: "worker", Program: program})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  booted in %v, domain id %d\n", inst.BootTime, inst.Container.Dom.ID)
+
+	fmt.Println("\nxctl mem-set worker -32M (balloon down)")
+	if err := hostA.Runtime().Hyper.BalloonAdjust(inst.Container.Dom, -32*256); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  reservation now %d MB\n", inst.Container.Dom.MemoryPages/256)
+
+	fmt.Println("\nxctl run worker (partial)")
+	_, _ = inst.Run(2000)
+	s := inst.Stats()
+	fmt.Printf("  %d instructions, %d trap, %d function calls (ABOM: %d sites)\n",
+		s.Instructions, s.RawSyscalls, s.FunctionCalls, s.ABOMPatches)
+
+	fmt.Println("\nxctl migrate worker host-b")
+	moved, err := core.Migrate(hostA, inst, hostB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  host-a domains: %d, host-b domains: %d\n",
+		hostA.Runtime().Hyper.Domains(), hostB.Runtime().Hyper.Domains())
+
+	fmt.Println("\nxctl run worker (to completion on host-b)")
+	if _, err := moved.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	s = moved.Stats()
+	fmt.Printf("  finished: %d function calls, destination traps: %d\n",
+		s.FunctionCalls, hostB.Runtime().Hyper.Stats.SyscallsForwarded)
+
+	fmt.Println("\nxctl destroy worker")
+	if err := hostB.Destroy(moved); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  host-b domains: %d\n", hostB.Runtime().Hyper.Domains())
+}

@@ -1,0 +1,25 @@
+// Package xcontainers is a full reproduction, as a deterministic Go
+// simulation, of "X-Containers: Breaking Down Barriers to Improve
+// Performance and Isolation of Cloud-Native Containers" (Shen et al.,
+// ASPLOS 2019).
+//
+// The paper's system is a modified Xen (the X-Kernel) acting as an
+// exokernel beneath a modified Linux (the X-LibOS), with an online
+// Automatic Binary Optimization Module that rewrites syscall
+// instructions into vsyscall-table function calls. This repository
+// implements every layer as an executable model — a byte-exact
+// synthetic x86-64 subset, the patcher, the exokernel, the LibOS, the
+// baseline container runtimes (Docker, gVisor, Clear Containers,
+// Xen-PV, Unikernel, Graphene), the scheduling and network simulators —
+// and regenerates every table and figure of the paper's evaluation.
+//
+// Entry points:
+//
+//	cmd/xcbench   regenerate the evaluation (tables/figures)
+//	cmd/abomtool  the offline binary patcher of §4.4
+//	cmd/xcrun     run one app model under one architecture
+//	examples/     runnable walkthroughs of the public API
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package xcontainers

@@ -1,0 +1,67 @@
+// Abomdive: a byte-level walkthrough of the Automatic Binary
+// Optimization Module (§4.4, Fig. 2). It assembles the three wrapper
+// shapes, shows the bytes before and after each patch phase, triggers
+// the jump-into-the-middle invalid-opcode repair, and prints the
+// resulting ABOM statistics.
+package main
+
+import (
+	"fmt"
+
+	"xcontainers/internal/abom"
+	"xcontainers/internal/arch"
+	"xcontainers/internal/syscalls"
+)
+
+func dump(label string, text *arch.Text, from, n uint64) {
+	fmt.Printf("%-28s", label)
+	for _, b := range text.Fetch(from, int(n)) {
+		fmt.Printf(" %02x", b)
+	}
+	fmt.Println()
+}
+
+func main() {
+	ab := abom.New()
+
+	fmt.Println("-- 7-byte Case 1: mov $0,eax ; syscall  (glibc __read) --")
+	t1 := arch.NewAssembler(arch.UserTextBase).
+		SyscallN(uint32(syscalls.Read)).Hlt().MustAssemble()
+	dump("before:", t1, arch.UserTextBase, 7)
+	ab.OnSyscall(t1, arch.UserTextBase+5, uint64(syscalls.Read))
+	dump("after (one cmpxchg):", t1, arch.UserTextBase, 7)
+	fmt.Printf("%-28s callq *%#x = vsyscall entry for %v\n\n",
+		"decodes as:", uint64(arch.Decode(t1.Fetch(arch.UserTextBase, 7)).Imm), syscalls.Read)
+
+	fmt.Println("-- 9-byte two-phase: mov $0xf,rax ; syscall  (__restore_rt) --")
+	t2 := arch.NewAssembler(arch.UserTextBase).
+		SyscallN64(uint32(syscalls.RtSigreturn)).Hlt().MustAssemble()
+	dump("before:", t2, arch.UserTextBase, 9)
+	ab.OnSyscall(t2, arch.UserTextBase+7, uint64(syscalls.RtSigreturn))
+	dump("phase 1 (call, syscall kept):", t2, arch.UserTextBase, 9)
+	ab.OnSyscall(t2, arch.UserTextBase+7, uint64(syscalls.RtSigreturn))
+	dump("phase 2 (syscall -> jmp -9):", t2, arch.UserTextBase, 9)
+	fmt.Println()
+
+	fmt.Println("-- 7-byte Case 2: mov 0x8(rsp),rax ; syscall  (Go syscall.Syscall) --")
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovRaxRsp8(8)
+	a.Syscall()
+	a.Hlt()
+	t3 := a.MustAssemble()
+	dump("before:", t3, arch.UserTextBase, 7)
+	ab.OnSyscall(t3, arch.UserTextBase+5, uint64(syscalls.Write))
+	dump("after (stack dispatcher):", t3, arch.UserTextBase, 7)
+	fmt.Println()
+
+	fmt.Println("-- jump into the middle of a patched call --")
+	// The patched Case-1 site's old syscall address now holds the call's
+	// last two bytes: always 0x60 0xff, and 0x60 is an invalid opcode.
+	sysAddr := arch.UserTextBase + 5
+	dump("bytes at old syscall addr:", t1, sysAddr, 2)
+	fixed, ok := ab.FixupInvalidOpcode(t1, sysAddr)
+	fmt.Printf("%-28s repaired=%v, resume at %#x (start of the call)\n\n",
+		"X-Kernel #UD handler:", ok, fixed)
+
+	fmt.Printf("ABOM stats: %+v\n", ab.Stats)
+}

@@ -1,0 +1,65 @@
+// Quickstart: boot an X-Container, run an unmodified binary in it, and
+// watch the Automatic Binary Optimization Module convert its system
+// calls into function calls — then compare against the same binary on a
+// Docker-style shared kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/core"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+)
+
+// program builds a tiny unmodified "application": a loop of getpid
+// syscalls using the standard glibc wrapper shape.
+func program() *arch.Text {
+	return arch.NewAssembler(arch.UserTextBase).
+		Loop(10000, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
+		Hlt().MustAssemble()
+}
+
+func run(kind runtimes.Kind) (*core.Instance, error) {
+	p, err := core.NewPlatform(core.PlatformConfig{
+		Kind:            kind,
+		MeltdownPatched: true,
+		Cloud:           runtimes.AmazonEC2,
+		FastToolstack:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inst, err := p.Boot(core.Image{Name: "quickstart", Program: program()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inst.Run(10_000_000); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+func main() {
+	xc, err := run(runtimes.XContainer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dk, err := run(runtimes.Docker)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	xs, ds := xc.Stats(), dk.Stats()
+	fmt.Println("Same binary, 10,000 getpid calls:")
+	fmt.Printf("  Docker:      %d syscall traps, %v\n",
+		ds.RawSyscalls, dk.Clock.Now())
+	fmt.Printf("  X-Container: %d trap (ABOM patched %d site), then %d function calls, %v total incl. %v boot\n",
+		xs.RawSyscalls, xs.ABOMPatches, xs.FunctionCalls, xc.Clock.Now(), xc.BootTime)
+
+	dkCompute := dk.Clock.Now()
+	xcCompute := xc.Clock.Now() - xc.BootTime
+	fmt.Printf("  speedup on the syscall path: %.1fx\n", float64(dkCompute)/float64(xcCompute))
+}

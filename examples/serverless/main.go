@@ -1,0 +1,74 @@
+// Serverless: the paper's PHP+MySQL study (Figs. 6c/7). Two
+// single-process PHP front-ends backed by MySQL can share a database,
+// get dedicated databases, or — uniquely on X-Containers, which support
+// multiple processes per instance — run merged with their database in
+// one container, eliminating the cross-VM query round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/arch"
+	"xcontainers/internal/core"
+	"xcontainers/internal/libos"
+	"xcontainers/internal/runtimes"
+)
+
+func binary(name string) *arch.Text {
+	app, err := apps.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := app.BuildBinary(10, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return text
+}
+
+func main() {
+	// Boot a merged PHP+MySQL X-Container — the topology single-process
+	// LibOSes cannot express.
+	platform, err := core.NewPlatform(core.PlatformConfig{
+		Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := platform.Boot(core.Image{
+		Name:    "php+mysql-merged",
+		Program: binary("PHP"),
+		VCPUs:   1,
+		LibOSConfig: &libos.Config{
+			SMP:     true,
+			Modules: []string{"unix-sockets"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Second process in the same container: the MySQL server.
+	rt := platform.Runtime()
+	if _, err := rt.StartProcess(inst.Container, binary("MySQL-query"), inst.Clock); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged container %q runs %d processes on one X-LibOS (modules: unix-sockets loaded: %v)\n",
+		inst.Image.Name, inst.Container.Procs, inst.Container.LibOS.HasModule("unix-sockets"))
+
+	// Contrast: a Unikernel refuses the second process.
+	uk := runtimes.MustNew(runtimes.Config{Kind: runtimes.Unikernel, Cloud: runtimes.LocalCluster})
+	c, err := uk.NewContainer("uk-php", 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := uk.StartProcess(c, binary("PHP"), inst.Clock); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := uk.StartProcess(c, binary("MySQL-query"), inst.Clock); err != nil {
+		fmt.Printf("unikernel second process: %v\n", err)
+	}
+
+	fmt.Println("\nThroughput of the three Fig. 7 topologies: run `xcbench -exp fig6c`")
+}

@@ -1,0 +1,245 @@
+// Package abom implements the Automatic Binary Optimization Module
+// (paper §4.4): the X-Kernel component that rewrites syscall
+// instructions into vsyscall-table function calls on the fly, the first
+// time each call site traps.
+//
+// The three patterns of Figure 2 are implemented byte-for-byte:
+//
+//	Case 1 (7-byte): mov $n,%eax (5B) + syscall (2B)
+//	    -> callq *(VsyscallBase + 8*(n+1))        one 7-byte cmpxchg
+//	Case 2 (7-byte): mov 0x8(%rsp),%rax (5B) + syscall (2B)
+//	    -> callq *(VsyscallBase + StackDispatchOff) one 7-byte cmpxchg
+//	9-byte (two-phase): mov $n,%rax (7B) + syscall (2B)
+//	    phase 1: mov -> callq *(entry), syscall left in place
+//	    phase 2: syscall -> jmp -9 (back to the call)
+//
+// Every mutation is a compare-and-swap of at most eight bytes with a
+// valid intermediate state, preserving multicore safety: another vCPU
+// fetching mid-patch sees either the old or the new instruction, never
+// a torn one.
+package abom
+
+import (
+	"sync"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/syscalls"
+)
+
+// Entry-table geometry (derived from Figure 2's addresses):
+// read (0) patches to *0xffffffffff600008 and rt_sigreturn (15) to
+// *0xffffffffff600080 = base + 8*16, so slot 0 is the generic RAX
+// dispatcher and syscall n lives at 8*(n+1). The Go-runtime style
+// stack-argument dispatcher sits past the numbered entries at 0xc08.
+const (
+	// GenericDispatchOff is slot 0: a dispatcher that reads the syscall
+	// number from RAX (used by the offline tool for bare syscall sites).
+	GenericDispatchOff = 0
+
+	// StackDispatchOff is the Case-2 dispatcher reading the number from
+	// 0x8(%rsp), as in Figure 2's syscall.Syscall patch target 0xc08.
+	StackDispatchOff = 0xc08
+)
+
+// EntryOff returns the vsyscall-table offset of syscall n's direct entry.
+func EntryOff(n syscalls.No) uint32 { return 8 * (uint32(n) + 1) }
+
+// EntryAddr returns the low 32 bits of the absolute entry address as
+// encoded in the callq immediate (sign-extension restores the high bits).
+func EntryAddr(n syscalls.No) uint32 {
+	return uint32(arch.VsyscallBase&0xffffffff) + EntryOff(n)
+}
+
+// GenericDispatchAddr is the callq immediate of the RAX dispatcher.
+func GenericDispatchAddr() uint32 { return uint32(arch.VsyscallBase & 0xffffffff) }
+
+// StackDispatchAddr is the callq immediate of the stack dispatcher.
+func StackDispatchAddr() uint32 {
+	return uint32(arch.VsyscallBase&0xffffffff) + StackDispatchOff
+}
+
+// DecodeEntry inverts EntryAddr: given a vsyscall-page target address it
+// reports which syscall's direct entry it is, or the dispatcher kind.
+func DecodeEntry(target uint64) (n syscalls.No, generic, stack, ok bool) {
+	if target < arch.VsyscallBase || target >= arch.VsyscallBase+arch.PageSize {
+		return 0, false, false, false
+	}
+	off := uint32(target - arch.VsyscallBase)
+	switch off {
+	case GenericDispatchOff:
+		return 0, true, false, true
+	case StackDispatchOff:
+		return 0, false, true, true
+	}
+	if off%8 != 0 || off/8 < 1 || syscalls.No(off/8-1) >= syscalls.MaxNo {
+		return 0, false, false, false
+	}
+	return syscalls.No(off/8 - 1), false, false, true
+}
+
+// Stats counts ABOM activity; the Table 1 experiment reads these.
+type Stats struct {
+	Patched7Case1  uint64 // mov $n,%eax + syscall sites patched
+	Patched7Case2  uint64 // mov 8(%rsp),%rax + syscall sites patched
+	Patched9Phase1 uint64
+	Patched9Phase2 uint64
+	Unrecognized   uint64 // syscall sites whose prefix matched no pattern
+	RacesLost      uint64 // cmpxchg found bytes already changed
+	Fixups         uint64 // invalid-opcode jump-into-middle repairs
+}
+
+// ABOM is the online patcher. One instance lives in each X-Kernel.
+type ABOM struct {
+	mu      sync.Mutex
+	Enabled bool
+	Stats   Stats
+}
+
+// New creates an enabled ABOM.
+func New() *ABOM { return &ABOM{Enabled: true} }
+
+// PatchResult describes what OnSyscall did to the call site.
+type PatchResult uint8
+
+const (
+	// PatchNone: pattern not recognized (or ABOM disabled); the syscall
+	// keeps trapping forever.
+	PatchNone PatchResult = iota
+	// Patched7: a 7-byte replacement was installed.
+	Patched7
+	// Patched9Phase1: the 9-byte pattern's mov was replaced by a call;
+	// the trailing syscall remains until phase 2.
+	Patched9Phase1
+)
+
+// OnSyscall is invoked by the X-Kernel when forwarding a trapped
+// syscall. sysRIP is the address of the syscall instruction that
+// trapped (RIP has already advanced past it: sysRIP = RIP-2). The
+// syscall number is in RAX. ABOM inspects the bytes *around* the site —
+// never the whole binary — and patches if a pattern matches.
+func (a *ABOM) OnSyscall(text *arch.Text, sysRIP uint64, rax uint64) PatchResult {
+	if a == nil || !a.Enabled {
+		return PatchNone
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	n := syscalls.No(rax)
+	if !n.Valid() {
+		a.Stats.Unrecognized++
+		return PatchNone
+	}
+
+	// Case 1: the five bytes before the syscall are "b8 imm32" with
+	// imm == rax. Replace mov+syscall (7 bytes) with one callq.
+	if sysRIP >= text.Base+5 {
+		pre := text.Fetch(sysRIP-5, 7)
+		if len(pre) == 7 && pre[0] == 0xb8 && pre[5] == 0x0f && pre[6] == 0x05 {
+			ins := arch.Decode(pre)
+			if ins.Op == arch.OpMovR32Imm && ins.Reg == arch.RAX && uint64(uint32(ins.Imm)) == rax {
+				old := pre
+				repl := arch.EncCallAbs(EntryAddr(n))
+				ok, err := text.ForceWrite8(sysRIP-5, old, repl)
+				if err == nil && ok {
+					a.Stats.Patched7Case1++
+					return Patched7
+				}
+				a.Stats.RacesLost++
+				return PatchNone
+			}
+		}
+		// Case 2: "48 8b 44 24 08" (mov 0x8(%rsp),%rax) + syscall.
+		if len(pre) == 7 && pre[0] == 0x48 && pre[1] == 0x8b && pre[2] == 0x44 &&
+			pre[3] == 0x24 && pre[4] == 0x08 && pre[5] == 0x0f && pre[6] == 0x05 {
+			repl := arch.EncCallAbs(StackDispatchAddr())
+			ok, err := text.ForceWrite8(sysRIP-5, pre, repl)
+			if err == nil && ok {
+				a.Stats.Patched7Case2++
+				return Patched7
+			}
+			a.Stats.RacesLost++
+			return PatchNone
+		}
+	}
+
+	// 9-byte pattern: "48 c7 c0 imm32" (mov $imm,%rax) + syscall.
+	// Phase 1 replaces only the 7-byte mov with the 7-byte call; the
+	// original syscall stays behind it, so execution that jumps
+	// straight to the syscall still works. (Phase 2 happens when that
+	// leftover syscall itself traps; see below.)
+	if sysRIP >= text.Base+7 {
+		pre := text.Fetch(sysRIP-7, 9)
+		if len(pre) == 9 && pre[0] == 0x48 && pre[1] == 0xc7 && pre[2] == 0xc0 &&
+			pre[7] == 0x0f && pre[8] == 0x05 {
+			ins := arch.Decode(pre)
+			if ins.Op == arch.OpMovR64Imm && ins.Reg == arch.RAX && uint64(ins.Imm) == rax {
+				repl := arch.EncCallAbs(EntryAddr(n))
+				ok, err := text.ForceWrite8(sysRIP-7, pre[:7], repl)
+				if err == nil && ok {
+					a.Stats.Patched9Phase1++
+					return Patched9Phase1
+				}
+				a.Stats.RacesLost++
+				return PatchNone
+			}
+		}
+		// Phase 2: the bytes before this syscall are already a callq
+		// into the vsyscall page (phase 1 ran earlier, and the program
+		// fell through the call into the leftover syscall, or jumped to
+		// it directly). Replace the syscall with "jmp -9", looping back
+		// into the call.
+		if pre := text.Fetch(sysRIP-7, 7); len(pre) == 7 {
+			if ins := arch.Decode(pre); ins.Op == arch.OpCallAbs {
+				if _, _, _, inVsyscall := DecodeEntry(uint64(ins.Imm)); inVsyscall {
+					oldSys := arch.EncSyscall()
+					// jmp rel8 back to the start of the call: target =
+					// sysRIP-7, origin = sysRIP+2 => rel8 = -9.
+					repl := arch.EncJmpRel8(-9)
+					ok, err := text.ForceWrite8(sysRIP, oldSys, repl)
+					if err == nil && ok {
+						a.Stats.Patched9Phase2++
+						return Patched7
+					}
+					a.Stats.RacesLost++
+					return PatchNone
+				}
+			}
+		}
+	}
+
+	a.Stats.Unrecognized++
+	return PatchNone
+}
+
+// FixupInvalidOpcode implements the X-Kernel trap handler for the rare
+// jump-into-the-middle case: after a 7-byte replacement, a jump to the
+// original syscall location lands on the last two bytes of the callq
+// immediate, which are always 0x60 0xff; 0x60 raises invalid-opcode.
+// The handler walks RIP back to the start of the call instruction and
+// resumes, providing binary-level equivalence. It returns the corrected
+// RIP and true on success.
+func (a *ABOM) FixupInvalidOpcode(text *arch.Text, rip uint64) (uint64, bool) {
+	if a == nil {
+		return rip, false
+	}
+	b := text.Fetch(rip, 2)
+	if len(b) < 2 || b[0] != 0x60 || b[1] != 0xff {
+		return rip, false
+	}
+	// The call started 5 bytes earlier: ff 14 25 xx xx [60 ff].
+	if rip < text.Base+5 {
+		return rip, false
+	}
+	start := rip - 5
+	ins := arch.Decode(text.Fetch(start, 7))
+	if ins.Op != arch.OpCallAbs {
+		return rip, false
+	}
+	if _, _, _, ok := DecodeEntry(uint64(ins.Imm)); !ok {
+		return rip, false
+	}
+	a.mu.Lock()
+	a.Stats.Fixups++
+	a.mu.Unlock()
+	return start, true
+}

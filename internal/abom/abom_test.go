@@ -1,0 +1,298 @@
+package abom
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/syscalls"
+)
+
+func TestEntryTableGeometry(t *testing.T) {
+	// Figure 2's concrete addresses: read (0) -> *0xffffffffff600008,
+	// rt_sigreturn (15) -> *0xffffffffff600080, Go's stack dispatcher
+	// -> *0xffffffffff600c08.
+	if got := EntryAddr(syscalls.Read); got != 0xff600008 {
+		t.Errorf("EntryAddr(read) = %#x, want 0xff600008", got)
+	}
+	if got := EntryAddr(syscalls.RtSigreturn); got != 0xff600080 {
+		t.Errorf("EntryAddr(rt_sigreturn) = %#x, want 0xff600080", got)
+	}
+	if got := StackDispatchAddr(); got != 0xff600c08 {
+		t.Errorf("StackDispatchAddr = %#x, want 0xff600c08", got)
+	}
+}
+
+func TestDecodeEntry(t *testing.T) {
+	n, g, s, ok := DecodeEntry(arch.VsyscallBase + uint64(EntryOff(syscalls.Read)))
+	if !ok || g || s || n != syscalls.Read {
+		t.Errorf("DecodeEntry(read entry) = %v,%v,%v,%v", n, g, s, ok)
+	}
+	_, g, _, ok = DecodeEntry(arch.VsyscallBase)
+	if !ok || !g {
+		t.Error("slot 0 must decode as the generic dispatcher")
+	}
+	_, _, s, ok = DecodeEntry(arch.VsyscallBase + StackDispatchOff)
+	if !ok || !s {
+		t.Error("0xc08 must decode as the stack dispatcher")
+	}
+	if _, _, _, ok := DecodeEntry(arch.VsyscallBase - 8); ok {
+		t.Error("address below the page must not decode")
+	}
+	if _, _, _, ok := DecodeEntry(arch.VsyscallBase + 12); ok {
+		t.Error("unaligned offset must not decode")
+	}
+	if _, _, _, ok := DecodeEntry(arch.VsyscallBase + 8*uint64(syscalls.MaxNo+2)); ok {
+		t.Error("offset past the table must not decode")
+	}
+}
+
+// site builds a text with prefix bytes, a wrapper for syscall n, and a
+// trailing hlt, returning the address of the syscall instruction.
+func caseOneSite(n uint32) (*arch.Text, uint64) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Nop()
+	a.SyscallN(n) // mov $n,%eax ; syscall
+	a.Hlt()
+	text := a.MustAssemble()
+	return text, arch.UserTextBase + 1 + 5
+}
+
+func TestPatchCase1(t *testing.T) {
+	ab := New()
+	text, sysRIP := caseOneSite(uint64ToU32(uint64(syscalls.Getpid)))
+	res := ab.OnSyscall(text, sysRIP, uint64(syscalls.Getpid))
+	if res != Patched7 {
+		t.Fatalf("OnSyscall = %v, want Patched7", res)
+	}
+	want := arch.EncCallAbs(EntryAddr(syscalls.Getpid))
+	got := text.Fetch(sysRIP-5, 7)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("patched bytes = % x, want % x", got, want)
+	}
+	if ab.Stats.Patched7Case1 != 1 {
+		t.Errorf("stats = %+v", ab.Stats)
+	}
+	// Idempotence: a second trap at the same (now patched) site must
+	// not match again.
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.Getpid)); res != PatchNone {
+		t.Errorf("second OnSyscall = %v, want PatchNone", res)
+	}
+}
+
+func uint64ToU32(v uint64) uint32 { return uint32(v) }
+
+func TestPatchCase2(t *testing.T) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovRaxRsp8(8)
+	a.Syscall()
+	a.Hlt()
+	text := a.MustAssemble()
+	sysRIP := arch.UserTextBase + 5
+
+	ab := New()
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.Write)); res != Patched7 {
+		t.Fatalf("OnSyscall = %v, want Patched7", res)
+	}
+	want := arch.EncCallAbs(StackDispatchAddr())
+	if got := text.Fetch(arch.UserTextBase, 7); !bytes.Equal(got, want) {
+		t.Fatalf("patched bytes = % x, want % x", got, want)
+	}
+	if ab.Stats.Patched7Case2 != 1 {
+		t.Errorf("stats = %+v", ab.Stats)
+	}
+}
+
+func TestPatch9ByteTwoPhase(t *testing.T) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.SyscallN64(uint32(syscalls.RtSigreturn)) // 7-byte mov + syscall
+	a.Hlt()
+	text := a.MustAssemble()
+	sysRIP := arch.UserTextBase + 7
+
+	ab := New()
+	// Phase 1: mov -> call; syscall left behind.
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.RtSigreturn)); res != Patched9Phase1 {
+		t.Fatalf("phase 1 = %v, want Patched9Phase1", res)
+	}
+	wantCall := arch.EncCallAbs(EntryAddr(syscalls.RtSigreturn))
+	if got := text.Fetch(arch.UserTextBase, 7); !bytes.Equal(got, wantCall) {
+		t.Fatalf("phase-1 bytes = % x, want % x", got, wantCall)
+	}
+	if got := text.Fetch(sysRIP, 2); !bytes.Equal(got, arch.EncSyscall()) {
+		t.Fatalf("phase 1 must leave the original syscall; got % x", got)
+	}
+	// Phase 2 fires when the leftover syscall traps (direct jump case):
+	// syscall -> jmp -9 back into the call.
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.RtSigreturn)); res != Patched7 {
+		t.Fatalf("phase 2 = %v, want Patched7", res)
+	}
+	if got := text.Fetch(sysRIP, 2); !bytes.Equal(got, arch.EncJmpRel8(-9)) {
+		t.Fatalf("phase-2 bytes = % x, want eb f7", got)
+	}
+	// The jmp must land exactly on the call instruction.
+	ins := arch.Decode(text.Fetch(sysRIP, 2))
+	if target := int64(sysRIP) + int64(ins.Len) + ins.Imm; target != int64(arch.UserTextBase) {
+		t.Fatalf("jmp target = %#x, want %#x", target, arch.UserTextBase)
+	}
+	if ab.Stats.Patched9Phase1 != 1 || ab.Stats.Patched9Phase2 != 1 {
+		t.Errorf("stats = %+v", ab.Stats)
+	}
+}
+
+func TestPatchUnrecognizedShapes(t *testing.T) {
+	// A syscall with the number set via a non-adjacent mov must not be
+	// patched (the MySQL/libpthread case, §5.2).
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovR32(arch.RAX, uint32(syscalls.Getpid))
+	a.Nop() // gap breaks the pattern
+	a.Syscall()
+	a.Hlt()
+	text := a.MustAssemble()
+	before := text.Bytes()
+	ab := New()
+	if res := ab.OnSyscall(text, arch.UserTextBase+6, uint64(syscalls.Getpid)); res != PatchNone {
+		t.Fatalf("OnSyscall = %v, want PatchNone", res)
+	}
+	if !bytes.Equal(text.Bytes(), before) {
+		t.Fatal("unrecognized site must not be modified")
+	}
+	if ab.Stats.Unrecognized != 1 {
+		t.Errorf("stats = %+v", ab.Stats)
+	}
+}
+
+func TestPatchInvalidSyscallNumber(t *testing.T) {
+	text, sysRIP := caseOneSite(99999)
+	ab := New()
+	if res := ab.OnSyscall(text, sysRIP, 99999); res != PatchNone {
+		t.Fatalf("invalid number patched: %v", res)
+	}
+}
+
+func TestPatchDisabled(t *testing.T) {
+	text, sysRIP := caseOneSite(uint32(syscalls.Getpid))
+	ab := New()
+	ab.Enabled = false
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.Getpid)); res != PatchNone {
+		t.Fatalf("disabled ABOM patched: %v", res)
+	}
+	var nilAB *ABOM
+	if res := nilAB.OnSyscall(text, sysRIP, uint64(syscalls.Getpid)); res != PatchNone {
+		t.Fatalf("nil ABOM patched: %v", res)
+	}
+}
+
+func TestPatchMismatchedRAX(t *testing.T) {
+	// If the immediate in the preceding mov differs from RAX at trap
+	// time (jump between mov and syscall), ABOM must refuse.
+	text, sysRIP := caseOneSite(uint32(syscalls.Getpid))
+	ab := New()
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.Getuid)); res != PatchNone {
+		t.Fatalf("mismatched rax patched: %v", res)
+	}
+}
+
+func TestFixupInvalidOpcode(t *testing.T) {
+	text, sysRIP := caseOneSite(uint32(syscalls.Getpid))
+	ab := New()
+	if res := ab.OnSyscall(text, sysRIP, uint64(syscalls.Getpid)); res != Patched7 {
+		t.Fatal("setup patch failed")
+	}
+	// Jumping to the original syscall address lands mid-call, on the
+	// 0x60 0xff tail.
+	if b := text.Fetch(sysRIP, 2); b[0] != 0x60 || b[1] != 0xff {
+		t.Fatalf("tail bytes = % x, want 60 ff", b)
+	}
+	fixed, ok := ab.FixupInvalidOpcode(text, sysRIP)
+	if !ok {
+		t.Fatal("fixup refused")
+	}
+	if fixed != sysRIP-5 {
+		t.Fatalf("fixed rip = %#x, want call start %#x", fixed, sysRIP-5)
+	}
+	if ab.Stats.Fixups != 1 {
+		t.Errorf("stats = %+v", ab.Stats)
+	}
+}
+
+func TestFixupRejectsNonPatchBytes(t *testing.T) {
+	// 0x60 0xff bytes that are not the tail of a vsyscall call must not
+	// be "repaired".
+	text := arch.NewText(arch.UserTextBase, []byte{0x90, 0x90, 0x90, 0x90, 0x90, 0x60, 0xff})
+	ab := New()
+	if _, ok := ab.FixupInvalidOpcode(text, arch.UserTextBase+5); ok {
+		t.Fatal("fixup must verify the preceding bytes form a vsyscall call")
+	}
+	// And plain garbage is rejected.
+	if _, ok := ab.FixupInvalidOpcode(text, arch.UserTextBase); ok {
+		t.Fatal("fixup of non-60ff bytes must fail")
+	}
+}
+
+func TestPatchRaceLost(t *testing.T) {
+	// Simulate another vCPU patching first: the second patch attempt
+	// must detect the changed bytes and do nothing.
+	text, sysRIP := caseOneSite(uint32(syscalls.Getpid))
+	ab1, ab2 := New(), New()
+	if res := ab1.OnSyscall(text, sysRIP, uint64(syscalls.Getpid)); res != Patched7 {
+		t.Fatal("first patch failed")
+	}
+	if res := ab2.OnSyscall(text, sysRIP, uint64(syscalls.Getpid)); res != PatchNone {
+		t.Fatalf("second patcher should lose the race cleanly, got %v", res)
+	}
+}
+
+// TestIntermediateStatesAlwaysValid is the §4.4 multicore-safety
+// property: at every point during patching of random programs, linear
+// decode from the program start yields only valid instructions (no torn
+// instruction is ever observable).
+func TestIntermediateStatesAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nums := []syscalls.No{syscalls.Read, syscalls.Write, syscalls.Getpid, syscalls.Close, syscalls.RtSigreturn}
+	for trial := 0; trial < 200; trial++ {
+		a := arch.NewAssembler(arch.UserTextBase)
+		type siteInfo struct {
+			sysRIP uint64
+			n      syscalls.No
+		}
+		var sites []siteInfo
+		for i, k := 0, 2+rng.Intn(6); i < k; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				a.Nop()
+			case 1:
+				n := nums[rng.Intn(len(nums))]
+				a.SyscallN(uint32(n))
+				sites = append(sites, siteInfo{a.PC() - 2, n})
+			case 2:
+				n := nums[rng.Intn(len(nums))]
+				a.SyscallN64(uint32(n))
+				sites = append(sites, siteInfo{a.PC() - 2, n})
+			}
+		}
+		a.Hlt()
+		text := a.MustAssemble()
+		ab := New()
+
+		validate := func(stage string) {
+			for addr := text.Base; addr < text.End(); {
+				ins := arch.Decode(text.Fetch(addr, 8))
+				if ins.Op == arch.OpInvalid {
+					t.Fatalf("trial %d %s: invalid instruction at %#x: % x",
+						trial, stage, addr, text.Fetch(addr, 8))
+				}
+				addr += uint64(ins.Len)
+			}
+		}
+		validate("before")
+		for _, s := range sites {
+			ab.OnSyscall(text, s.sysRIP, uint64(s.n))
+			validate("after patch")
+			// Re-trap (9-byte phase 2 for REX sites).
+			ab.OnSyscall(text, s.sysRIP, uint64(s.n))
+			validate("after phase 2")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package abom
+
+import (
+	"fmt"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/syscalls"
+)
+
+// OfflineReport summarizes one offline patching run.
+type OfflineReport struct {
+	SyscallSites   int // syscall instructions found
+	PatchedSimple  int // sites the online patterns would also catch
+	PatchedWindow  int // extended-window rewrites (libpthread-style)
+	SkippedUnknown int // no statically-known syscall number
+	SkippedTarget  int // a jump lands inside the rewrite window
+}
+
+// String renders the report in the style of the tool's CLI output.
+func (r OfflineReport) String() string {
+	return fmt.Sprintf("sites=%d simple=%d window=%d unknown=%d jumpblocked=%d",
+		r.SyscallSites, r.PatchedSimple, r.PatchedWindow, r.SkippedUnknown, r.SkippedTarget)
+}
+
+// safeGapOp reports whether an instruction may sit between the
+// number-loading mov and the syscall in an extended-window rewrite: it
+// must not write RAX, must not transfer control, and must be
+// position-independent. This is the shape of libpthread's cancellable
+// syscall wrappers (enable-cancel bookkeeping between mov and syscall),
+// which ABOM's online matcher cannot handle (§5.2: MySQL's 44.6%).
+func safeGapOp(op arch.Op) bool {
+	switch op {
+	case arch.OpNop, arch.OpWork, arch.OpPushRdi, arch.OpPopRdi, arch.OpPushImm32:
+		return true
+	}
+	return false
+}
+
+// PatchOffline rewrites every recognizable syscall site in text,
+// including extended windows the online ABOM must skip. It mutates the
+// text in place (the binary at rest: no atomicity constraints, but we
+// still go through ForceWrite8 chunks to reuse the only mutation
+// primitive).
+//
+// Rewrites performed:
+//
+//	case 1/2 and 9-byte patterns — exactly as the online module;
+//	extended window: mov $n,%rax/%eax ; <safe instrs> ; syscall
+//	    -> <safe instrs> ; callq *entry(n) ; nop padding
+//	    (legal only when no jump targets the window's interior)
+func PatchOffline(text *arch.Text) (OfflineReport, error) {
+	var rep OfflineReport
+
+	// Pass 1: linear decode; collect instruction starts and jump targets.
+	type site struct {
+		addr uint64
+		ins  arch.Instr
+	}
+	var prog []site
+	targets := make(map[uint64]bool)
+	for addr := text.Base; addr < text.End(); {
+		ins := arch.Decode(text.Fetch(addr, 8))
+		if ins.Op == arch.OpInvalid {
+			// Already-patched bytes or data; skip one byte.
+			addr++
+			continue
+		}
+		prog = append(prog, site{addr, ins})
+		switch ins.Op {
+		case arch.OpJmpRel8, arch.OpJmpRel32, arch.OpJnzRel8, arch.OpCallRel32:
+			targets[uint64(int64(addr)+int64(ins.Len)+ins.Imm)] = true
+		}
+		addr += uint64(ins.Len)
+	}
+
+	// Pass 2: find syscall sites and rewrite.
+	for i, s := range prog {
+		if s.ins.Op != arch.OpSyscall {
+			continue
+		}
+		rep.SyscallSites++
+
+		// Walk backwards over safe gap instructions to the number mov.
+		j := i - 1
+		var gap []site
+		for j >= 0 && safeGapOp(prog[j].ins.Op) {
+			gap = append([]site{prog[j]}, gap...)
+			j--
+		}
+		if j < 0 {
+			rep.SkippedUnknown++
+			continue
+		}
+		movS := prog[j]
+		var n syscalls.No
+		switch {
+		case movS.ins.Op == arch.OpMovR32Imm && movS.ins.Reg == arch.RAX:
+			n = syscalls.No(uint32(movS.ins.Imm))
+		case movS.ins.Op == arch.OpMovR64Imm && movS.ins.Reg == arch.RAX:
+			n = syscalls.No(uint32(movS.ins.Imm))
+		case movS.ins.Op == arch.OpMovRaxRsp8 && movS.ins.Imm == 8 && len(gap) == 0:
+			// Online Case 2; patch identically.
+			if err := forceWriteAll(text, movS.addr, arch.EncCallAbs(StackDispatchAddr())); err != nil {
+				return rep, err
+			}
+			rep.PatchedSimple++
+			continue
+		default:
+			rep.SkippedUnknown++
+			continue
+		}
+		if !n.Valid() {
+			rep.SkippedUnknown++
+			continue
+		}
+
+		// Reject if any jump targets the interior of the window
+		// (start exclusive .. syscall end exclusive: landing exactly on
+		// the mov start stays legal because the rewrite starts there
+		// too; landing on the syscall itself is handled by the
+		// jmp-back/fixup shapes only in the simple patterns).
+		winStart, winEnd := movS.addr, s.addr+2
+		blocked := false
+		for t := range targets {
+			if t > winStart && t < winEnd {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			rep.SkippedTarget++
+			continue
+		}
+
+		if len(gap) == 0 {
+			// Simple patterns: identical to the online module.
+			switch movS.ins.Len {
+			case 5: // case 1: one 7-byte replacement
+				if err := forceWriteAll(text, movS.addr, arch.EncCallAbs(EntryAddr(n))); err != nil {
+					return rep, err
+				}
+			case 7: // 9-byte: call + jmp-back, matching online phase 1+2
+				if err := forceWriteAll(text, movS.addr, arch.EncCallAbs(EntryAddr(n))); err != nil {
+					return rep, err
+				}
+				if err := forceWriteAll(text, s.addr, arch.EncJmpRel8(-9)); err != nil {
+					return rep, err
+				}
+			}
+			rep.PatchedSimple++
+			continue
+		}
+
+		// Extended window: relocate gap instructions to the front,
+		// then the call, then nop padding.
+		var repl []byte
+		for _, g := range gap {
+			repl = append(repl, text.Fetch(g.addr, g.ins.Len)...)
+		}
+		repl = append(repl, arch.EncCallAbs(EntryAddr(n))...)
+		for uint64(len(repl)) < winEnd-winStart {
+			repl = append(repl, arch.EncNop()...)
+		}
+		if uint64(len(repl)) != winEnd-winStart {
+			rep.SkippedUnknown++
+			continue
+		}
+		if err := forceWriteAll(text, winStart, repl); err != nil {
+			return rep, err
+		}
+		rep.PatchedWindow++
+	}
+	return rep, nil
+}
+
+// forceWriteAll writes p through 8-byte cmpxchg chunks.
+func forceWriteAll(text *arch.Text, addr uint64, p []byte) error {
+	for off := 0; off < len(p); off += 8 {
+		end := off + 8
+		if end > len(p) {
+			end = len(p)
+		}
+		old := text.Fetch(addr+uint64(off), end-off)
+		ok, err := text.ForceWrite8(addr+uint64(off), old, p[off:end])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("abom: offline cmpxchg lost race at %#x", addr+uint64(off))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package abom
+
+import (
+	"bytes"
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/syscalls"
+)
+
+func TestOfflineSimplePatterns(t *testing.T) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.SyscallN(uint32(syscalls.Read))     // case 1
+	a.SyscallN64(uint32(syscalls.Getpid)) // 9-byte
+	a.MovRaxRsp8(8)                       // case 2
+	a.Syscall()
+	a.Hlt()
+	text := a.MustAssemble()
+
+	rep, err := PatchOffline(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SyscallSites != 3 || rep.PatchedSimple != 3 {
+		t.Fatalf("report = %+v, want 3 sites all simple-patched", rep)
+	}
+	// Case 1 became a direct call.
+	if got := text.Fetch(arch.UserTextBase, 7); !bytes.Equal(got, arch.EncCallAbs(EntryAddr(syscalls.Read))) {
+		t.Errorf("case-1 bytes = % x", got)
+	}
+	// 9-byte became call + jmp-back.
+	off := arch.UserTextBase + 7
+	if got := text.Fetch(off, 7); !bytes.Equal(got, arch.EncCallAbs(EntryAddr(syscalls.Getpid))) {
+		t.Errorf("9-byte call bytes = % x", got)
+	}
+	if got := text.Fetch(off+7, 2); !bytes.Equal(got, arch.EncJmpRel8(-9)) {
+		t.Errorf("9-byte jmp bytes = % x", got)
+	}
+}
+
+func TestOfflineExtendedWindow(t *testing.T) {
+	// The libpthread cancellable-syscall shape: number mov, then
+	// cancellation bookkeeping, then syscall. The online matcher skips
+	// it; the offline tool relocates the gap instructions and patches.
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovR32(arch.RAX, uint32(syscalls.Read)) // 5 bytes
+	a.PushRdi()                               // gap: 1 byte
+	a.PopRdi()                                // gap: 1 byte
+	a.Syscall()                               // 2 bytes
+	a.Hlt()
+	text := a.MustAssemble()
+
+	online := New()
+	if res := online.OnSyscall(text, arch.UserTextBase+7, uint64(syscalls.Read)); res != PatchNone {
+		t.Fatalf("online matcher should refuse the gapped shape, got %v", res)
+	}
+
+	rep, err := PatchOffline(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PatchedWindow != 1 {
+		t.Fatalf("report = %+v, want one window patch", rep)
+	}
+	// Rewrite: push; pop; callq — gap relocated ahead of the call,
+	// total window length preserved (5+1+1+2 = 1+1+7).
+	want := append([]byte{0x57, 0x5f}, arch.EncCallAbs(EntryAddr(syscalls.Read))...)
+	if got := text.Fetch(arch.UserTextBase, 9); !bytes.Equal(got, want) {
+		t.Fatalf("window bytes = % x, want % x", got, want)
+	}
+}
+
+func TestOfflineSkipsJumpTargetsInWindow(t *testing.T) {
+	// A jump landing between mov and syscall makes the rewrite unsafe.
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovR32(arch.RAX, uint32(syscalls.Read))
+	a.Label("inside")
+	a.PushRdi()
+	a.PopRdi()
+	a.Syscall()
+	a.Jnz("inside")
+	a.Hlt()
+	text := a.MustAssemble()
+	before := text.Bytes()
+
+	rep, err := PatchOffline(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SkippedTarget != 1 {
+		t.Fatalf("report = %+v, want one jump-blocked skip", rep)
+	}
+	if !bytes.Equal(text.Bytes(), before) {
+		t.Fatal("blocked window must be left untouched")
+	}
+}
+
+func TestOfflineUnknownNumber(t *testing.T) {
+	// A syscall whose number came from a non-immediate source cannot be
+	// patched offline either.
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.PopRax() // rax from stack: not statically known
+	a.Syscall()
+	a.Hlt()
+	text := a.MustAssemble()
+	rep, err := PatchOffline(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SkippedUnknown != 1 || rep.PatchedSimple+rep.PatchedWindow != 0 {
+		t.Fatalf("report = %+v, want one unknown skip", rep)
+	}
+}
+
+func TestOfflineValidityAfterPatch(t *testing.T) {
+	// Linear decode of the fully-patched binary must contain no invalid
+	// instructions and no remaining syscalls (when all sites match).
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.SyscallN(uint32(syscalls.Read))
+	a.MovR32(arch.RAX, uint32(syscalls.Write))
+	a.PushRdi()
+	a.PopRdi()
+	a.Syscall()
+	a.SyscallN64(uint32(syscalls.Close))
+	a.Hlt()
+	text := a.MustAssemble()
+	if _, err := PatchOffline(text); err != nil {
+		t.Fatal(err)
+	}
+	for addr := text.Base; addr < text.End(); {
+		ins := arch.Decode(text.Fetch(addr, 8))
+		if ins.Op == arch.OpInvalid {
+			t.Fatalf("invalid instruction at %#x after offline patch", addr)
+		}
+		addr += uint64(ins.Len)
+	}
+}

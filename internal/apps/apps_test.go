@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/syscalls"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, app := range Table1Apps() {
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+		if len(app.ReqSyscalls) == 0 && app.Name != "Kernel Compilation" {
+			t.Errorf("%s: empty request profile", app.Name)
+		}
+	}
+	for _, name := range []string{"PHP", "MySQL-query", "nginx+php-fpm", "HAProxy"} {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("no-such-app"); err == nil {
+		t.Error("unknown app must fail")
+	}
+}
+
+func TestGoAppsUseStackShape(t *testing.T) {
+	for _, app := range []*App{Etcd(), InfluxDB()} {
+		for _, s := range app.Sites {
+			if s.Shape != ShapeGoStack {
+				t.Errorf("%s: Go apps must use the syscall.Syscall shape, got %v", app.Name, s.Shape)
+			}
+		}
+	}
+}
+
+func TestMySQLHasGappedSites(t *testing.T) {
+	gapped := 0
+	for _, s := range MySQL().Sites {
+		if s.Shape == ShapeGapped {
+			gapped++
+		}
+	}
+	if gapped != 2 {
+		t.Errorf("MySQL gapped sites = %d, want 2 (the libpthread locations of §5.2)", gapped)
+	}
+}
+
+func TestBuildBinaryDecodes(t *testing.T) {
+	for _, app := range Table1Apps() {
+		text, err := app.BuildBinary(2, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		// Linear decode must be clean end to end.
+		for addr := text.Base; addr < text.End(); {
+			ins := arch.Decode(text.Fetch(addr, 8))
+			if ins.Op == arch.OpInvalid {
+				t.Fatalf("%s: invalid instruction at %#x", app.Name, addr)
+			}
+			addr += uint64(ins.Len)
+		}
+	}
+}
+
+func TestBuildBinarySyscallCount(t *testing.T) {
+	// One iteration at granularity 100 must contain exactly 100
+	// syscall-issuing site calls.
+	app := Memcached()
+	text, err := app.BuildBinary(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count call instructions to site stubs per loop body by decoding.
+	calls := 0
+	for addr := text.Base; addr < text.End(); {
+		ins := arch.Decode(text.Fetch(addr, 8))
+		if ins.Op == arch.OpCallRel32 {
+			calls++
+		}
+		addr += uint64(ins.Len)
+	}
+	if calls != 100 {
+		t.Errorf("calls per iteration = %d, want 100", calls)
+	}
+}
+
+func TestWeightApportionment(t *testing.T) {
+	// Largest-remainder must allocate all granularity slots even with
+	// awkward weights.
+	app := &App{
+		Name: "t", Sites: []Site{
+			{N: syscalls.Read, Shape: ShapeCase1, Weight: 1.0 / 3},
+			{N: syscalls.Write, Shape: ShapeCase1, Weight: 1.0 / 3},
+			{N: syscalls.Close, Shape: ShapeCase1, Weight: 1.0 / 3},
+		},
+	}
+	if _, err := app.BuildBinary(1, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadWeights(t *testing.T) {
+	bad := &App{Name: "bad", Sites: []Site{{N: syscalls.Read, Weight: 0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("weights not summing to 1 must fail")
+	}
+	neg := &App{Name: "neg", Sites: []Site{
+		{N: syscalls.Read, Weight: 1.5},
+		{N: syscalls.Write, Weight: -0.5},
+	}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative weight must fail")
+	}
+}
+
+func TestRequestCycles(t *testing.T) {
+	app := Redis()
+	flat := app.RequestCycles(func(syscalls.No) cycles.Cycles { return 100 })
+	if flat != app.ReqWork+cycles.Cycles(100*len(app.ReqSyscalls)) {
+		t.Errorf("RequestCycles = %d", flat)
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	for s := ShapeCase1; s <= ShapeOpaque; s++ {
+		if s.String() == "?" {
+			t.Errorf("shape %d unnamed", s)
+		}
+	}
+}

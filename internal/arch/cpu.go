@@ -1,0 +1,315 @@
+package arch
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/mem"
+)
+
+// Canonical address-space layout constants (x86-64 Linux shapes, which
+// the paper's stack-pointer mode detection depends on: "the most
+// significant bit in the stack pointer indicates whether it is in guest
+// kernel mode or guest user mode", §4.2).
+const (
+	// UserTextBase is where application text segments are linked.
+	UserTextBase uint64 = 0x0000000000400000
+
+	// UserStackTop is the initial user RSP. Its MSB is clear.
+	UserStackTop uint64 = 0x00007ffffffff000
+
+	// KernelStackTop is the per-process kernel stack base inside the
+	// LibOS half of the address space. Its MSB is set.
+	KernelStackTop uint64 = 0xffff880000010000
+
+	// VsyscallBase is the fixed address of the vsyscall page holding
+	// the X-LibOS system call entry table (§4.4).
+	VsyscallBase uint64 = 0xffffffffff600000
+
+	// KernelSpaceStart is the beginning of the kernel half of the
+	// canonical address space.
+	KernelSpaceStart uint64 = 0x8000000000000000
+)
+
+// InKernelHalf reports whether addr lies in the kernel half of the
+// address space — the X-Kernel's stack-pointer mode test.
+func InKernelHalf(addr uint64) bool { return addr >= KernelSpaceStart }
+
+// Action tells the interpreter what to do after an environment callback.
+type Action uint8
+
+const (
+	// ActionContinue resumes at the (possibly updated) RIP.
+	ActionContinue Action = iota
+	// ActionBlock suspends the program (I/O wait); the scheduler
+	// resumes it later.
+	ActionBlock
+	// ActionExit terminates the program.
+	ActionExit
+)
+
+// Env is the execution environment a program runs under: some
+// combination of kernel, LibOS, and hypervisor. The container runtimes
+// in internal/runtimes provide implementations whose control flow —
+// and therefore cycle charges — differ exactly where the paper's
+// architectures differ.
+type Env interface {
+	// Syscall handles a raw syscall instruction. RIP has already been
+	// advanced past it; cpu.Regs[RAX] holds the number. The handler
+	// may patch text (ABOM), charge cycles, and set the return value
+	// in RAX.
+	Syscall(cpu *CPU) Action
+
+	// VsyscallCall handles a callq *abs32 into the vsyscall entry
+	// table. entry is the absolute target address. The return address
+	// has been pushed; the handler must arrange RIP (normally by
+	// returning through cpu.Ret()).
+	VsyscallCall(cpu *CPU, entry uint64) Action
+
+	// InvalidOpcode handles an invalid-opcode trap at cpu.RIP. It
+	// returns true if the fault was repaired (RIP fixed up) and
+	// execution should continue.
+	InvalidOpcode(cpu *CPU) bool
+}
+
+// Counters aggregates per-CPU event counts used by the evaluation
+// (Table 1's forwarded-vs-converted accounting and the microbenchmark
+// sanity checks).
+type Counters struct {
+	Instructions  uint64
+	RawSyscalls   uint64 // syscall instructions executed
+	VsyscallCalls uint64 // function-call syscalls through the entry table
+	InvalidTraps  uint64
+	WorkCycles    uint64
+}
+
+// CPU is the interpreter for one hardware thread executing one program.
+type CPU struct {
+	Regs [NumRegs]uint64
+	RIP  uint64
+
+	Text  *Text
+	Env   Env
+	Clock *cycles.Clock
+	Costs *cycles.CostTable
+
+	// Stack is word-granular stack memory, keyed by address. Both the
+	// user and kernel stacks live here; RSP selects between them and
+	// the MSB of RSP is the mode signal.
+	Stack map[uint64]uint64
+
+	// AS and TLB, when set, put instruction fetch behind address
+	// translation: crossing into a new text page walks the TLB,
+	// charges misses, and faults on unmapped pages — the end-to-end
+	// enforcement of the page tables the hypervisor validated.
+	AS            *mem.AddressSpace
+	TLB           *mem.TLB
+	lastFetchPage uint64
+
+	Counters Counters
+
+	Halted  bool
+	Blocked bool
+	Fault   error
+}
+
+// NewCPU prepares a CPU to run text under env with the given cost table.
+func NewCPU(text *Text, env Env, clk *cycles.Clock, costs *cycles.CostTable) *CPU {
+	c := &CPU{
+		Text:  text,
+		Env:   env,
+		Clock: clk,
+		Costs: costs,
+		Stack: make(map[uint64]uint64),
+	}
+	c.Reset()
+	return c
+}
+
+// Reset rewinds architectural state to program entry (the clock is not
+// reset; it belongs to the hosting pCPU).
+func (c *CPU) Reset() {
+	for i := range c.Regs {
+		c.Regs[i] = 0
+	}
+	c.Regs[RSP] = UserStackTop
+	c.RIP = c.Text.Base
+	c.lastFetchPage = ^uint64(0)
+	c.Halted = false
+	c.Blocked = false
+	c.Fault = nil
+	for k := range c.Stack {
+		delete(c.Stack, k)
+	}
+}
+
+// InGuestKernelMode applies the X-Kernel's mode test to the current RSP.
+func (c *CPU) InGuestKernelMode() bool { return InKernelHalf(c.Regs[RSP]) }
+
+// Push8 pushes one 64-bit word.
+func (c *CPU) Push8(v uint64) {
+	c.Regs[RSP] -= 8
+	c.Stack[c.Regs[RSP]] = v
+}
+
+// Pop8 pops one 64-bit word.
+func (c *CPU) Pop8() uint64 {
+	v := c.Stack[c.Regs[RSP]]
+	delete(c.Stack, c.Regs[RSP])
+	c.Regs[RSP] += 8
+	return v
+}
+
+// ReadStack reads the word at disp(%rsp) without popping.
+func (c *CPU) ReadStack(disp uint64) uint64 { return c.Stack[c.Regs[RSP]+disp] }
+
+// Ret pops the return address into RIP (the handler-side return used by
+// Env.VsyscallCall implementations).
+func (c *CPU) Ret() { c.RIP = c.Pop8() }
+
+// SwitchToKernelStack saves the user RSP on the kernel stack and
+// switches RSP there — the entry-stub behaviour §4.3 requires even with
+// lightweight system calls ("a switch from user stack to kernel stack
+// is necessary"). It returns the saved user RSP.
+func (c *CPU) SwitchToKernelStack() uint64 {
+	user := c.Regs[RSP]
+	c.Regs[RSP] = KernelStackTop
+	c.Push8(user)
+	return user
+}
+
+// SwitchToUserStack undoes SwitchToKernelStack.
+func (c *CPU) SwitchToUserStack() {
+	user := c.Pop8()
+	c.Regs[RSP] = user
+}
+
+// Step executes a single instruction. It returns false when the program
+// halted, blocked, or faulted.
+func (c *CPU) Step() bool {
+	if c.Halted || c.Blocked || c.Fault != nil {
+		return false
+	}
+	if c.TLB != nil && c.AS != nil {
+		if pg := c.RIP / PageSize; pg != c.lastFetchPage {
+			_, ok, miss := c.TLB.Lookup(c.AS, pg)
+			if !ok {
+				c.Fault = fmt.Errorf("cpu: instruction fetch from unmapped page %#x", c.RIP)
+				return false
+			}
+			if miss {
+				c.Clock.Advance(c.Costs.TLBMissWalk)
+			}
+			c.lastFetchPage = pg
+		}
+	}
+	raw := c.Text.Fetch(c.RIP, 8)
+	if raw == nil {
+		c.Fault = fmt.Errorf("cpu: instruction fetch outside text at %#x", c.RIP)
+		return false
+	}
+	ins := Decode(raw)
+	c.Counters.Instructions++
+	c.Clock.Advance(1) // base cost per instruction
+
+	switch ins.Op {
+	case OpNop:
+		c.RIP += uint64(ins.Len)
+	case OpHlt:
+		c.RIP += uint64(ins.Len)
+		c.Halted = true
+		return false
+	case OpWork:
+		c.RIP += uint64(ins.Len)
+		c.Clock.Advance(cycles.Cycles(ins.Imm))
+		c.Counters.WorkCycles += uint64(ins.Imm)
+	case OpMovR32Imm, OpMovR64Imm:
+		c.Regs[ins.Reg] = uint64(uint32(ins.Imm))
+		if ins.Op == OpMovR64Imm {
+			c.Regs[ins.Reg] = uint64(ins.Imm) // sign-extended by REX.W mov
+		}
+		c.RIP += uint64(ins.Len)
+	case OpMovRaxRsp8:
+		c.Regs[RAX] = c.ReadStack(uint64(ins.Imm))
+		c.RIP += uint64(ins.Len)
+	case OpMovRegReg:
+		c.Regs[ins.Reg] = c.Regs[ins.Reg2]
+		c.RIP += uint64(ins.Len)
+	case OpSyscall:
+		c.Counters.RawSyscalls++
+		c.RIP += uint64(ins.Len)
+		switch c.Env.Syscall(c) {
+		case ActionBlock:
+			c.Blocked = true
+			return false
+		case ActionExit:
+			c.Halted = true
+			return false
+		}
+	case OpCallAbs:
+		target := uint64(ins.Imm) // already sign-extended
+		c.Counters.VsyscallCalls++
+		c.Push8(c.RIP + uint64(ins.Len))
+		c.RIP = target
+		switch c.Env.VsyscallCall(c, target) {
+		case ActionBlock:
+			c.Blocked = true
+			return false
+		case ActionExit:
+			c.Halted = true
+			return false
+		}
+	case OpCallRel32:
+		c.Push8(c.RIP + uint64(ins.Len))
+		c.RIP = uint64(int64(c.RIP) + int64(ins.Len) + ins.Imm)
+	case OpRet:
+		c.RIP = c.Pop8()
+	case OpJmpRel8, OpJmpRel32:
+		c.RIP = uint64(int64(c.RIP) + int64(ins.Len) + ins.Imm)
+	case OpJnzRel8, OpJnzRel32:
+		c.RIP += uint64(ins.Len)
+		if c.Regs[RCX] != 0 {
+			c.RIP = uint64(int64(c.RIP) + ins.Imm)
+		}
+	case OpDecRcx:
+		c.Regs[RCX]--
+		c.RIP += uint64(ins.Len)
+	case OpPushImm32:
+		c.Push8(uint64(uint32(ins.Imm)))
+		c.RIP += uint64(ins.Len)
+	case OpPushRax:
+		c.Push8(c.Regs[RAX])
+		c.RIP += uint64(ins.Len)
+	case OpPopRax:
+		c.Regs[RAX] = c.Pop8()
+		c.RIP += uint64(ins.Len)
+	case OpPushRdi:
+		c.Push8(c.Regs[RDI])
+		c.RIP += uint64(ins.Len)
+	case OpPopRdi:
+		c.Regs[RDI] = c.Pop8()
+		c.RIP += uint64(ins.Len)
+	case OpInvalid:
+		c.Counters.InvalidTraps++
+		if c.Env != nil && c.Env.InvalidOpcode(c) {
+			return true // RIP repaired by the trap handler
+		}
+		c.Fault = fmt.Errorf("cpu: invalid opcode %#02x at %#x", raw[0], c.RIP)
+		return false
+	default:
+		c.Fault = fmt.Errorf("cpu: unimplemented op %v at %#x", ins.Op, c.RIP)
+		return false
+	}
+	return true
+}
+
+// Run executes until halt, block, fault, or maxInstr instructions.
+func (c *CPU) Run(maxInstr uint64) error {
+	start := c.Counters.Instructions
+	for c.Step() {
+		if c.Counters.Instructions-start >= maxInstr {
+			return fmt.Errorf("cpu: instruction budget %d exhausted at %#x", maxInstr, c.RIP)
+		}
+	}
+	return c.Fault
+}

@@ -1,0 +1,183 @@
+package arch
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// nullEnv terminates on any trap — for programs that use none.
+type nullEnv struct{ syscalls int }
+
+func (e *nullEnv) Syscall(cpu *CPU) Action {
+	e.syscalls++
+	cpu.Regs[RAX] = 7 // visible return value
+	return ActionContinue
+}
+func (e *nullEnv) VsyscallCall(cpu *CPU, entry uint64) Action {
+	cpu.Ret()
+	return ActionContinue
+}
+func (e *nullEnv) InvalidOpcode(cpu *CPU) bool { return false }
+
+func run(t *testing.T, text *Text, env Env) *CPU {
+	t.Helper()
+	clk := &cycles.Clock{}
+	cpu := NewCPU(text, env, clk, &cycles.Default)
+	if err := cpu.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu
+}
+
+func TestCPULoop(t *testing.T) {
+	text := NewAssembler(UserTextBase).
+		Loop(10, func(a *Assembler) { a.Nop() }).
+		Hlt().MustAssemble()
+	cpu := run(t, text, &nullEnv{})
+	if !cpu.Halted {
+		t.Fatal("program did not halt")
+	}
+	// mov rcx + 10×(nop, dec, jnz) + hlt
+	if want := uint64(1 + 30 + 1); cpu.Counters.Instructions != want {
+		t.Errorf("instructions = %d, want %d", cpu.Counters.Instructions, want)
+	}
+}
+
+func TestCPUWorkCharging(t *testing.T) {
+	text := NewAssembler(UserTextBase).Work(5000).Hlt().MustAssemble()
+	clk := &cycles.Clock{}
+	cpu := NewCPU(text, &nullEnv{}, clk, &cycles.Default)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() < 5000 {
+		t.Errorf("work cycles not charged: clock = %d", clk.Now())
+	}
+	if cpu.Counters.WorkCycles != 5000 {
+		t.Errorf("WorkCycles = %d, want 5000", cpu.Counters.WorkCycles)
+	}
+}
+
+func TestCPUCallRet(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Call("fn")
+	a.Hlt()
+	a.Label("fn")
+	a.MovR32(RAX, 99)
+	a.Ret()
+	cpu := run(t, a.MustAssemble(), &nullEnv{})
+	if cpu.Regs[RAX] != 99 {
+		t.Errorf("rax = %d, want 99", cpu.Regs[RAX])
+	}
+	if cpu.Regs[RSP] != UserStackTop {
+		t.Errorf("rsp = %#x, want balanced stack %#x", cpu.Regs[RSP], UserStackTop)
+	}
+}
+
+func TestCPUPushPopStack(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.PushImm(41).PopRax().Hlt()
+	cpu := run(t, a.MustAssemble(), &nullEnv{})
+	if cpu.Regs[RAX] != 41 {
+		t.Errorf("rax = %d, want 41", cpu.Regs[RAX])
+	}
+}
+
+func TestCPUMovRspDisp(t *testing.T) {
+	// Model of the Go syscall.Syscall shape: the caller pushes the
+	// number, calls the stub, and the stub loads 0x8(%rsp).
+	a := NewAssembler(UserTextBase)
+	a.PushImm(39) // getpid
+	a.Call("stub")
+	a.Hlt()
+	a.Label("stub")
+	a.MovRaxRsp8(8)
+	a.Ret()
+	cpu := run(t, a.MustAssemble(), &nullEnv{})
+	if cpu.Regs[RAX] != 39 {
+		t.Errorf("rax = %d, want 39 (stack argument)", cpu.Regs[RAX])
+	}
+}
+
+func TestCPUSyscallDispatch(t *testing.T) {
+	env := &nullEnv{}
+	text := NewAssembler(UserTextBase).SyscallN(39).Hlt().MustAssemble()
+	cpu := run(t, text, env)
+	if env.syscalls != 1 {
+		t.Fatalf("syscalls = %d, want 1", env.syscalls)
+	}
+	if cpu.Regs[RAX] != 7 {
+		t.Errorf("syscall return not visible: rax = %d", cpu.Regs[RAX])
+	}
+	if cpu.Counters.RawSyscalls != 1 {
+		t.Errorf("RawSyscalls = %d, want 1", cpu.Counters.RawSyscalls)
+	}
+}
+
+func TestModeDetectionViaStackPointer(t *testing.T) {
+	text := NewAssembler(UserTextBase).Hlt().MustAssemble()
+	cpu := NewCPU(text, &nullEnv{}, &cycles.Clock{}, &cycles.Default)
+	if cpu.InGuestKernelMode() {
+		t.Fatal("fresh process must start in guest user mode")
+	}
+	user := cpu.SwitchToKernelStack()
+	if !cpu.InGuestKernelMode() {
+		t.Fatal("kernel stack must classify as guest kernel mode")
+	}
+	if user != UserStackTop {
+		t.Fatalf("saved user rsp = %#x, want %#x", user, UserStackTop)
+	}
+	cpu.SwitchToUserStack()
+	if cpu.InGuestKernelMode() {
+		t.Fatal("after returning, must be back in guest user mode")
+	}
+	if cpu.Regs[RSP] != UserStackTop {
+		t.Fatalf("rsp = %#x, want restored %#x", cpu.Regs[RSP], UserStackTop)
+	}
+}
+
+func TestCPUInvalidOpcodeFaults(t *testing.T) {
+	text := NewText(UserTextBase, []byte{0x60, 0xff})
+	cpu := NewCPU(text, &nullEnv{}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(10); err == nil {
+		t.Fatal("invalid opcode with no fixup must fault")
+	}
+	if cpu.Counters.InvalidTraps != 1 {
+		t.Errorf("InvalidTraps = %d, want 1", cpu.Counters.InvalidTraps)
+	}
+}
+
+func TestCPUFetchOutsideTextFaults(t *testing.T) {
+	// A ret with a garbage return address must fault, not spin.
+	text := NewAssembler(UserTextBase).Ret().MustAssemble()
+	cpu := NewCPU(text, &nullEnv{}, &cycles.Clock{}, &cycles.Default)
+	cpu.Push8(0xdead0000)
+	if err := cpu.Run(10); err == nil {
+		t.Fatal("fetch outside text must fault")
+	}
+}
+
+func TestCPUReset(t *testing.T) {
+	text := NewAssembler(UserTextBase).PushImm(1).SyscallN(39).Hlt().MustAssemble()
+	cpu := NewCPU(text, &nullEnv{}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Reset()
+	if cpu.Halted || cpu.RIP != text.Base || cpu.Regs[RSP] != UserStackTop || len(cpu.Stack) != 0 {
+		t.Fatal("Reset did not restore entry state")
+	}
+	if err := cpu.Run(100); err != nil {
+		t.Fatalf("rerun after reset: %v", err)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Label("spin").Jmp("spin")
+	cpu := NewCPU(a.MustAssemble(), &nullEnv{}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(100); err == nil {
+		t.Fatal("infinite loop must exhaust the budget")
+	}
+}

@@ -1,0 +1,90 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// chaosEnv absorbs every trap so random programs can keep running.
+type chaosEnv struct{}
+
+func (chaosEnv) Syscall(cpu *CPU) Action { return ActionContinue }
+func (chaosEnv) VsyscallCall(cpu *CPU, entry uint64) Action {
+	cpu.Ret()
+	return ActionContinue
+}
+func (chaosEnv) InvalidOpcode(cpu *CPU) bool { return false }
+
+// TestInterpreterRandomBytesNeverPanic feeds the interpreter raw random
+// byte blobs: execution may fault or exhaust its budget, but must never
+// panic, hang, or consume unbounded memory.
+func TestInterpreterRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		blob := make([]byte, 16+rng.Intn(256))
+		rng.Read(blob)
+		text := NewText(UserTextBase, blob)
+		cpu := NewCPU(text, chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+		_ = cpu.Run(10_000) // fault or budget exhaustion both fine
+	}
+}
+
+// TestInterpreterRandomValidProgramsTerminate builds random programs
+// from valid instructions (no backward jumps), which therefore must
+// halt or fault — never exhaust a generous budget.
+func TestInterpreterRandomValidProgramsTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		a := NewAssembler(UserTextBase)
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			switch rng.Intn(8) {
+			case 0:
+				a.Nop()
+			case 1:
+				a.MovR32(rng.Intn(8), rng.Uint32()%1000)
+			case 2:
+				a.MovR64(RAX, rng.Uint32()%1000)
+			case 3:
+				a.PushImm(rng.Uint32() % 100)
+				a.PopRax()
+			case 4:
+				a.Work(rng.Uint32() % 100)
+			case 5:
+				a.SyscallN(rng.Uint32() % 300)
+			case 6:
+				a.PushRdi()
+				a.PopRdi()
+			case 7:
+				a.MovRegReg(RDI, RAX)
+			}
+		}
+		a.Hlt()
+		cpu := NewCPU(a.MustAssemble(), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+		if err := cpu.Run(1_000_000); err != nil {
+			t.Fatalf("trial %d: straight-line program failed: %v", trial, err)
+		}
+		if !cpu.Halted {
+			t.Fatalf("trial %d: did not halt", trial)
+		}
+	}
+}
+
+// TestDecodeLengthInvariantQuick: decode never claims more bytes than
+// it was given, and always at least one.
+func TestDecodeLengthInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(8)
+		b := make([]byte, n)
+		rng.Read(b)
+		ins := Decode(b)
+		if ins.Len < 1 {
+			t.Fatalf("Decode(% x).Len = %d", b, ins.Len)
+		}
+		if ins.Op != OpInvalid && ins.Len > n {
+			t.Fatalf("Decode(% x) claims %d bytes of %d", b, ins.Len, n)
+		}
+	}
+}

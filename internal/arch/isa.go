@@ -1,0 +1,330 @@
+// Package arch implements the synthetic x86-64 subset the simulation
+// executes.
+//
+// The instruction encodings are byte-exact for every pattern the paper's
+// Automatic Binary Optimization Module (ABOM, §4.4 and Fig. 2) depends
+// on:
+//
+//	mov $imm32,%eax        b8 imm32                (5 bytes)
+//	mov $imm32,%r64        48 c7 /0 imm32          (7 bytes)
+//	mov 0x8(%rsp),%rax     48 8b 44 24 08          (5 bytes)
+//	syscall                0f 05                   (2 bytes)
+//	callq *abs32           ff 14 25 imm32          (7 bytes)
+//	jmp rel8               eb rel8                 (2 bytes)
+//
+// The callq target immediate is sign-extended, so a call into the
+// vsyscall page at 0xffffffffff600000+off encodes as "ff 14 25 xx xx 60
+// ff" — its last two bytes are always 0x60 0xff, and 0x60 is an invalid
+// opcode in 64-bit mode. Both facts are load-bearing for ABOM's
+// jump-into-middle repair and are preserved here exactly.
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op identifies a decoded instruction.
+type Op uint8
+
+// Instruction opcodes. The set is intentionally small: just enough to
+// express system-call wrappers in the shapes real libc/Go/libpthread
+// binaries use, plus loops, calls and a calibrated "work" instruction
+// for application compute.
+const (
+	OpInvalid    Op = iota
+	OpNop           // 90
+	OpRet           // c3
+	OpHlt           // f4
+	OpSyscall       // 0f 05
+	OpWork          // 0f 1f 80 imm32  (multi-byte NOP; consumes imm32 cycles)
+	OpMovR32Imm     // b8+r imm32     (zero-extends into r64)
+	OpMovR64Imm     // 48 c7 c0+r imm32
+	OpMovRaxRsp8    // 48 8b 44 24 disp8  (mov disp8(%rsp),%rax)
+	OpCallAbs       // ff 14 25 imm32 (callq *imm32, imm sign-extended)
+	OpCallRel32     // e8 rel32
+	OpJmpRel8       // eb rel8
+	OpJmpRel32      // e9 rel32
+	OpJnzRel8       // 75 rel8 (tests RCX after DEC; see OpDecRcx)
+	OpJnzRel32      // 0f 85 rel32
+	OpDecRcx        // 48 ff c9
+	OpPushImm32     // 68 imm32
+	OpPushRax       // 50
+	OpPopRax        // 58
+	OpPushRdi       // 57
+	OpPopRdi        // 5f
+	OpMovRegReg     // 48 89 /r (mod=11): mov %rsrc,%rdst
+)
+
+var opNames = map[Op]string{
+	OpInvalid:    "(invalid)",
+	OpNop:        "nop",
+	OpRet:        "ret",
+	OpHlt:        "hlt",
+	OpSyscall:    "syscall",
+	OpWork:       "work",
+	OpMovR32Imm:  "mov r32,imm32",
+	OpMovR64Imm:  "mov r64,imm32",
+	OpMovRaxRsp8: "mov disp8(%rsp),%rax",
+	OpCallAbs:    "callq *abs32",
+	OpCallRel32:  "call rel32",
+	OpJmpRel8:    "jmp rel8",
+	OpJmpRel32:   "jmp rel32",
+	OpJnzRel8:    "jnz rel8",
+	OpJnzRel32:   "jnz rel32",
+	OpDecRcx:     "dec %rcx",
+	OpPushImm32:  "push imm32",
+	OpPushRax:    "push %rax",
+	OpPopRax:     "pop %rax",
+	OpPushRdi:    "push %rdi",
+	OpPopRdi:     "pop %rdi",
+	OpMovRegReg:  "mov %r,%r",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Register indices follow x86 ModRM numbering so that encodings like
+// "48 c7 c0+reg" decode directly.
+const (
+	RAX     = 0
+	RCX     = 1
+	RDX     = 2
+	RBX     = 3
+	RSP     = 4
+	RBP     = 5
+	RSI     = 6
+	RDI     = 7
+	NumRegs = 16
+)
+
+var regNames = [NumRegs]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// RegName returns the conventional name of register r.
+func RegName(r int) string {
+	if r >= 0 && r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", r)
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op   Op
+	Len  int   // encoded length in bytes
+	Reg  int   // destination register operand, where applicable
+	Reg2 int   // source register operand (OpMovRegReg)
+	Imm  int64 // immediate / displacement, sign-extended where the ISA does
+}
+
+// Decode decodes the instruction starting at b[0]. It returns an Instr
+// with Op == OpInvalid (and Len == 1) for any byte sequence that is not
+// a valid instruction of the subset — including 0x60, which is what a
+// jump into the middle of an ABOM-patched call lands on.
+func Decode(b []byte) Instr {
+	if len(b) == 0 {
+		return Instr{Op: OpInvalid, Len: 1}
+	}
+	switch b[0] {
+	case 0x90:
+		return Instr{Op: OpNop, Len: 1}
+	case 0xc3:
+		return Instr{Op: OpRet, Len: 1}
+	case 0xf4:
+		return Instr{Op: OpHlt, Len: 1}
+	case 0x50:
+		return Instr{Op: OpPushRax, Len: 1}
+	case 0x58:
+		return Instr{Op: OpPopRax, Len: 1}
+	case 0x57:
+		return Instr{Op: OpPushRdi, Len: 1}
+	case 0x5f:
+		return Instr{Op: OpPopRdi, Len: 1}
+	case 0x68:
+		if len(b) < 5 {
+			break
+		}
+		return Instr{Op: OpPushImm32, Len: 5, Imm: int64(int32(binary.LittleEndian.Uint32(b[1:])))}
+	case 0x0f:
+		if len(b) < 2 {
+			break
+		}
+		switch b[1] {
+		case 0x05:
+			return Instr{Op: OpSyscall, Len: 2}
+		case 0x1f:
+			// 0f 1f 80 imm32: nopl imm32(%rax) — our WORK instruction.
+			if len(b) >= 7 && b[2] == 0x80 {
+				return Instr{Op: OpWork, Len: 7, Imm: int64(binary.LittleEndian.Uint32(b[3:]))}
+			}
+		case 0x85:
+			if len(b) >= 6 {
+				return Instr{Op: OpJnzRel32, Len: 6, Imm: int64(int32(binary.LittleEndian.Uint32(b[2:])))}
+			}
+		}
+	case 0xe8:
+		if len(b) < 5 {
+			break
+		}
+		return Instr{Op: OpCallRel32, Len: 5, Imm: int64(int32(binary.LittleEndian.Uint32(b[1:])))}
+	case 0xe9:
+		if len(b) < 5 {
+			break
+		}
+		return Instr{Op: OpJmpRel32, Len: 5, Imm: int64(int32(binary.LittleEndian.Uint32(b[1:])))}
+	case 0xeb:
+		if len(b) < 2 {
+			break
+		}
+		return Instr{Op: OpJmpRel8, Len: 2, Imm: int64(int8(b[1]))}
+	case 0x75:
+		if len(b) < 2 {
+			break
+		}
+		return Instr{Op: OpJnzRel8, Len: 2, Imm: int64(int8(b[1]))}
+	case 0xff:
+		if len(b) >= 7 && b[1] == 0x14 && b[2] == 0x25 {
+			// callq *imm32 — the immediate is sign-extended to 64 bits.
+			return Instr{Op: OpCallAbs, Len: 7, Imm: int64(int32(binary.LittleEndian.Uint32(b[3:])))}
+		}
+	case 0x48:
+		if len(b) < 3 {
+			break
+		}
+		switch {
+		case b[1] == 0xc7 && b[2] >= 0xc0 && b[2] <= 0xc7:
+			if len(b) < 7 {
+				break
+			}
+			return Instr{
+				Op: OpMovR64Imm, Len: 7, Reg: int(b[2] & 7),
+				Imm: int64(int32(binary.LittleEndian.Uint32(b[3:]))),
+			}
+		case b[1] == 0xff && b[2] == 0xc9:
+			return Instr{Op: OpDecRcx, Len: 3}
+		case b[1] == 0x89 && b[2] >= 0xc0:
+			// mov %rsrc,%rdst with ModRM mod=11: src in reg field,
+			// dst in r/m field.
+			return Instr{Op: OpMovRegReg, Len: 3, Reg: int(b[2] & 7), Reg2: int(b[2]>>3) & 7}
+		case b[1] == 0x8b && len(b) >= 5 && b[2] == 0x44 && b[3] == 0x24:
+			return Instr{Op: OpMovRaxRsp8, Len: 5, Imm: int64(b[4])}
+		}
+	default:
+		if b[0] >= 0xb8 && b[0] <= 0xbf {
+			if len(b) < 5 {
+				break
+			}
+			return Instr{
+				Op: OpMovR32Imm, Len: 5, Reg: int(b[0] - 0xb8),
+				Imm: int64(binary.LittleEndian.Uint32(b[1:])),
+			}
+		}
+	}
+	return Instr{Op: OpInvalid, Len: 1}
+}
+
+// Encoding helpers. Each returns the full byte sequence for one
+// instruction; the assembler composes them.
+
+// EncNop encodes a one-byte nop.
+func EncNop() []byte { return []byte{0x90} }
+
+// EncRet encodes ret.
+func EncRet() []byte { return []byte{0xc3} }
+
+// EncHlt encodes hlt (program exit in this simulation).
+func EncHlt() []byte { return []byte{0xf4} }
+
+// EncSyscall encodes the two-byte syscall instruction.
+func EncSyscall() []byte { return []byte{0x0f, 0x05} }
+
+// EncWork encodes the 7-byte work instruction consuming c cycles.
+func EncWork(c uint32) []byte {
+	b := []byte{0x0f, 0x1f, 0x80, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[3:], c)
+	return b
+}
+
+// EncMovR32Imm encodes the 5-byte "mov $imm32,%e__" form.
+func EncMovR32Imm(reg int, imm uint32) []byte {
+	b := []byte{0xb8 + byte(reg&7), 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[1:], imm)
+	return b
+}
+
+// EncMovR64Imm encodes the 7-byte "mov $imm32,%r__" (REX.W) form.
+func EncMovR64Imm(reg int, imm uint32) []byte {
+	b := []byte{0x48, 0xc7, 0xc0 + byte(reg&7), 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[3:], imm)
+	return b
+}
+
+// EncMovRaxRsp8 encodes "mov disp8(%rsp),%rax".
+func EncMovRaxRsp8(disp uint8) []byte {
+	return []byte{0x48, 0x8b, 0x44, 0x24, disp}
+}
+
+// EncCallAbs encodes the 7-byte "callq *abs32" with a sign-extendable
+// absolute address (the vsyscall page lives at 0xffffffffff600000, whose
+// low 32 bits 0xff600000+off sign-extend back to it).
+func EncCallAbs(addr uint32) []byte {
+	b := []byte{0xff, 0x14, 0x25, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[3:], addr)
+	return b
+}
+
+// EncCallRel32 encodes a relative call; rel is measured from the end of
+// the instruction.
+func EncCallRel32(rel int32) []byte {
+	b := []byte{0xe8, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[1:], uint32(rel))
+	return b
+}
+
+// EncJmpRel8 encodes a short jump.
+func EncJmpRel8(rel int8) []byte { return []byte{0xeb, byte(rel)} }
+
+// EncJmpRel32 encodes a near jump.
+func EncJmpRel32(rel int32) []byte {
+	b := []byte{0xe9, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[1:], uint32(rel))
+	return b
+}
+
+// EncJnzRel8 encodes jnz rel8.
+func EncJnzRel8(rel int8) []byte { return []byte{0x75, byte(rel)} }
+
+// EncJnzRel32 encodes jnz rel32 (0f 85 cd).
+func EncJnzRel32(rel int32) []byte {
+	b := []byte{0x0f, 0x85, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[2:], uint32(rel))
+	return b
+}
+
+// EncDecRcx encodes dec %rcx.
+func EncDecRcx() []byte { return []byte{0x48, 0xff, 0xc9} }
+
+// EncPushImm32 encodes push imm32.
+func EncPushImm32(imm uint32) []byte {
+	b := []byte{0x68, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[1:], imm)
+	return b
+}
+
+// EncMovRegReg encodes "mov %rsrc,%rdst" (REX.W 89 /r, mod=11).
+func EncMovRegReg(dst, src int) []byte {
+	return []byte{0x48, 0x89, 0xc0 | byte(src&7)<<3 | byte(dst&7)}
+}
+
+// EncPushRax encodes push %rax.
+func EncPushRax() []byte { return []byte{0x50} }
+
+// EncPopRax encodes pop %rax.
+func EncPopRax() []byte { return []byte{0x58} }

@@ -1,0 +1,183 @@
+package arch
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		enc  []byte
+		want Instr
+	}{
+		{"nop", EncNop(), Instr{Op: OpNop, Len: 1}},
+		{"ret", EncRet(), Instr{Op: OpRet, Len: 1}},
+		{"hlt", EncHlt(), Instr{Op: OpHlt, Len: 1}},
+		{"syscall", EncSyscall(), Instr{Op: OpSyscall, Len: 2}},
+		{"work", EncWork(1234), Instr{Op: OpWork, Len: 7, Imm: 1234}},
+		{"mov eax", EncMovR32Imm(RAX, 42), Instr{Op: OpMovR32Imm, Len: 5, Reg: RAX, Imm: 42}},
+		{"mov edi", EncMovR32Imm(RDI, 7), Instr{Op: OpMovR32Imm, Len: 5, Reg: RDI, Imm: 7}},
+		{"mov rax", EncMovR64Imm(RAX, 15), Instr{Op: OpMovR64Imm, Len: 7, Reg: RAX, Imm: 15}},
+		{"mov rcx", EncMovR64Imm(RCX, 9), Instr{Op: OpMovR64Imm, Len: 7, Reg: RCX, Imm: 9}},
+		{"mov rsp8", EncMovRaxRsp8(8), Instr{Op: OpMovRaxRsp8, Len: 5, Imm: 8}},
+		{"call abs", EncCallAbs(0xff600008), Instr{Op: OpCallAbs, Len: 7, Imm: -10485752}},
+		{"call rel", EncCallRel32(-20), Instr{Op: OpCallRel32, Len: 5, Imm: -20}},
+		{"jmp rel8", EncJmpRel8(-9), Instr{Op: OpJmpRel8, Len: 2, Imm: -9}},
+		{"jmp rel32", EncJmpRel32(100), Instr{Op: OpJmpRel32, Len: 5, Imm: 100}},
+		{"jnz", EncJnzRel8(5), Instr{Op: OpJnzRel8, Len: 2, Imm: 5}},
+		{"dec rcx", EncDecRcx(), Instr{Op: OpDecRcx, Len: 3}},
+		{"push imm", EncPushImm32(3), Instr{Op: OpPushImm32, Len: 5, Imm: 3}},
+		{"push rax", EncPushRax(), Instr{Op: OpPushRax, Len: 1}},
+		{"pop rax", EncPopRax(), Instr{Op: OpPopRax, Len: 1}},
+	}
+	for _, c := range cases {
+		got := Decode(c.enc)
+		if got != c.want {
+			t.Errorf("%s: Decode(% x) = %+v, want %+v", c.name, c.enc, got, c.want)
+		}
+		if got.Len != len(c.enc) {
+			t.Errorf("%s: decoded length %d != encoded length %d", c.name, got.Len, len(c.enc))
+		}
+	}
+}
+
+func TestCallAbsSignExtension(t *testing.T) {
+	// The vsyscall page address must survive the imm32 round trip via
+	// sign extension — the property that makes the 7-byte replacement
+	// possible at all.
+	enc := EncCallAbs(0xff600008)
+	ins := Decode(enc)
+	if uint64(ins.Imm) != 0xffffffffff600008 {
+		t.Fatalf("sign-extended target = %#x, want 0xffffffffff600008", uint64(ins.Imm))
+	}
+	// And its last two bytes are the invalid-opcode signature 0x60 0xff.
+	if enc[5] != 0x60 || enc[6] != 0xff {
+		t.Fatalf("callq tail bytes = %#02x %#02x, want 0x60 0xff", enc[5], enc[6])
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, b := range [][]byte{
+		{0x60},       // pusha: invalid in 64-bit mode (the ABOM trap byte)
+		{0x61},       // popa
+		{0x06},       // push es
+		{},           // empty
+		{0x0f},       // truncated two-byte opcode
+		{0xb8, 1, 2}, // truncated imm32
+	} {
+		if ins := Decode(b); ins.Op != OpInvalid {
+			t.Errorf("Decode(% x) = %v, want invalid", b, ins.Op)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		ins := Decode(b)
+		return ins.Len >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssemblerLabels(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Label("start")
+	a.MovR64(RCX, 3)
+	a.Label("loop")
+	a.Nop()
+	a.DecRcx()
+	a.Jnz("loop")
+	a.Jmp("end")
+	a.Hlt() // skipped
+	a.Label("end")
+	a.Hlt()
+	text, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the jnz points back at "loop".
+	code := text.Bytes()
+	// layout: mov(7) nop(1) dec(3) jnz(2) jmp(5) hlt(1) hlt(1)
+	jnzOff := 7 + 1 + 3
+	rel := int8(code[jnzOff+1])
+	if got := jnzOff + 2 + int(rel); got != 7 {
+		t.Errorf("jnz target offset = %d, want 7", got)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	if _, err := NewAssembler(0).Jmp("nowhere").Assemble(); err == nil {
+		t.Error("undefined label should fail")
+	}
+	a := NewAssembler(0)
+	a.Label("x")
+	a.Label("x")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+	// rel8 out of range
+	a = NewAssembler(0)
+	a.Jnz("far")
+	for i := 0; i < 200; i++ {
+		a.Nop()
+	}
+	a.Label("far")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("rel8 overflow should fail")
+	}
+}
+
+func TestTextWriteProtection(t *testing.T) {
+	text := NewText(UserTextBase, bytes.Repeat([]byte{0x90}, 16))
+	if err := text.Write(UserTextBase, []byte{0xc3}); err == nil {
+		t.Fatal("write to protected text should fail")
+	}
+	ok, err := text.ForceWrite8(UserTextBase, []byte{0x90}, []byte{0xc3})
+	if err != nil || !ok {
+		t.Fatalf("ForceWrite8 = %v, %v; want true, nil", ok, err)
+	}
+	if text.Bytes()[0] != 0xc3 {
+		t.Fatal("ForceWrite8 did not apply")
+	}
+}
+
+func TestTextCmpxchgSemantics(t *testing.T) {
+	text := NewText(0, bytes.Repeat([]byte{0x90}, 16))
+	// Mismatched expected bytes: must fail without modifying.
+	ok, err := text.ForceWrite8(0, []byte{0xc3}, []byte{0xf4})
+	if err != nil || ok {
+		t.Fatalf("cmpxchg with wrong old bytes = %v, %v; want false, nil", ok, err)
+	}
+	if text.Bytes()[0] != 0x90 {
+		t.Fatal("failed cmpxchg must not modify")
+	}
+	// Over-long swap rejected.
+	if _, err := text.ForceWrite8(0, make([]byte, 9), make([]byte, 9)); err == nil {
+		t.Fatal("9-byte cmpxchg must be rejected")
+	}
+	// Length mismatch rejected.
+	if _, err := text.ForceWrite8(0, make([]byte, 2), make([]byte, 3)); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	// Out of range rejected.
+	if _, err := text.ForceWrite8(100, []byte{0}, []byte{1}); err == nil {
+		t.Fatal("out-of-range cmpxchg must be rejected")
+	}
+}
+
+func TestTextDirtyHook(t *testing.T) {
+	text := NewText(0, bytes.Repeat([]byte{0x90}, PageSize*2))
+	var dirty []uint64
+	text.DirtyHook = func(pg uint64) { dirty = append(dirty, pg) }
+	if _, err := text.ForceWrite8(PageSize-2, []byte{0x90, 0x90, 0x90, 0x90}, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// The write straddles pages 0 and 1; both must be marked dirty.
+	if len(dirty) != 2 || dirty[0] != 0 || dirty[1] != 1 {
+		t.Fatalf("dirty pages = %v, want [0 1]", dirty)
+	}
+}

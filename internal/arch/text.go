@@ -1,0 +1,141 @@
+package arch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the simulated page size, matching x86-64.
+const PageSize = 4096
+
+// Text is an executable text segment: a contiguous byte range mapped at
+// a base virtual address. In real deployments text pages are mapped
+// read-only; ABOM patches them from kernel mode after clearing CR0.WP,
+// which this type models with ForceWrite8. All mutation goes through
+// compare-and-swap of at most eight bytes, mirroring the paper's cmpxchg
+// restriction, and is serialized so that concurrent readers (other
+// vCPUs) observe only complete before/after states of each swap.
+type Text struct {
+	Base uint64
+
+	mu    sync.RWMutex
+	bytes []byte
+
+	// WriteProtected models the page-table read-only bit on text pages.
+	// Ordinary stores fault; only the kernel's ForceWrite8 (CR0.WP
+	// cleared) may mutate.
+	WriteProtected bool
+
+	// DirtyHook, if set, is invoked with the page index of every page
+	// modified by ForceWrite8 — the mechanism by which the page-table
+	// dirty bit becomes visible to X-LibOS (§4.4: "the page table dirty
+	// bit will be set for read-only pages").
+	DirtyHook func(page uint64)
+}
+
+// NewText maps code at the given base address, write-protected.
+func NewText(base uint64, code []byte) *Text {
+	c := make([]byte, len(code))
+	copy(c, code)
+	return &Text{Base: base, bytes: c, WriteProtected: true}
+}
+
+// Size returns the segment length in bytes.
+func (t *Text) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.bytes)
+}
+
+// End returns the first address past the segment.
+func (t *Text) End() uint64 { return t.Base + uint64(t.Size()) }
+
+// Contains reports whether addr falls inside the segment.
+func (t *Text) Contains(addr uint64) bool {
+	return addr >= t.Base && addr < t.End()
+}
+
+// Fetch copies up to n bytes starting at addr into a fresh slice. It is
+// the instruction-fetch path; short reads at the end of the segment
+// return fewer bytes.
+func (t *Text) Fetch(addr uint64, n int) []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if addr < t.Base || addr >= t.Base+uint64(len(t.bytes)) {
+		return nil
+	}
+	off := int(addr - t.Base)
+	if off+n > len(t.bytes) {
+		n = len(t.bytes) - off
+	}
+	out := make([]byte, n)
+	copy(out, t.bytes[off:off+n])
+	return out
+}
+
+// Bytes returns a copy of the whole segment (for offline tooling and
+// tests).
+func (t *Text) Bytes() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]byte, len(t.bytes))
+	copy(out, t.bytes)
+	return out
+}
+
+// Write stores bytes via the ordinary (user-mode) store path. It fails
+// if the segment is write-protected, as a read-only page mapping would.
+func (t *Text) Write(addr uint64, p []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.WriteProtected {
+		return fmt.Errorf("text: write to protected page at %#x", addr)
+	}
+	return t.storeLocked(addr, p)
+}
+
+// ForceWrite8 performs one atomic compare-and-swap of len(old) bytes
+// (at most eight), bypassing write protection — the kernel-mode path
+// with CR0.WP cleared and interrupts disabled. It returns false without
+// modifying anything if the current bytes do not equal old. This is the
+// only mutation primitive ABOM uses, so any patch longer than eight
+// bytes is forced into multiple swaps with valid intermediate states,
+// exactly as §4.4 requires.
+func (t *Text) ForceWrite8(addr uint64, old, new []byte) (bool, error) {
+	if len(old) != len(new) {
+		return false, fmt.Errorf("text: cmpxchg old/new length mismatch %d != %d", len(old), len(new))
+	}
+	if len(old) > 8 {
+		return false, fmt.Errorf("text: cmpxchg of %d bytes exceeds 8-byte limit", len(old))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr < t.Base || addr+uint64(len(old)) > t.Base+uint64(len(t.bytes)) {
+		return false, fmt.Errorf("text: cmpxchg out of range at %#x", addr)
+	}
+	off := int(addr - t.Base)
+	for i := range old {
+		if t.bytes[off+i] != old[i] {
+			return false, nil
+		}
+	}
+	if err := t.storeLocked(addr, new); err != nil {
+		return false, err
+	}
+	if t.DirtyHook != nil {
+		first := uint64(off) / PageSize
+		last := uint64(off+len(new)-1) / PageSize
+		for pg := first; pg <= last; pg++ {
+			t.DirtyHook(pg)
+		}
+	}
+	return true, nil
+}
+
+func (t *Text) storeLocked(addr uint64, p []byte) error {
+	if addr < t.Base || addr+uint64(len(p)) > t.Base+uint64(len(t.bytes)) {
+		return fmt.Errorf("text: store out of range at %#x", addr)
+	}
+	copy(t.bytes[addr-t.Base:], p)
+	return nil
+}

@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/runtimes"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"breakdown", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "spawn", "surface", "table1"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+	}
+	if _, ok := Lookup("fig8"); !ok {
+		t.Error("Lookup(fig8) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) must fail")
+	}
+}
+
+// parseCell extracts the leading float of a table cell.
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	f := strings.Fields(cell)
+	if len(f) == 0 {
+		t.Fatalf("empty cell")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(f[0], "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// The paper's Table 1, verbatim.
+	want := map[string]float64{
+		"memcached": 100, "Redis": 100, "etcd": 100, "MongoDB": 100,
+		"InfluxDB": 100, "Postgres": 99.8, "Fluentd": 99.4,
+		"Elasticsearch": 98.8, "RabbitMQ": 98.6,
+		"Kernel Compilation": 95.3, "Nginx": 92.3, "MySQL": 44.6,
+	}
+	rep, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		name, cell := row[0], row[3]
+		got := parseCell(t, cell)
+		exp := want[name]
+		if got < exp-0.15 || got > exp+0.15 {
+			t.Errorf("%s: reduction %.1f%%, paper %.1f%%", name, got, exp)
+		}
+	}
+	// MySQL's manual number appears in its cell.
+	for _, row := range rows {
+		if row[0] == "MySQL" && !strings.Contains(row[3], "92.2%") {
+			t.Errorf("MySQL cell %q missing the 92.2%% manual result", row[3])
+		}
+	}
+}
+
+func TestMeasureABOMOfflineImprovesMySQL(t *testing.T) {
+	app := apps.MySQL()
+	online, err := MeasureABOM(app, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := MeasureABOM(app, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.Reduction <= online.Reduction {
+		t.Errorf("offline patching must improve: %.3f -> %.3f", online.Reduction, manual.Reduction)
+	}
+	if manual.ManualPatched != 2 {
+		t.Errorf("offline sites patched = %d, want 2 (the two libpthread locations)", manual.ManualPatched)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rep, err := RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amazon tables: 8 configurations; Google: 10 (Clear included).
+	if n := len(rep.Tables[0].Rows); n != 8 {
+		t.Errorf("Amazon rows = %d, want 8", n)
+	}
+	if n := len(rep.Tables[2].Rows); n != 10 {
+		t.Errorf("Google rows = %d, want 10", n)
+	}
+	// X-Container rel > 20, gVisor rel < 0.1 in every table.
+	for _, table := range rep.Tables {
+		for _, row := range table.Rows {
+			rel := parseCell(t, row[2])
+			switch row[0] {
+			case "X-Container":
+				if rel < 20 {
+					t.Errorf("%s: X rel = %v, want >20", table.Name, rel)
+				}
+			case "gVisor":
+				if rel > 0.12 {
+					t.Errorf("%s: gVisor rel = %v, want ≈0.07", table.Name, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rep, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 3 {
+		t.Fatalf("tables = %d, want 3 (nginx, memcached, redis)", len(rep.Tables))
+	}
+	relOf := func(table Table, config string, col int) float64 {
+		for _, row := range table.Rows {
+			if row[0] == config {
+				return parseCell(t, row[col])
+			}
+		}
+		t.Fatalf("%s: config %q missing", table.Name, config)
+		return 0
+	}
+	// Paper headline shapes, Amazon relative throughput (col 2):
+	nginx, memcached, redis := rep.Tables[0], rep.Tables[1], rep.Tables[2]
+	if v := relOf(nginx, "X-Container", 2); v < 1.15 || v > 1.55 {
+		t.Errorf("nginx X rel = %v, paper 1.21-1.50", v)
+	}
+	if v := relOf(memcached, "X-Container", 2); v < 1.30 || v > 2.10 {
+		t.Errorf("memcached X rel = %v, paper 1.34-2.08", v)
+	}
+	if v := relOf(redis, "X-Container", 2); v < 0.95 || v > 1.35 {
+		t.Errorf("redis X rel = %v, paper ≈1", v)
+	}
+	// gVisor suffers badly everywhere.
+	if v := relOf(nginx, "gVisor", 2); v > 0.35 {
+		t.Errorf("nginx gVisor rel = %v, want <0.35", v)
+	}
+	// Xen-Container below Docker (the PV syscall tax).
+	if v := relOf(nginx, "Xen-Container", 2); v >= 1 {
+		t.Errorf("nginx Xen-Container rel = %v, want <1", v)
+	}
+	// Clear Containers only on Google.
+	for _, row := range nginx.Rows {
+		if row[0] == "Clear-Container" && row[1] != "n/a" {
+			t.Error("Clear Containers must be n/a on Amazon (no nested virtualization)")
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	a, err := RunFig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X over twice Graphene; Unikernel comparable to X.
+	var xRel, uRel float64
+	for _, row := range a.Tables[0].Rows {
+		switch row[0] {
+		case "X-Container":
+			xRel = parseCell(t, row[2])
+		case "Unikernel":
+			uRel = parseCell(t, row[2])
+		}
+	}
+	if xRel < 2 {
+		t.Errorf("fig6a X/Graphene = %v, paper >2", xRel)
+	}
+	if r := xRel / uRel; r < 0.85 || r > 1.35 {
+		t.Errorf("fig6a X/Unikernel = %v, paper ≈comparable", r)
+	}
+
+	b6, err := RunFig6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range b6.Tables[0].Rows {
+		if row[0] == "X-Container" {
+			if v := parseCell(t, row[2]); v < 1.5 {
+				t.Errorf("fig6b X/Graphene = %v, paper >1.5", v)
+			}
+		}
+	}
+
+	c6, err := RunFig6c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uDed, xDed, xMerged float64
+	for _, row := range c6.Tables[0].Rows {
+		switch row[0] {
+		case "Unikernel":
+			uDed = parseCell(t, row[2])
+		case "X-Container":
+			xDed = parseCell(t, row[2])
+			xMerged = parseCell(t, row[3])
+		}
+	}
+	if r := xDed / uDed; r < 1.4 {
+		t.Errorf("fig6c X/U dedicated = %v, paper >1.4", r)
+	}
+	if r := xMerged / uDed; r < 2.5 || r > 4 {
+		t.Errorf("fig6c merged/U-dedicated = %v, paper ≈3", r)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	// Small N: Docker wins (4 processes spread over idle cores vs one
+	// vCPU). Large N: X wins by ≈18%.
+	d10, err := Fig8Point(runtimes.Docker, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x10, err := Fig8Point(runtimes.XContainer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d10 <= x10 {
+		t.Errorf("at N=10 Docker (%v) must beat X (%v)", d10, x10)
+	}
+	d400, err := Fig8Point(runtimes.Docker, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x400, err := Fig8Point(runtimes.XContainer, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := x400 / d400
+	if r < 1.08 || r > 1.35 {
+		t.Errorf("at N=400 X/Docker = %v, paper ≈1.18", r)
+	}
+}
+
+func TestFig8VMCaps(t *testing.T) {
+	rep, err := RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	last := rows[len(rows)-1] // N=400
+	if last[3] != "did not boot" || last[4] != "did not boot" {
+		t.Errorf("N=400 Xen rows = %q/%q, want did-not-boot", last[3], last[4])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rep, err := RunFig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	rel := func(i int) float64 { return parseCell(t, rows[i][2]) }
+	// X+HAProxy ≈2x Docker+HAProxy.
+	if v := rel(1); v < 1.7 || v > 2.3 {
+		t.Errorf("X/Docker HAProxy = %v, paper ≈2", v)
+	}
+	// IPVS NAT ≈ +12% over X HAProxy.
+	if v := rel(2) / rel(1); v < 1.05 || v > 1.25 {
+		t.Errorf("NAT/HAProxy = %v, paper ≈1.12", v)
+	}
+	// Direct routing ≈2.5x NAT, bottleneck on the backends.
+	if v := rel(3) / rel(2); v < 2.1 || v > 2.9 {
+		t.Errorf("DR/NAT = %v, paper ≈2.5", v)
+	}
+	if rows[3][3] != "nginx-backends" {
+		t.Errorf("DR bottleneck = %q, want nginx-backends", rows[3][3])
+	}
+}
+
+func TestHierSchedAblation(t *testing.T) {
+	// The structural ablation: at N=400 the hierarchical arrangement
+	// must not lose to flat scheduling of the same workload.
+	flat, err := Fig8PointStructured(runtimes.XContainer, 400, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := Fig8PointStructured(runtimes.XContainer, 400, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier < flat*0.98 {
+		t.Errorf("hierarchical (%v) lost to flat (%v)", hier, flat)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t", Tables: []Table{{
+		Name:    "tbl",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Note:    "n",
+	}}}
+	s := rep.String()
+	for _, want := range []string{"== x: t ==", "tbl", "a", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"### x", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown output missing %q", want)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" || F(12345) != "12345" || F(12.34) != "12.3" || F(1.234) != "1.23" {
+		t.Errorf("F formatting wrong: %s %s %s", F(12345), F(12.34), F(1.234))
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Error("Pct wrong")
+	}
+	if Rel(3, 2) != "1.50" || Rel(1, 0) != "n/a" {
+		t.Error("Rel wrong")
+	}
+}
+
+func TestSpawnReport(t *testing.T) {
+	rep, err := RunSpawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) != 3 {
+		t.Error("spawn table must have three rows")
+	}
+	if !strings.Contains(rep.Tables[0].Rows[1][1], "3.00 s") {
+		t.Errorf("xl toolstack row = %v", rep.Tables[0].Rows[1])
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t", Tables: []Table{{
+		Name:    "tbl",
+		Columns: []string{"a", "b,c"},
+		Rows:    [][]string{{"1", `say "hi"`}},
+	}}}
+	csv := rep.CSV()
+	for _, want := range []string{"# x: t — tbl", `a,"b,c"`, `1,"say ""hi"""`} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, csv)
+		}
+	}
+}
+
+func TestFig2BytesMatchPaper(t *testing.T) {
+	rep, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		if row[2] != row[3] {
+			t.Errorf("%s: measured bytes %q != paper's %q", row[0], row[2], row[3])
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	// Smoke: every registered experiment must produce a non-empty
+	// report without error (covers fig5/spawn/surface, whose shapes are
+	// not asserted elsewhere in full).
+	for _, e := range Experiments() {
+		rep, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Errorf("%s: empty report", e.ID)
+		}
+		if rep.ID != e.ID {
+			t.Errorf("%s: report id %q mismatched", e.ID, rep.ID)
+		}
+	}
+}

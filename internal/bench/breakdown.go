@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+)
+
+// RunBreakdown decomposes the per-syscall cost of each architecture —
+// the "where does the 27× come from" table. For every runtime it shows
+// the entry-path cost of a trivial syscall (getpid) and of an I/O
+// syscall (read), patched and unpatched, plus the X-Container split
+// between converted (function-call) and unconverted (trapping) sites.
+func RunBreakdown() (*Report, error) {
+	t := Table{
+		Name: "Per-syscall path cost (cycles)",
+		Columns: []string{
+			"Configuration", "getpid", "read",
+			"getpid (Meltdown-patched)", "read (Meltdown-patched)",
+		},
+		Note: "entry/exit path + handler body; X-Container rows show converted sites (unconverted sites trap at the X-Kernel forwarding cost)",
+	}
+	kinds := []runtimes.Kind{
+		runtimes.Docker, runtimes.XenContainer, runtimes.XContainer,
+		runtimes.GVisor, runtimes.ClearContainer, runtimes.Unikernel, runtimes.Graphene,
+	}
+	cost := func(kind runtimes.Kind, patched bool, n syscalls.No, converted bool) cycles.Cycles {
+		rt := runtimes.MustNew(runtimes.Config{Kind: kind, Patched: patched, Cloud: runtimes.LocalCluster})
+		return rt.SyscallCost(n, converted)
+	}
+	for _, k := range kinds {
+		conv := k == runtimes.XContainer
+		t.Rows = append(t.Rows, []string{
+			k.String(),
+			fmt.Sprintf("%d", cost(k, false, syscalls.Getpid, conv)),
+			fmt.Sprintf("%d", cost(k, false, syscalls.Read, conv)),
+			fmt.Sprintf("%d", cost(k, true, syscalls.Getpid, conv)),
+			fmt.Sprintf("%d", cost(k, true, syscalls.Read, conv)),
+		})
+		if k == runtimes.XContainer {
+			t.Rows = append(t.Rows, []string{
+				"X-Container (unconverted site)",
+				fmt.Sprintf("%d", cost(k, false, syscalls.Getpid, false)),
+				fmt.Sprintf("%d", cost(k, false, syscalls.Read, false)),
+				fmt.Sprintf("%d", cost(k, true, syscalls.Getpid, false)),
+				fmt.Sprintf("%d", cost(k, true, syscalls.Read, false)),
+			})
+		}
+	}
+
+	// Second table: the §4.2/4.3 mechanism costs side by side.
+	c := cycles.Default
+	m := Table{
+		Name:    "Mechanism costs (cycles)",
+		Columns: []string{"Mechanism", "Stock Xen PV", "X-Container"},
+		Rows: [][]string{
+			{"syscall delivery", fmt.Sprintf("%d (forwarded)", c.PVSyscallForward), fmt.Sprintf("%d (function call)", c.FunctionCall)},
+			{"iret", fmt.Sprintf("%d (hypercall)", c.IretHypercall), fmt.Sprintf("%d (user mode)", c.IretUserMode)},
+			{"event delivery", fmt.Sprintf("%d (trap)", c.EventChannelDeliver), fmt.Sprintf("%d (user mode)", c.EventChannelUserMode)},
+			{"intra-container switch", fmt.Sprintf("%d (full flush)", c.AddressSpaceSwitchNoGlobal), fmt.Sprintf("%d (global bit)", c.AddressSpaceSwitch)},
+		},
+	}
+	return &Report{ID: "breakdown", Title: "Syscall-path and mechanism cost breakdown", Tables: []Table{t, m}}, nil
+}
+
+func init() {
+	Register(Experiment{ID: "breakdown", Title: "Per-syscall cost breakdown", Run: RunBreakdown})
+}

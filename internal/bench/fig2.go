@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"xcontainers/internal/abom"
+	"xcontainers/internal/arch"
+	"xcontainers/internal/syscalls"
+)
+
+// RunFig2 reproduces Figure 2's binary-replacement examples literally:
+// it assembles each wrapper shape, applies the online patch, and prints
+// the before/after bytes. The expected rows are the figure's own hex.
+func RunFig2() (*Report, error) {
+	t := Table{
+		Name:    "ABOM binary replacement (Fig. 2, byte-exact)",
+		Columns: []string{"Pattern", "Before", "After", "Paper's bytes"},
+	}
+	hex := func(text *arch.Text, from uint64, n int) string {
+		s := ""
+		for i, b := range text.Fetch(from, n) {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%02x", b)
+		}
+		return s
+	}
+	ab := abom.New()
+
+	// Case 1: __read — mov $0x0,%eax ; syscall.
+	t1 := arch.NewAssembler(arch.UserTextBase).SyscallN(uint32(syscalls.Read)).Hlt().MustAssemble()
+	before := hex(t1, arch.UserTextBase, 7)
+	ab.OnSyscall(t1, arch.UserTextBase+5, uint64(syscalls.Read))
+	t.Rows = append(t.Rows, []string{
+		"7-byte case 1 (__read)", before, hex(t1, arch.UserTextBase, 7),
+		"ff 14 25 08 00 60 ff",
+	})
+
+	// 9-byte: __restore_rt — mov $0xf,%rax ; syscall, two phases.
+	t2 := arch.NewAssembler(arch.UserTextBase).SyscallN64(uint32(syscalls.RtSigreturn)).Hlt().MustAssemble()
+	before = hex(t2, arch.UserTextBase, 9)
+	ab.OnSyscall(t2, arch.UserTextBase+7, uint64(syscalls.RtSigreturn))
+	phase1 := hex(t2, arch.UserTextBase, 9)
+	ab.OnSyscall(t2, arch.UserTextBase+7, uint64(syscalls.RtSigreturn))
+	t.Rows = append(t.Rows,
+		[]string{"9-byte phase 1 (__restore_rt)", before, phase1, "ff 14 25 80 00 60 ff 0f 05"},
+		[]string{"9-byte phase 2", phase1, hex(t2, arch.UserTextBase, 9), "ff 14 25 80 00 60 ff eb f7"},
+	)
+
+	// Case 2: Go syscall.Syscall — mov 0x8(%rsp),%rax ; syscall.
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovRaxRsp8(8)
+	a.Syscall()
+	a.Hlt()
+	t3 := a.MustAssemble()
+	before = hex(t3, arch.UserTextBase, 7)
+	ab.OnSyscall(t3, arch.UserTextBase+5, uint64(syscalls.Write))
+	t.Rows = append(t.Rows, []string{
+		"7-byte case 2 (syscall.Syscall)", before, hex(t3, arch.UserTextBase, 7),
+		"ff 14 25 08 0c 60 ff",
+	})
+
+	return &Report{ID: "fig2", Title: "Binary replacement examples (Fig. 2)", Tables: []Table{t}}, nil
+}
+
+func init() {
+	Register(Experiment{ID: "fig2", Title: "ABOM patch patterns (Fig. 2)", Run: RunFig2})
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/workload"
+)
+
+// cloudKinds returns the container platforms evaluated in the cloud
+// experiments (§5.1's ten configurations). Clear Containers exist only
+// where nested hardware virtualization does.
+func cloudKinds(cloud runtimes.Cloud) []runtimes.Kind {
+	kinds := []runtimes.Kind{
+		runtimes.Docker, runtimes.XenContainer, runtimes.XContainer, runtimes.GVisor,
+	}
+	if cloud.SupportsNestedVirt() {
+		kinds = append(kinds, runtimes.ClearContainer)
+	}
+	return kinds
+}
+
+// configMatrix expands kinds × {patched, unpatched} for a cloud.
+func configMatrix(cloud runtimes.Cloud) []runtimes.Config {
+	var out []runtimes.Config
+	for _, k := range cloudKinds(cloud) {
+		for _, patched := range []bool{true, false} {
+			out = append(out, runtimes.Config{Kind: k, Patched: patched, Cloud: cloud})
+		}
+	}
+	return out
+}
+
+// RunFig4 reproduces Figure 4: relative system call throughput
+// (UnixBench System Call benchmark), single and concurrent, on both
+// clouds, normalized to patched Docker.
+func RunFig4() (*Report, error) {
+	rep := &Report{ID: "fig4", Title: "Relative system call throughput (Fig. 4)"}
+	for _, cloud := range []runtimes.Cloud{runtimes.AmazonEC2, runtimes.GoogleGCE} {
+		for _, concurrent := range []bool{false, true} {
+			mode := "Single"
+			if concurrent {
+				mode = "Concurrent"
+			}
+			t := Table{
+				Name:    fmt.Sprintf("%s %s", cloud, mode),
+				Columns: []string{"Configuration", "Syscalls/s", "Relative to Docker"},
+			}
+			var baseline float64
+			type row struct {
+				name string
+				ops  float64
+			}
+			var rows []row
+			for _, cfg := range configMatrix(cloud) {
+				rt, err := runtimes.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				s, err := workload.RunUnixBench(rt, workload.TestSyscall, concurrent)
+				if err != nil {
+					return nil, err
+				}
+				if cfg.Kind == runtimes.Docker && cfg.Patched {
+					baseline = s.OpsPS
+				}
+				rows = append(rows, row{rt.Name(), s.OpsPS})
+			}
+			for _, r := range rows {
+				t.Rows = append(t.Rows, []string{r.name, F(r.ops), Rel(r.ops, baseline)})
+			}
+			rep.Tables = append(rep.Tables, t)
+		}
+	}
+	return rep, nil
+}
+
+func init() {
+	Register(Experiment{ID: "fig4", Title: "Raw syscall throughput (Fig. 4)", Run: RunFig4})
+}

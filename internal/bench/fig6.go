@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"xcontainers/internal/apps"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+	"xcontainers/internal/workload"
+)
+
+// The Fig. 6 experiments run on the paper's local cluster (Dell R720s,
+// 10 GbE) with unpatched kernels, comparing X-Containers against the
+// Unikernel (Rumprun) and Graphene LibOSes.
+
+func localRuntime(kind runtimes.Kind) *runtimes.Runtime {
+	return runtimes.MustNew(runtimes.Config{Kind: kind, Patched: false, Cloud: runtimes.LocalCluster})
+}
+
+// RunFig6a: NGINX, one worker process, one dedicated core; wrk drives.
+func RunFig6a() (*Report, error) {
+	t := Table{
+		Name:    "NGINX throughput, 1 worker (requests/s)",
+		Columns: []string{"Platform", "Requests/s", "Relative to Graphene"},
+	}
+	app := apps.Nginx()
+	var graphene float64
+	type row struct {
+		name string
+		tput float64
+	}
+	var rows []row
+	for _, kind := range []runtimes.Kind{runtimes.Graphene, runtimes.Unikernel, runtimes.XContainer} {
+		rt := localRuntime(kind)
+		lr := workload.ServerLoad{
+			Driver: workload.DriverWrk, App: app, RT: rt, Workers: 1, Cores: 1, Concurrency: 20,
+		}.Run()
+		if kind == runtimes.Graphene {
+			graphene = lr.Throughput
+		}
+		rows = append(rows, row{rt.Cfg.Kind.String(), lr.Throughput})
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.name, F(r.tput), Rel(r.tput, graphene)})
+	}
+	return &Report{ID: "fig6a", Title: "NGINX 1 worker: Graphene vs Unikernel vs X-Container (Fig. 6a)", Tables: []Table{t}}, nil
+}
+
+// RunFig6b: NGINX with 4 worker processes (not supported by Unikernel).
+// Graphene pays IPC coordination across its LibOS instances.
+func RunFig6b() (*Report, error) {
+	t := Table{
+		Name:    "NGINX throughput, 4 workers (requests/s)",
+		Columns: []string{"Platform", "Requests/s", "Relative to Graphene"},
+		Note:    "Unikernel omitted: single-process only (§2.3)",
+	}
+	app := apps.Nginx()
+	app.Processes = 4
+	var graphene float64
+	type row struct {
+		name string
+		tput float64
+	}
+	var rows []row
+	for _, kind := range []runtimes.Kind{runtimes.Graphene, runtimes.XContainer} {
+		rt := localRuntime(kind)
+		lr := workload.ServerLoad{
+			Driver: workload.DriverWrk, App: app, RT: rt, Workers: 4, Cores: 4, Concurrency: 80,
+		}.Run()
+		if kind == runtimes.Graphene {
+			graphene = lr.Throughput
+		}
+		rows = append(rows, row{rt.Cfg.Kind.String(), lr.Throughput})
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.name, F(r.tput), Rel(r.tput, graphene)})
+	}
+	return &Report{ID: "fig6b", Title: "NGINX 4 workers: Graphene vs X-Container (Fig. 6b)", Tables: []Table{t}}, nil
+}
+
+// Fig. 6c models the synchronous PHP→MySQL page: a single-process PHP
+// server blocks on each of its two queries, so page latency — not just
+// CPU — bounds throughput. Cross-VM queries pay a scheduler-wake RPC
+// round trip; queries inside a merged container cross a unix socket.
+const (
+	// phpUserWork / phpKernelWork split the PHP page's CPU between user
+	// code and kernel services (the kernel part runs slower on Rumprun).
+	phpUserWork   = 800_000
+	phpKernelWork = 200_000
+	// mysqlUserWork / mysqlKernelWork per query.
+	mysqlUserWork   = 150_000
+	mysqlKernelWork = 400_000
+	// rpcCrossVM is the per-query round-trip latency between two VMs on
+	// one host: ring buffer + event channel + credit-scheduler wake,
+	// twice. Rumprun's network path makes it worse.
+	rpcCrossVMMicros     = 500.0
+	rpcCrossVMRumpMicros = 800.0
+	// rpcLocalMicros is a unix-socket round trip inside one container.
+	rpcLocalMicros = 5.0
+	// rumpKernelFactor scales kernel-side work under Rumprun ("the
+	// Linux kernel outperforms the Rumprun kernel", §5.5).
+	rumpKernelFactor = 1.6
+)
+
+// phpMySQLConfig computes total throughput (pages/s) of the two-server
+// setup in one of the Fig. 7 configurations.
+type phpMySQLConfig uint8
+
+const (
+	cfgShared phpMySQLConfig = iota
+	cfgDedicated
+	cfgMerged
+)
+
+func (c phpMySQLConfig) String() string {
+	switch c {
+	case cfgShared:
+		return "Shared"
+	case cfgDedicated:
+		return "Dedicated"
+	}
+	return "Dedicated&Merged"
+}
+
+func phpMySQLThroughput(rt *runtimes.Runtime, cfg phpMySQLConfig) float64 {
+	isRump := rt.Cfg.Kind == runtimes.Unikernel
+	kf := 1.0
+	rpcUS := rpcCrossVMMicros
+	if isRump {
+		kf = rumpKernelFactor
+		rpcUS = rpcCrossVMRumpMicros
+	}
+	coster := workload.SyscallCoster(rt, apps.PHP())
+	sysPHP := coster(syscalls.Accept) + coster(syscalls.Recvfrom) +
+		2*(coster(syscalls.Sendto)+coster(syscalls.Recvfrom)) +
+		coster(syscalls.Sendto) + coster(syscalls.Close)
+	sysQ := coster(syscalls.Recvfrom) + coster(syscalls.Sendto)
+
+	local := cfg == cfgMerged
+	phpCPU := cycles.Cycles(phpUserWork) + cycles.Cycles(float64(phpKernelWork)*kf) + sysPHP
+	phpCPU += 2 * rt.NetPerPacket() // client request/response packets
+	qCPU := cycles.Cycles(mysqlUserWork) + cycles.Cycles(float64(mysqlKernelWork)*kf) + sysQ
+	if local {
+		rpcUS = rpcLocalMicros
+	} else {
+		qCPU += 2 * rt.NetPerPacket()
+		phpCPU += 2 * rt.NetPerPacket()
+	}
+
+	// Page latency: PHP's own CPU plus two blocking query round trips.
+	pageLatency := phpCPU.Seconds() + 2*(rpcUS/1e6+qCPU.Seconds())
+	perServer := 1 / pageLatency
+
+	// Capacity checks: in the Shared configuration a single MySQL core
+	// serves both PHP servers (4 queries per "page pair").
+	total := 2 * perServer
+	if cfg == cfgShared {
+		mysqlCap := cycles.Hz / float64(qCPU) // queries/s on one core
+		if q := total * 2; q > mysqlCap {
+			total = mysqlCap / 2
+		}
+	}
+	return total
+}
+
+// RunFig6c: two PHP CGI servers backed by MySQL in the three Fig. 7
+// configurations. Graphene cannot run the PHP CGI server (§5.5);
+// Unikernel cannot run the merged configuration (single process).
+func RunFig6c() (*Report, error) {
+	t := Table{
+		Name:    "2×PHP+MySQL total throughput (pages/s)",
+		Columns: []string{"Platform", "Shared", "Dedicated", "Dedicated&Merged"},
+		Note:    "single-process servers block on queries: page latency bounds throughput; merged containers avoid the cross-VM RPC entirely",
+	}
+	for _, kind := range []runtimes.Kind{runtimes.Unikernel, runtimes.XContainer} {
+		rt := localRuntime(kind)
+		row := []string{rt.Cfg.Kind.String()}
+		for _, cfg := range []phpMySQLConfig{cfgShared, cfgDedicated, cfgMerged} {
+			if cfg == cfgMerged && kind == runtimes.Unikernel {
+				row = append(row, "n/a (single process)")
+				continue
+			}
+			row = append(row, F(phpMySQLThroughput(rt, cfg)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return &Report{ID: "fig6c", Title: "PHP+MySQL configurations (Figs. 6c/7)", Tables: []Table{t}}, nil
+}
+
+func init() {
+	Register(Experiment{ID: "fig6a", Title: "NGINX 1 worker vs LibOSes (Fig. 6a)", Run: RunFig6a})
+	Register(Experiment{ID: "fig6b", Title: "NGINX 4 workers vs Graphene (Fig. 6b)", Run: RunFig6b})
+	Register(Experiment{ID: "fig6c", Title: "PHP+MySQL topologies (Fig. 6c)", Run: RunFig6c})
+}

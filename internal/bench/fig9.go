@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"xcontainers/internal/apps"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/netsim"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+	"xcontainers/internal/workload"
+)
+
+// Fig. 9 (§5.7): three NGINX backends (one worker each) behind a load
+// balancer on one physical machine, wrk driving. Docker can only run
+// the user-level HAProxy; X-Containers can additionally load the IPVS
+// kernel module into the container's own X-LibOS — impossible on
+// Docker without root on the host — in NAT or direct-routing mode.
+//
+// The experiment ran in the Meltdown-patch era: host kernels patched.
+const (
+	// haproxySyscallsPerReq: the proxy relays a request across two TCP
+	// connections (client<->LB, LB<->backend): accept/epoll/recv/send
+	// on each side, both directions.
+	haproxySyscallsPerReq = 16
+	// haproxyWork is HAProxy's user-space parsing/routing per request.
+	haproxyWork = 2500
+	// haproxyPackets: request and response on both legs plus ACK share.
+	haproxyPackets = 6
+
+	// ipvsNATPerPacket: kernel IPVS in NAT mode — full stack traversal,
+	// connection table, address rewrite; both directions cross the LB.
+	ipvsNATPerPacket = 3500
+	// ipvsDRPerPacket: direct routing only rewrites the MAC and
+	// forwards; responses bypass the LB entirely.
+	ipvsDRPerPacket = 2000
+)
+
+// lbStations builds the pipeline for one configuration and returns the
+// bottleneck throughput and which station binds.
+func fig9Throughput(lbKind string) (float64, string, error) {
+	// Backends are always the three single-worker NGINX X-Containers
+	// (or Docker containers for the Docker row).
+	backendRT := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.LocalCluster})
+	dockerRT := runtimes.MustNew(runtimes.Config{Kind: runtimes.Docker, Patched: true, Cloud: runtimes.LocalCluster})
+
+	nginx := apps.Nginx()
+	backendCost := func(rt *runtimes.Runtime) cycles.Cycles {
+		return workload.RequestCost(rt, nginx)
+	}
+
+	haproxyCost := func(rt *runtimes.Runtime) cycles.Cycles {
+		coster := workload.SyscallCoster(rt, apps.HAProxy())
+		var c cycles.Cycles = haproxyWork
+		// Alternating recv/send across the two connections.
+		for i := 0; i < haproxySyscallsPerReq; i++ {
+			switch i % 4 {
+			case 0:
+				c += coster(syscalls.EpollWait)
+			case 1:
+				c += coster(syscalls.Recvfrom)
+			case 2:
+				c += coster(syscalls.Sendto)
+			case 3:
+				c += coster(syscalls.Close)
+			}
+		}
+		c += cycles.Cycles(haproxyPackets) * rt.NetPerPacket()
+		c += cycles.Cycles(haproxyPackets/2) * rt.InterruptCost()
+		return c
+	}
+
+	var lb netsim.Station
+	backends := netsim.Station{Name: "nginx-backends", Cores: 3}
+	switch lbKind {
+	case "docker-haproxy":
+		lb = netsim.Station{Name: "haproxy", CostPerReq: haproxyCost(dockerRT), Cores: 1}
+		backends.CostPerReq = backendCost(dockerRT)
+	case "x-haproxy":
+		lb = netsim.Station{Name: "haproxy", CostPerReq: haproxyCost(backendRT), Cores: 1}
+		backends.CostPerReq = backendCost(backendRT)
+	case "x-ipvs-nat":
+		// Kernel-level balancing: both directions cross the LB's
+		// X-LibOS network stack; no user-space syscalls at all.
+		lb = netsim.Station{
+			Name:       "ipvs-nat",
+			CostPerReq: cycles.Cycles(haproxyPackets) * ipvsNATPerPacket,
+			Cores:      1,
+		}
+		backends.CostPerReq = backendCost(backendRT)
+	case "x-ipvs-dr":
+		// Direct routing: only the request direction crosses the LB;
+		// backends answer clients directly (iptable + kernel-module
+		// changes in LB and backends, §5.7).
+		lb = netsim.Station{
+			Name:       "ipvs-dr",
+			CostPerReq: cycles.Cycles(haproxyPackets/2) * ipvsDRPerPacket,
+			Cores:      1,
+		}
+		backends.CostPerReq = backendCost(backendRT)
+	}
+	p := netsim.Pipeline{Stations: []netsim.Station{lb, backends}}
+	return pipelineBottleneck(p)
+}
+
+func pipelineBottleneck(p netsim.Pipeline) (float64, string, error) {
+	tput, name, err := p.Bottleneck()
+	return tput, name, err
+}
+
+// RunFig9 reproduces the kernel-customization load-balancing study.
+func RunFig9() (*Report, error) {
+	t := Table{
+		Name:    "Load balancer throughput, 3 NGINX backends (requests/s)",
+		Columns: []string{"Configuration", "Requests/s", "Relative to Docker+HAProxy", "Bottleneck"},
+		Note:    "IPVS requires loading kernel modules and rewriting iptables/ARP rules — possible in the container's private X-LibOS, not in Docker without host root (§5.7)",
+	}
+	var base float64
+	rows := []struct{ label, key string }{
+		{"Docker (haproxy)", "docker-haproxy"},
+		{"X-Container (haproxy)", "x-haproxy"},
+		{"X-Container (ipvs NAT)", "x-ipvs-nat"},
+		{"X-Container (ipvs Route)", "x-ipvs-dr"},
+	}
+	for _, r := range rows {
+		tput, bottleneck, err := fig9Throughput(r.key)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = tput
+		}
+		t.Rows = append(t.Rows, []string{r.label, F(tput), Rel(tput, base), bottleneck})
+	}
+	// The IPVS rows require the module to actually be loadable in the
+	// LB's X-LibOS; demonstrate through the libos module registry.
+	lbRT := runtimes.MustNew(runtimes.Config{Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.LocalCluster})
+	c, err := lbRT.NewContainer("lb", 1, false)
+	if err != nil {
+		return nil, err
+	}
+	c.LibOS.LoadModule("ipvs")
+	if !c.LibOS.HasModule("ipvs") {
+		t.Note += " [warning: ipvs module failed to load]"
+	}
+	return &Report{ID: "fig9", Title: "Kernel-level load balancing (Fig. 9)", Tables: []Table{t}}, nil
+}
+
+func init() {
+	Register(Experiment{ID: "fig9", Title: "HAProxy vs IPVS load balancing (Fig. 9)", Run: RunFig9})
+}

@@ -1,0 +1,194 @@
+// Package bench is the experiment harness: one experiment per table or
+// figure in the paper's evaluation (§5), each regenerating the same
+// rows/series the paper reports, plus ablations over the design choices
+// DESIGN.md calls out.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one formatted result table.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+	// Note carries calibration or interpretation remarks printed under
+	// the table.
+	Note string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Report, error)
+}
+
+var registry []Experiment
+
+// Register adds an experiment (called from init functions).
+func Register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the report as GitHub-flavoured markdown.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the report as RFC-4180-ish CSV, one block per table with
+// a leading comment line, for plotting the figures externally.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "# %s: %s — %s\n", r.ID, r.Title, t.Name)
+		b.WriteString(csvRow(t.Columns))
+		for _, row := range t.Rows {
+			b.WriteString(csvRow(row))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvRow(cells []string) string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		out[i] = c
+	}
+	return strings.Join(out, ",") + "\n"
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&b, "-- %s --\n", t.Name)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Name)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Note)
+	}
+	return b.String()
+}
+
+// F formats a float with sensible precision for report cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Rel formats a value relative to a baseline.
+func Rel(v, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v/base)
+}

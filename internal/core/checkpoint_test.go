@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+)
+
+func xcPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(PlatformConfig{
+		Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// pausableProgram runs half its getpid loop, then a second loop —
+// giving the test a natural mid-execution point to checkpoint by
+// bounding the instruction budget.
+func pausableProgram() *arch.Text {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(50, func(b *arch.Assembler) { b.SyscallN(uint32(syscalls.Getpid)) })
+	a.Loop(50, func(b *arch.Assembler) { b.SyscallN(uint32(syscalls.Getuid)) })
+	a.Hlt()
+	return a.MustAssemble()
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	src := xcPlatform(t)
+	inst, err := src.Boot(Image{Name: "ck", Program: pausableProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run partway: enough to execute the first loop and get it patched.
+	_, _ = inst.Run(200) // budget exhaustion expected mid-program
+	if inst.Proc.CPU.Halted {
+		t.Fatal("test premise broken: program finished too early")
+	}
+	preStats := inst.Stats()
+	if preStats.ABOMPatches == 0 {
+		t.Fatal("expected ABOM patches before checkpoint")
+	}
+
+	ck, err := src.Checkpoint(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := xcPlatform(t)
+	restored, err := dst.Restore(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resumes where it stopped.
+	if restored.Proc.CPU.RIP != inst.Proc.CPU.RIP {
+		t.Fatalf("rip = %#x, want %#x", restored.Proc.CPU.RIP, inst.Proc.CPU.RIP)
+	}
+	if restored.Proc.CPU.Regs != inst.Proc.CPU.Regs {
+		t.Fatal("registers differ after restore")
+	}
+	// Patched text travelled with the checkpoint: byte-identical.
+	if string(restored.Proc.CPU.Text.Bytes()) != string(inst.Proc.CPU.Text.Bytes()) {
+		t.Fatal("text (with ABOM patches) not preserved")
+	}
+	// Run to completion on the destination.
+	if _, err := restored.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Proc.CPU.Halted {
+		t.Fatal("restored program did not finish")
+	}
+	// The first loop's site was patched pre-migration, so the
+	// destination hypervisor must see at most the second loop's single
+	// trap — no re-patching of migrated sites.
+	if got := dst.Runtime().Hyper.Stats.SyscallsForwarded; got > 1 {
+		t.Errorf("destination forwarded %d syscalls; patched sites must not re-trap", got)
+	}
+}
+
+func TestMigrateEndToEnd(t *testing.T) {
+	src, dst := xcPlatform(t), xcPlatform(t)
+	inst, err := src.Boot(Image{Name: "mig", Program: pausableProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = inst.Run(300)
+	moved, err := Migrate(src, inst, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source side released its domain.
+	if src.Runtime().Hyper.Domains() != 0 {
+		t.Errorf("source still holds %d domains", src.Runtime().Hyper.Domains())
+	}
+	if dst.Runtime().Hyper.Domains() != 1 {
+		t.Errorf("destination holds %d domains, want 1", dst.Runtime().Hyper.Domains())
+	}
+	if _, err := moved.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if !moved.Proc.CPU.Halted {
+		t.Fatal("migrated program did not finish")
+	}
+}
+
+func TestCheckpointPreservesFilesystem(t *testing.T) {
+	src := xcPlatform(t)
+	inst, err := src.Boot(Image{Name: "fs", Program: pausableProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Container.Svc.FS.Create("/state/counter", []byte("42"), 0644)
+	ck, err := src.Checkpoint(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := xcPlatform(t).Restore(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Container.Svc.FS.Exists("/state/counter") {
+		t.Fatal("file lost in migration")
+	}
+	if n, _ := restored.Container.Svc.FS.Size("/state/counter"); n != 2 {
+		t.Fatalf("file size = %d", n)
+	}
+}
+
+func TestCheckpointRequiresXContainer(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{Kind: runtimes.Docker, Cloud: runtimes.LocalCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Boot(Image{Name: "d", Program: pausableProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkpoint(inst); err == nil {
+		t.Fatal("checkpoint of a Docker container must fail (the §3.3 contrast)")
+	}
+	if _, err := p.Restore(&Checkpoint{}); err == nil {
+		t.Fatal("restore onto Docker must fail")
+	}
+}
+
+func TestDecodeCheckpointGarbage(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}

@@ -1,0 +1,158 @@
+// Package core is the public face of the X-Containers platform: the
+// piece a user of the system touches. It wraps the X-Kernel, X-LibOS
+// and runtime composition behind the workflow the paper describes in
+// §4.5: a Docker wrapper loads an image together with an X-LibOS and a
+// special bootloader, and the bootloader spawns the container's
+// processes directly, with no intermediate init system.
+//
+// The same API boots the baseline platforms (Docker, gVisor, Xen
+// containers, ...) so that examples and downstream experiments can
+// switch architectures with one parameter — exactly how the paper's
+// evaluation is structured.
+package core
+
+import (
+	"fmt"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/libos"
+	"xcontainers/internal/runtimes"
+)
+
+// PlatformConfig configures one host.
+type PlatformConfig struct {
+	// Kind selects the container architecture (default XContainer).
+	Kind runtimes.Kind
+	// MeltdownPatched applies the KPTI/XPTI mitigations.
+	MeltdownPatched bool
+	// Cloud selects the provider profile.
+	Cloud runtimes.Cloud
+	// MachineMB bounds host memory (0 = unlimited).
+	MachineMB int
+	// FastToolstack uses a LightVM-style toolstack instead of stock xl
+	// (§4.5), shrinking instantiation from seconds to milliseconds.
+	FastToolstack bool
+}
+
+// Platform is one booted host.
+type Platform struct {
+	cfg PlatformConfig
+	rt  *runtimes.Runtime
+}
+
+// NewPlatform boots a platform host.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	rt, err := runtimes.New(runtimes.Config{
+		Kind:          cfg.Kind,
+		Patched:       cfg.MeltdownPatched,
+		Cloud:         cfg.Cloud,
+		MachineFrames: cfg.MachineMB * 256, // 4 KiB pages
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Platform{cfg: cfg, rt: rt}, nil
+}
+
+// Runtime exposes the underlying runtime for benchmark composition.
+func (p *Platform) Runtime() *runtimes.Runtime { return p.rt }
+
+// Image is the Docker-wrapper view of a container image: a name plus
+// the program the bootloader will spawn. VCPUs and MemoryMB mirror the
+// static resource configuration of §4.5.
+type Image struct {
+	Name     string
+	Program  *arch.Text
+	VCPUs    int
+	MemoryMB int
+	// LibOSConfig tunes the dedicated kernel (X-Containers only):
+	// SMP support, preloaded modules (§3.2, §5.7).
+	LibOSConfig *libos.Config
+}
+
+// Instance is one running container with its first process.
+type Instance struct {
+	Image     Image
+	Container *runtimes.Container
+	Proc      *runtimes.Proc
+	Clock     *cycles.Clock
+	// BootTime is the simulated instantiation cost (§4.5).
+	BootTime cycles.Cycles
+}
+
+// Boot implements the Docker wrapper: create the isolation domain,
+// load the X-LibOS (with its per-container configuration), and let the
+// bootloader spawn the image's entry process directly.
+func (p *Platform) Boot(img Image) (*Instance, error) {
+	if img.Program == nil {
+		return nil, fmt.Errorf("core: image %q has no program", img.Name)
+	}
+	vcpus := img.VCPUs
+	if vcpus <= 0 {
+		vcpus = 1
+	}
+	c, err := p.rt.NewContainer(img.Name, vcpus, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: boot %q: %w", img.Name, err)
+	}
+	if img.LibOSConfig != nil && c.LibOS != nil {
+		reconfigured := libos.New(p.rt.Costs, *img.LibOSConfig)
+		c.LibOS = reconfigured
+		c.Svc = reconfigured.Services
+	}
+	clk := &cycles.Clock{}
+	boot := cycles.Cycles(0)
+	if p.rt.Cfg.Kind == runtimes.XContainer {
+		boot = libos.BootCycles(!p.cfg.FastToolstack)
+		clk.Advance(boot)
+	}
+	proc, err := p.rt.StartProcess(c, img.Program, clk)
+	if err != nil {
+		p.rt.Destroy(c)
+		return nil, fmt.Errorf("core: boot %q: %w", img.Name, err)
+	}
+	return &Instance{Image: img, Container: c, Proc: proc, Clock: clk, BootTime: boot}, nil
+}
+
+// Run executes the instance's program to completion (or the
+// instruction budget) and returns consumed virtual time excluding boot.
+func (inst *Instance) Run(maxInstr uint64) (cycles.Cycles, error) {
+	start := inst.Clock.Now()
+	if err := inst.Proc.CPU.Run(maxInstr); err != nil {
+		return 0, err
+	}
+	return inst.Clock.Now() - start, nil
+}
+
+// Stats summarizes an instance's execution for reporting.
+type Stats struct {
+	Instructions   uint64
+	RawSyscalls    uint64
+	FunctionCalls  uint64
+	TrappedInLibOS uint64
+	ABOMPatches    uint64
+}
+
+// Stats collects counters from the CPU, LibOS and X-Kernel.
+func (inst *Instance) Stats() Stats {
+	s := Stats{
+		Instructions:  inst.Proc.CPU.Counters.Instructions,
+		RawSyscalls:   inst.Proc.CPU.Counters.RawSyscalls,
+		FunctionCalls: inst.Proc.CPU.Counters.VsyscallCalls,
+	}
+	if inst.Container.LibOS != nil {
+		s.TrappedInLibOS = inst.Container.LibOS.Stats.TrappedSyscalls
+	}
+	rt := inst.Container.RT
+	if rt.Hyper != nil && rt.Hyper.ABOM != nil {
+		st := rt.Hyper.ABOM.Stats
+		s.ABOMPatches = st.Patched7Case1 + st.Patched7Case2 + st.Patched9Phase1
+	}
+	return s
+}
+
+// Destroy releases the instance's resources.
+func (p *Platform) Destroy(inst *Instance) error {
+	return p.rt.Destroy(inst.Container)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/libos"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+)
+
+func testProgram(iters uint32) *arch.Text {
+	return arch.NewAssembler(arch.UserTextBase).
+		Loop(iters, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
+		Hlt().MustAssemble()
+}
+
+func TestPlatformBootRun(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{
+		Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Boot(Image{Name: "t", Program: testProgram(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := inst.Run(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed == 0 {
+		t.Error("no virtual time consumed")
+	}
+	s := inst.Stats()
+	if s.RawSyscalls != 1 || s.FunctionCalls != 99 || s.ABOMPatches != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if err := p.Destroy(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootTimeToolstack(t *testing.T) {
+	slow, err := NewPlatform(PlatformConfig{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewPlatform(PlatformConfig{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := slow.Boot(Image{Name: "s", Program: testProgram(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fast.Boot(Image{Name: "f", Program: testProgram(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.BootTime <= fi.BootTime {
+		t.Errorf("xl toolstack (%v) must be slower than LightVM-style (%v)", si.BootTime, fi.BootTime)
+	}
+	if si.BootTime.Seconds() < 2.5 {
+		t.Errorf("stock toolstack boot = %v, want ≈3 s", si.BootTime)
+	}
+}
+
+func TestBootDockerHasNoBootPenalty(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{Kind: runtimes.Docker, Cloud: runtimes.LocalCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Boot(Image{Name: "d", Program: testProgram(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.BootTime != 0 {
+		t.Errorf("Docker boot time = %v, want 0 (no VM instantiation)", inst.BootTime)
+	}
+}
+
+func TestBootRejectsEmptyImage(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Boot(Image{Name: "empty"}); err == nil {
+		t.Fatal("image without program must fail")
+	}
+}
+
+func TestLibOSConfigApplied(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Boot(Image{
+		Name: "tuned", Program: testProgram(1),
+		LibOSConfig: &libos.Config{SMP: false, Modules: []string{"ipvs"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := inst.Container.LibOS
+	if l.Config.SMP {
+		t.Error("SMP config not applied")
+	}
+	if !l.HasModule("ipvs") {
+		t.Error("module not loaded at boot")
+	}
+	// The container's services must point at the reconfigured LibOS.
+	if inst.Container.Svc != l.Services {
+		t.Error("services not rebound to the tuned LibOS")
+	}
+}
+
+func TestPlatformMemoryBound(t *testing.T) {
+	// A small host cannot boot many X-Containers (128 MB each).
+	p, err := NewPlatform(PlatformConfig{
+		Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster,
+		MachineMB: 300, FastToolstack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Boot(Image{Name: "a", Program: testProgram(1)}); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	if _, err := p.Boot(Image{Name: "b", Program: testProgram(1)}); err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	if _, err := p.Boot(Image{Name: "c", Program: testProgram(1)}); err == nil {
+		t.Fatal("third 128 MB container must not fit in 300 MB")
+	}
+}
+
+func TestClearContainerCloudGate(t *testing.T) {
+	if _, err := NewPlatform(PlatformConfig{Kind: runtimes.ClearContainer, Cloud: runtimes.AmazonEC2}); err == nil {
+		t.Fatal("Clear Containers on EC2 must fail at platform construction")
+	}
+}

@@ -1,0 +1,201 @@
+package cpusim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xcontainers/internal/cycles"
+)
+
+func mkTasks(n int, containerID int, req cycles.Cycles) []*Task {
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = &Task{ContainerID: containerID, ReqCycles: req}
+	}
+	return tasks
+}
+
+func TestSliceShrinking(t *testing.T) {
+	p := CFSParams()
+	if p.Slice(1) != p.TargetLatency {
+		t.Error("single runnable gets the full target latency")
+	}
+	if p.Slice(100) != p.MinGranularity {
+		t.Error("heavy load must pin at min granularity")
+	}
+	if p.Slice(0) != p.TargetLatency {
+		t.Error("zero runnable must not panic or divide by zero")
+	}
+	if p.Slice(4) != p.TargetLatency/4 {
+		t.Error("mid-range slices divide the target")
+	}
+}
+
+func TestSingleTaskThroughput(t *testing.T) {
+	m, err := NewMachine(MachineConfig{PCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cycles.FromSeconds(0.001) // 1 ms per request
+	m.AddFlat(mkTasks(1, 0, req), 0)
+	res := m.Run(cycles.FromSeconds(1))
+	if tp := res.Throughput(); tp < 950 || tp > 1050 {
+		t.Errorf("throughput = %v, want ≈1000", tp)
+	}
+}
+
+func TestVCPUConfinement(t *testing.T) {
+	// Four tasks on one vCPU can never exceed one core of service;
+	// flat scheduling of the same tasks on 4 pCPUs gets all four cores.
+	req := cycles.FromSeconds(0.001)
+
+	hier, _ := NewMachine(MachineConfig{PCPUs: 4})
+	hier.AddHierarchical(mkTasks(4, 0, req), 0)
+	h := hier.Run(cycles.FromSeconds(1)).Throughput()
+
+	flat, _ := NewMachine(MachineConfig{PCPUs: 4})
+	flat.AddFlat(mkTasks(4, 0, req), 0)
+	f := flat.Run(cycles.FromSeconds(1)).Throughput()
+
+	if h > 1100 {
+		t.Errorf("one vCPU produced %v req/s, must be capped near 1000", h)
+	}
+	if f < 3800 {
+		t.Errorf("flat tasks produced %v req/s, want ≈4000", f)
+	}
+}
+
+func TestSwitchCostsCharged(t *testing.T) {
+	req := cycles.FromSeconds(0.0001)
+	var hostSwitches int
+	m, _ := NewMachine(MachineConfig{
+		PCPUs: 1,
+		HostSwitch: func(same bool) cycles.Cycles {
+			hostSwitches++
+			return 1000
+		},
+		GuestSwitch: 500,
+	})
+	m.Add(&VCPU{ContainerID: 0, Tasks: mkTasks(2, 0, req)})
+	m.Add(&VCPU{ContainerID: 1, Tasks: mkTasks(2, 1, req)})
+	res := m.Run(cycles.FromSeconds(0.1))
+	if res.HostSwitches == 0 || res.GuestSwitches == 0 {
+		t.Fatalf("switches not simulated: %+v", res)
+	}
+	if res.SwitchCycles == 0 {
+		t.Fatal("switch cycles not charged")
+	}
+	if hostSwitches != int(res.HostSwitches) {
+		t.Fatalf("callback count %d != recorded %d", hostSwitches, res.HostSwitches)
+	}
+}
+
+func TestContentionSlowsThroughput(t *testing.T) {
+	req := cycles.FromSeconds(0.001)
+	base, _ := NewMachine(MachineConfig{PCPUs: 2})
+	base.AddFlat(mkTasks(8, 0, req), 0)
+	b := base.Run(cycles.FromSeconds(1)).Throughput()
+
+	loaded, _ := NewMachine(MachineConfig{
+		PCPUs:          2,
+		Contention:     func(int) float64 { return 1.5 },
+		ProcsPerKernel: 8,
+	})
+	loaded.AddFlat(mkTasks(8, 0, req), 0)
+	l := loaded.Run(cycles.FromSeconds(1)).Throughput()
+
+	ratio := b / l
+	if ratio < 1.4 || ratio > 1.6 {
+		t.Errorf("contention 1.5 should cut throughput 1.5x, got %.2fx", ratio)
+	}
+}
+
+func TestSharedKernelContentionShape(t *testing.T) {
+	if SharedKernelContention(4) != 1 {
+		t.Error("few processes must not contend")
+	}
+	f100 := SharedKernelContention(100)
+	f800 := SharedKernelContention(800)
+	f1600 := SharedKernelContention(1600)
+	if !(f100 < f800 && f800 < f1600) {
+		t.Errorf("contention must be monotone: %v %v %v", f100, f800, f1600)
+	}
+	if f100 > 1.02 {
+		t.Errorf("contention at 100 procs = %v, must stay mild", f100)
+	}
+	if f1600 < 1.25 || f1600 > 1.35 {
+		t.Errorf("contention at 1600 procs = %v, want ≈1.30", f1600)
+	}
+	if SharedKernelContention(100000) > 1.6 {
+		t.Error("contention must be capped")
+	}
+}
+
+func TestContentionMonotoneQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return SharedKernelContention(x) <= SharedKernelContention(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Busy + switch cycles can never exceed pCPUs × duration.
+	req := cycles.FromSeconds(0.0003)
+	m, _ := NewMachine(MachineConfig{
+		PCPUs:       4,
+		HostSwitch:  func(bool) cycles.Cycles { return 700 },
+		GuestSwitch: 300,
+	})
+	for c := 0; c < 12; c++ {
+		m.AddHierarchical(mkTasks(3, c, req), c)
+	}
+	dur := cycles.FromSeconds(0.5)
+	res := m.Run(dur)
+	budget := cycles.Cycles(4) * dur
+	// Allow one quantum of overshoot per pCPU (the last slice may
+	// straddle the deadline).
+	slack := 8 * CreditParams().TargetLatency
+	if res.BusyCycles+res.SwitchCycles > budget+slack {
+		t.Errorf("consumed %d cycles > budget %d", res.BusyCycles+res.SwitchCycles, budget)
+	}
+	if res.Completed == 0 {
+		t.Error("no work completed")
+	}
+}
+
+func TestEmptyMachine(t *testing.T) {
+	m, _ := NewMachine(MachineConfig{PCPUs: 2})
+	res := m.Run(cycles.FromSeconds(0.1))
+	if res.Completed != 0 {
+		t.Error("empty machine completed work")
+	}
+	if _, err := NewMachine(MachineConfig{PCPUs: 0}); err == nil {
+		t.Error("zero pCPUs must be rejected")
+	}
+}
+
+func TestFairnessAcrossContainers(t *testing.T) {
+	// Two identical containers on one pCPU must complete similar work.
+	req := cycles.FromSeconds(0.0005)
+	m, _ := NewMachine(MachineConfig{PCPUs: 1})
+	a := mkTasks(2, 0, req)
+	b := mkTasks(2, 1, req)
+	m.AddHierarchical(a, 0)
+	m.AddHierarchical(b, 1)
+	m.Run(cycles.FromSeconds(1))
+	ca := a[0].Completed + a[1].Completed
+	cb := b[0].Completed + b[1].Completed
+	if ca == 0 || cb == 0 {
+		t.Fatal("starvation")
+	}
+	ratio := float64(ca) / float64(cb)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair split: %d vs %d", ca, cb)
+	}
+}

@@ -1,0 +1,188 @@
+package cycles
+
+// CostTable holds the cycle cost of every hardware and kernel event the
+// simulation charges for. A single table is shared by all kernels and
+// runtimes so that configurations differ only in *which* events their
+// control flow triggers, exactly as in the paper's evaluation.
+//
+// Calibration notes (sources: same-era public microbenchmarks and the
+// paper's own reported ratios; see DESIGN.md §4):
+//
+//   - SyscallTrap ≈ 250cy matches lmbench getpid round trips on
+//     Haswell/Broadwell parts.
+//   - KPTIPerSyscall ≈ 700cy matches the widely reported ~2.5-4x
+//     slowdown of null syscalls under the Meltdown page-table-isolation
+//     patch.
+//   - PVSyscallForward ≈ 1700cy: in 64-bit Xen PV every syscall traps
+//     into the hypervisor and is bounced to the guest kernel as a
+//     virtual exception, with an address-space switch and TLB flush on
+//     the way (§4.1 of the paper).
+//   - PtraceSyscallStop ≈ 11000cy: gVisor's ptrace platform takes two
+//     ptrace stops (entry+exit), each implying wakeup and two context
+//     switches of the tracer; the paper measures gVisor raw syscall
+//     throughput at 7-9% of Docker's.
+//   - NestedVMExit ≈ 5200cy: an L2 exit bounces L2->L0->L1->L0->L2;
+//     Google's own documentation warns of >20% overheads for
+//     syscall-dense workloads under GCE nested virtualization.
+type CostTable struct {
+	// FunctionCall is a direct user-level call+ret pair, including the
+	// user->kernel stack switch performed by the X-LibOS entry stub
+	// (§4.3: dedicated kernel stacks are still required).
+	FunctionCall Cycles
+
+	// SyscallTrap is a bare syscall+sysret mode-switch round trip into a
+	// monolithic kernel, excluding the handler body.
+	SyscallTrap Cycles
+
+	// KPTIPerSyscall is the extra per-syscall cost of the Meltdown
+	// (page-table isolation) patch on a monolithic kernel: two CR3
+	// writes plus the TLB refill share.
+	KPTIPerSyscall Cycles
+
+	// PVSyscallForward is the cost of a 64-bit Xen PV syscall: trap into
+	// the hypervisor, validation, virtual-exception delivery into the
+	// guest kernel in a different address space (page-table switch +
+	// TLB flush).
+	PVSyscallForward Cycles
+
+	// XSyscallForward is the cost of the X-Kernel forwarding a not yet
+	// ABOM-patched syscall into X-LibOS. Cheaper than PVSyscallForward:
+	// no address-space switch (the LibOS shares the process's space)
+	// but still a trap and redirect.
+	XSyscallForward Cycles
+
+	// PtraceSyscallStop is gVisor's per-syscall ptrace interception cost
+	// (entry stop + exit stop + tracer scheduling).
+	PtraceSyscallStop Cycles
+
+	// VMExit is a hardware-virtualization exit+entry round trip (Clear
+	// Containers guest kernel -> KVM host for privileged operations;
+	// syscalls inside the guest do NOT exit).
+	VMExit Cycles
+
+	// NestedVMExit is a VM exit taken by an L2 guest under nested
+	// virtualization (Clear Containers running inside a cloud VM).
+	NestedVMExit Cycles
+
+	// Hypercall is a guest-kernel -> hypervisor call (Xen PV and
+	// X-Kernel; page-table updates, iret-from-interrupt in stock PV).
+	Hypercall Cycles
+
+	// EventChannelDeliver is delivery of one pending Xen event to a
+	// guest through the shared-info page, trap included.
+	EventChannelDeliver Cycles
+
+	// EventChannelUserMode is the X-Container path: the LibOS notices
+	// the pending-event flag and emulates the interrupt stack frame in
+	// user mode, never entering the X-Kernel (§4.2).
+	EventChannelUserMode Cycles
+
+	// IretHypercall is stock Xen PV's hypercall-based iret.
+	IretHypercall Cycles
+
+	// IretUserMode is X-Container's user-mode iret emulation (push
+	// registers on the kernel stack, plain ret).
+	IretUserMode Cycles
+
+	// AddressSpaceSwitch is a CR3 switch between two processes when
+	// kernel pages are mapped global (amortized TLB refill of user
+	// entries only).
+	AddressSpaceSwitch Cycles
+
+	// AddressSpaceSwitchNoGlobal is a CR3 switch with the global bit
+	// disabled (stock paravirtualized Linux, §4.3): full TLB refill.
+	AddressSpaceSwitchNoGlobal Cycles
+
+	// CrossContainerSwitch is a switch between vCPUs of different
+	// X-Containers: full flush, by design.
+	CrossContainerSwitch Cycles
+
+	// TLBMissWalk is one page-table walk after a TLB miss.
+	TLBMissWalk Cycles
+
+	// ContextSwitchKernel is the scheduler bookkeeping part of a
+	// process context switch (run-queue ops, register save/restore),
+	// excluding address-space costs charged separately.
+	ContextSwitchKernel Cycles
+
+	// VCPUSwitch is the hypervisor's vCPU world switch bookkeeping.
+	VCPUSwitch Cycles
+
+	// PageTableUpdateHypercall is one validated page-table update via
+	// the hypervisor (PV and X-Container; fork/exec are built from
+	// many of these).
+	PageTableUpdateHypercall Cycles
+
+	// PageTableUpdateDirect is the same update done directly by a
+	// native kernel.
+	PageTableUpdateDirect Cycles
+
+	// ABOMPatch is the one-time cost of patching one call site
+	// (pattern check, WP disable, cmpxchg writes, WP enable).
+	ABOMPatch Cycles
+
+	// InvalidOpcodeFixup is the X-Kernel trap handler that repairs a
+	// jump into the middle of a patched call instruction (§4.4).
+	InvalidOpcodeFixup Cycles
+
+	// InterruptDeliver is a native-kernel interrupt delivery.
+	InterruptDeliver Cycles
+
+	// NICPerPacket is the NIC+driver cost of moving one packet,
+	// excluding kernel network-stack traversal.
+	NICPerPacket Cycles
+
+	// NetStackPerPacket is one traversal of a kernel TCP/IP stack.
+	NetStackPerPacket Cycles
+
+	// IptablesHop is one iptables port-forward rewrite (DNAT rule hit).
+	IptablesHop Cycles
+
+	// ConntrackNAT is the Docker-bridge data path per packet: bridge
+	// netfilter, connection tracking and masquerade — charged for
+	// OS-level containers whose traffic always crosses docker0.
+	ConntrackNAT Cycles
+
+	// BridgeHop is one software-bridge hop.
+	BridgeHop Cycles
+
+	// SplitDriverRing is one Xen split-driver ring round trip
+	// (front-end -> back-end in the driver domain) per packet batch.
+	SplitDriverRing Cycles
+}
+
+// Default is the calibrated cost table used by all experiments. Tests
+// that probe mechanisms (rather than performance shape) may construct
+// their own tables.
+var Default = CostTable{
+	FunctionCall:               20,
+	SyscallTrap:                250,
+	KPTIPerSyscall:             700,
+	PVSyscallForward:           1700,
+	XSyscallForward:            900,
+	PtraceSyscallStop:          11000,
+	VMExit:                     1200,
+	NestedVMExit:               5200,
+	Hypercall:                  350,
+	EventChannelDeliver:        500,
+	EventChannelUserMode:       80,
+	IretHypercall:              400,
+	IretUserMode:               60,
+	AddressSpaceSwitch:         350,
+	AddressSpaceSwitchNoGlobal: 600,
+	CrossContainerSwitch:       900,
+	TLBMissWalk:                35,
+	ContextSwitchKernel:        250,
+	VCPUSwitch:                 400,
+	PageTableUpdateHypercall:   420,
+	PageTableUpdateDirect:      150,
+	ABOMPatch:                  2500,
+	InvalidOpcodeFixup:         1500,
+	InterruptDeliver:           300,
+	NICPerPacket:               600,
+	NetStackPerPacket:          1200,
+	IptablesHop:                800,
+	ConntrackNAT:               1700,
+	BridgeHop:                  300,
+	SplitDriverRing:            700,
+}

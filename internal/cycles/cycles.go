@@ -1,0 +1,66 @@
+// Package cycles defines the virtual-time cost model used by the entire
+// X-Containers simulation.
+//
+// All performance in this repository is expressed in simulated CPU cycles
+// on a fixed-frequency clock. Every hardware and kernel event the paper's
+// evaluation depends on (system call traps, KPTI page-table swaps, ptrace
+// stops, VM exits, TLB refills, ...) is charged from the cost table in
+// costs.go. Relative — not absolute — costs are what reproduce the shape
+// of the paper's figures.
+package cycles
+
+import "fmt"
+
+// Cycles is an amount of virtual CPU time, measured in clock cycles.
+type Cycles uint64
+
+// Hz is the simulated clock frequency. The paper's local testbed used
+// 2.9 GHz Intel Xeon E5-2690 CPUs; EC2 c4.2xlarge and the GCE custom
+// instance are close enough that one frequency serves all experiments.
+const Hz = 2_900_000_000
+
+// Seconds converts a cycle count to virtual seconds.
+func (c Cycles) Seconds() float64 { return float64(c) / Hz }
+
+// Micros converts a cycle count to virtual microseconds.
+func (c Cycles) Micros() float64 { return float64(c) / (Hz / 1e6) }
+
+// FromSeconds converts virtual seconds to cycles.
+func FromSeconds(s float64) Cycles { return Cycles(s * Hz) }
+
+// FromMicros converts virtual microseconds to cycles.
+func FromMicros(us float64) Cycles { return Cycles(us * (Hz / 1e6)) }
+
+func (c Cycles) String() string {
+	switch {
+	case c >= Hz:
+		return fmt.Sprintf("%.3fs", c.Seconds())
+	case c >= Hz/1e3:
+		return fmt.Sprintf("%.3fms", float64(c)/(Hz/1e3))
+	case c >= Hz/1e6:
+		return fmt.Sprintf("%.3fus", c.Micros())
+	}
+	return fmt.Sprintf("%dcy", uint64(c))
+}
+
+// Clock accumulates consumed virtual time for one executing entity
+// (a physical CPU in cpusim, or a standalone interpreter in tests).
+type Clock struct {
+	now Cycles
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance consumes d cycles.
+func (c *Clock) Advance(d Cycles) { c.now += d }
+
+// AdvanceTo moves the clock forward to t; it never moves backward.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero (between benchmark repetitions).
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,108 @@
+package cycles
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	if got := FromSeconds(1); got != Hz {
+		t.Errorf("FromSeconds(1) = %d, want %d", got, uint64(Hz))
+	}
+	if got := Cycles(Hz).Seconds(); got != 1 {
+		t.Errorf("Seconds = %v, want 1", got)
+	}
+	if got := FromMicros(1); got != Hz/1e6 {
+		t.Errorf("FromMicros(1) = %d, want %d", got, uint64(Hz/1e6))
+	}
+	if got := Cycles(Hz / 1e6).Micros(); got != 1 {
+		t.Errorf("Micros = %v, want 1", got)
+	}
+}
+
+func TestConversionRoundTripQuick(t *testing.T) {
+	f := func(us uint32) bool {
+		c := FromMicros(float64(us))
+		back := c.Micros()
+		diff := back - float64(us)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 0.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Fatalf("Now = %d, want 150", c.Now())
+	}
+	c.AdvanceTo(120) // backwards: no-op
+	if c.Now() != 150 {
+		t.Fatal("AdvanceTo must never rewind")
+	}
+	c.AdvanceTo(200)
+	if c.Now() != 200 {
+		t.Fatalf("AdvanceTo = %d, want 200", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset must zero the clock")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		c    Cycles
+		want string
+	}{
+		{100, "cy"},
+		{FromMicros(5), "us"},
+		{FromSeconds(0.002), "ms"},
+		{FromSeconds(3), "s"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); !strings.HasSuffix(got, tc.want) {
+			t.Errorf("%d.String() = %q, want suffix %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultCostTableOrdering(t *testing.T) {
+	// The relationships the paper's argument depends on must hold in
+	// the calibrated table.
+	c := Default
+	if c.FunctionCall >= c.SyscallTrap {
+		t.Error("function calls must be cheaper than syscall traps")
+	}
+	if c.SyscallTrap >= c.PVSyscallForward {
+		t.Error("PV forwarding must exceed a native trap")
+	}
+	if c.XSyscallForward >= c.PVSyscallForward {
+		t.Error("X-Kernel forwarding must be cheaper than PV forwarding (no address-space switch)")
+	}
+	if c.PtraceSyscallStop <= c.PVSyscallForward {
+		t.Error("ptrace interception must be the most expensive syscall path")
+	}
+	if c.IretUserMode >= c.IretHypercall {
+		t.Error("user-mode iret must beat the hypercall iret")
+	}
+	if c.EventChannelUserMode >= c.EventChannelDeliver {
+		t.Error("user-mode event delivery must beat trapping delivery")
+	}
+	if c.AddressSpaceSwitch >= c.AddressSpaceSwitchNoGlobal {
+		t.Error("global-bit switches must be cheaper than full flushes")
+	}
+	if c.PageTableUpdateDirect >= c.PageTableUpdateHypercall {
+		t.Error("direct PT updates must be cheaper than hypercalled ones")
+	}
+	if c.VMExit >= c.NestedVMExit {
+		t.Error("nested exits must cost more than plain exits")
+	}
+}

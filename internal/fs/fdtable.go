@@ -1,0 +1,219 @@
+package fs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FDKind distinguishes what a descriptor refers to.
+type FDKind uint8
+
+const (
+	FDFile FDKind = iota
+	FDPipeRead
+	FDPipeWrite
+	FDSocket
+)
+
+// FD is one open descriptor.
+type FD struct {
+	Kind   FDKind
+	Path   string // for FDFile
+	Offset int    // file cursor
+	Pipe   *Pipe  // for pipe ends
+	Sock   int    // opaque socket handle (netsim connection id)
+}
+
+// FDTable is a per-process descriptor table. dup/close/open in the
+// UnixBench System Call benchmark operate on it.
+type FDTable struct {
+	mu   sync.Mutex
+	next int
+	fds  map[int]*FD
+	fs   *FileSystem
+}
+
+// NewFDTable creates a descriptor table over fs. Descriptors 0..2 are
+// reserved as in POSIX; allocation starts at 3.
+func NewFDTable(fs *FileSystem) *FDTable {
+	return &FDTable{next: 3, fds: make(map[int]*FD), fs: fs}
+}
+
+// SeedStdio installs descriptors 0..2 over the given path (typically
+// /dev/null), so programs can dup(0) and write(1) as on a real system.
+func (t *FDTable) SeedStdio(path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for fd := 0; fd <= 2; fd++ {
+		t.fds[fd] = &FD{Kind: FDFile, Path: path}
+	}
+}
+
+// Open opens path and returns a new descriptor.
+func (t *FDTable) Open(path string) (int, error) {
+	if !t.fs.Exists(path) {
+		return -1, fmt.Errorf("fdtable: open %s: no such file", path)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fd := t.next
+	t.next++
+	t.fds[fd] = &FD{Kind: FDFile, Path: path}
+	return fd, nil
+}
+
+// OpenCreate creates the file if missing, then opens it.
+func (t *FDTable) OpenCreate(path string) (int, error) {
+	if !t.fs.Exists(path) {
+		t.fs.Create(path, nil, 0644)
+	}
+	return t.Open(path)
+}
+
+// Dup duplicates fd, sharing the underlying object but not the cursor
+// (cursor sharing is irrelevant to the benchmarks; dup cost is what
+// matters).
+func (t *FDTable) Dup(fd int) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.fds[fd]
+	if !ok {
+		return -1, fmt.Errorf("fdtable: dup %d: bad descriptor", fd)
+	}
+	nfd := t.next
+	t.next++
+	cp := *f
+	t.fds[nfd] = &cp
+	return nfd, nil
+}
+
+// Close releases fd.
+func (t *FDTable) Close(fd int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.fds[fd]; !ok {
+		return fmt.Errorf("fdtable: close %d: bad descriptor", fd)
+	}
+	delete(t.fds, fd)
+	return nil
+}
+
+// Get looks up fd.
+func (t *FDTable) Get(fd int) (*FD, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.fds[fd]
+	return f, ok
+}
+
+// Len returns the number of open descriptors.
+func (t *FDTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.fds)
+}
+
+// Read reads up to len(p) bytes from fd, advancing the cursor.
+func (t *FDTable) Read(fd int, p []byte) (int, error) {
+	t.mu.Lock()
+	f, ok := t.fds[fd]
+	t.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("fdtable: read %d: bad descriptor", fd)
+	}
+	switch f.Kind {
+	case FDFile:
+		n, err := t.fs.readAt(f.Path, f.Offset, p)
+		f.Offset += n
+		return n, err
+	case FDPipeRead:
+		return f.Pipe.Read(p)
+	}
+	return 0, fmt.Errorf("fdtable: read %d: wrong descriptor kind", fd)
+}
+
+// Write writes p to fd.
+func (t *FDTable) Write(fd int, p []byte) (int, error) {
+	t.mu.Lock()
+	f, ok := t.fds[fd]
+	t.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("fdtable: write %d: bad descriptor", fd)
+	}
+	switch f.Kind {
+	case FDFile:
+		n, err := t.fs.writeAt(f.Path, f.Offset, p)
+		f.Offset += n
+		return n, err
+	case FDPipeWrite:
+		return f.Pipe.Write(p)
+	}
+	return 0, fmt.Errorf("fdtable: write %d: wrong descriptor kind", fd)
+}
+
+// NewPipe creates a pipe and returns (readFD, writeFD).
+func (t *FDTable) NewPipe(capacity int) (int, int) {
+	p := NewPipe(capacity)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, w := t.next, t.next+1
+	t.next += 2
+	t.fds[r] = &FD{Kind: FDPipeRead, Pipe: p}
+	t.fds[w] = &FD{Kind: FDPipeWrite, Pipe: p}
+	return r, w
+}
+
+// Pipe is a bounded byte buffer connecting two descriptors; the Pipe
+// Throughput and Context Switching UnixBench tests run over it.
+type Pipe struct {
+	mu  sync.Mutex
+	buf []byte
+	cap int
+}
+
+// DefaultPipeCapacity matches Linux's 64 KiB default.
+const DefaultPipeCapacity = 65536
+
+// NewPipe creates a pipe with the given capacity (0 selects default).
+func NewPipe(capacity int) *Pipe {
+	if capacity <= 0 {
+		capacity = DefaultPipeCapacity
+	}
+	return &Pipe{cap: capacity}
+}
+
+// Write appends up to free-space bytes of p, returning how many were
+// accepted; 0 means the pipe is full (caller blocks).
+func (p *Pipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.cap - len(p.buf)
+	if free <= 0 {
+		return 0, nil
+	}
+	n := len(b)
+	if n > free {
+		n = free
+	}
+	p.buf = append(p.buf, b[:n]...)
+	return n, nil
+}
+
+// Read removes up to len(b) bytes; 0 means the pipe is empty.
+func (p *Pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) == 0 {
+		return 0, nil
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+// Buffered returns the number of bytes waiting in the pipe.
+func (p *Pipe) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}

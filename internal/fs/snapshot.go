@@ -1,0 +1,115 @@
+package fs
+
+// Snapshot support: the checkpoint/restore and live-migration features
+// (paper §3.3 lists them among the Xen-ecosystem technologies
+// X-Containers inherit) need to freeze and rebuild filesystem and
+// descriptor-table state.
+
+// FSSnapshot is a frozen filesystem image.
+type FSSnapshot struct {
+	Files map[string]FileSnapshot
+}
+
+// FileSnapshot is one frozen file.
+type FileSnapshot struct {
+	Data []byte
+	Mode uint32
+}
+
+// Snapshot freezes the filesystem.
+func (fs *FileSystem) Snapshot() FSSnapshot {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	snap := FSSnapshot{Files: make(map[string]FileSnapshot, len(fs.files))}
+	for p, f := range fs.files {
+		d := make([]byte, len(f.data))
+		copy(d, f.data)
+		snap.Files[p] = FileSnapshot{Data: d, Mode: f.mode}
+	}
+	return snap
+}
+
+// RestoreSnapshot replaces the filesystem contents with snap.
+func (fs *FileSystem) RestoreSnapshot(snap FSSnapshot) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files = make(map[string]*file, len(snap.Files))
+	for p, f := range snap.Files {
+		d := make([]byte, len(f.Data))
+		copy(d, f.Data)
+		fs.files[p] = &file{data: d, mode: f.Mode}
+	}
+}
+
+// FDSnapshot is one frozen descriptor.
+type FDSnapshot struct {
+	FD     int
+	Kind   FDKind
+	Path   string
+	Offset int
+	PipeID int // which pipe this end belongs to (-1 for none)
+	Sock   int
+}
+
+// PipeSnapshot is one frozen pipe with its buffered bytes.
+type PipeSnapshot struct {
+	ID       int
+	Capacity int
+	Buffered []byte
+}
+
+// TableSnapshot is a frozen descriptor table.
+type TableSnapshot struct {
+	Next  int
+	FDs   []FDSnapshot
+	Pipes []PipeSnapshot
+}
+
+// Snapshot freezes the descriptor table, preserving pipe sharing
+// between read and write ends.
+func (t *FDTable) Snapshot() TableSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TableSnapshot{Next: t.next}
+	pipeIDs := map[*Pipe]int{}
+	for fd, f := range t.fds {
+		e := FDSnapshot{FD: fd, Kind: f.Kind, Path: f.Path, Offset: f.Offset, Sock: f.Sock, PipeID: -1}
+		if f.Pipe != nil {
+			id, ok := pipeIDs[f.Pipe]
+			if !ok {
+				id = len(pipeIDs)
+				pipeIDs[f.Pipe] = id
+				f.Pipe.mu.Lock()
+				buf := make([]byte, len(f.Pipe.buf))
+				copy(buf, f.Pipe.buf)
+				snap.Pipes = append(snap.Pipes, PipeSnapshot{ID: id, Capacity: f.Pipe.cap, Buffered: buf})
+				f.Pipe.mu.Unlock()
+			}
+			e.PipeID = id
+		}
+		snap.FDs = append(snap.FDs, e)
+	}
+	return snap
+}
+
+// RestoreSnapshot rebuilds the descriptor table from snap, reattaching
+// shared pipes.
+func (t *FDTable) RestoreSnapshot(snap TableSnapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = snap.Next
+	t.fds = make(map[int]*FD, len(snap.FDs))
+	pipes := make(map[int]*Pipe, len(snap.Pipes))
+	for _, p := range snap.Pipes {
+		np := NewPipe(p.Capacity)
+		np.buf = append(np.buf, p.Buffered...)
+		pipes[p.ID] = np
+	}
+	for _, e := range snap.FDs {
+		fd := &FD{Kind: e.Kind, Path: e.Path, Offset: e.Offset, Sock: e.Sock}
+		if e.PipeID >= 0 {
+			fd.Pipe = pipes[e.PipeID]
+		}
+		t.fds[e.FD] = fd
+	}
+}

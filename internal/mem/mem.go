@@ -1,0 +1,217 @@
+// Package mem models the memory subsystem: machine frames, per-process
+// address spaces with page-table entries, and a TLB with global-entry
+// semantics.
+//
+// Two of the paper's mechanisms live here:
+//
+//   - §4.3: stock paravirtualized Linux disables the page-table global
+//     bit so every process switch flushes the whole TLB; X-LibOS maps
+//     itself and the X-Kernel with the global bit set, so switches
+//     between processes of the same X-Container keep kernel entries,
+//     while switches between different X-Containers flush everything.
+//   - Isolation: every frame is owned by one container; the hypervisor
+//     validates that no page-table update maps another container's
+//     frame (tested as an invariant).
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize matches x86-64 4 KiB pages.
+const PageSize = 4096
+
+// FrameID names one machine frame.
+type FrameID uint64
+
+// OwnerID names a protection domain (container / VM). Owner 0 is the
+// hypervisor itself.
+type OwnerID uint32
+
+// FrameAllocator hands out machine frames tagged with their owning
+// protection domain.
+type FrameAllocator struct {
+	mu     sync.Mutex
+	next   FrameID
+	owners map[FrameID]OwnerID
+	limit  int
+}
+
+// NewFrameAllocator creates an allocator with a total frame budget
+// (machine memory / PageSize). A limit of 0 means unlimited.
+func NewFrameAllocator(limit int) *FrameAllocator {
+	return &FrameAllocator{next: 1, owners: make(map[FrameID]OwnerID), limit: limit}
+}
+
+// Alloc allocates one frame for owner. It fails when machine memory is
+// exhausted — the mechanism behind the paper's observation that only
+// ~250 PV / ~200 HVM instances fit on a 96 GB host (Fig. 8).
+func (fa *FrameAllocator) Alloc(owner OwnerID) (FrameID, error) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	if fa.limit > 0 && len(fa.owners) >= fa.limit {
+		return 0, fmt.Errorf("mem: out of machine frames (%d allocated)", len(fa.owners))
+	}
+	id := fa.next
+	fa.next++
+	fa.owners[id] = owner
+	return id, nil
+}
+
+// AllocN allocates n frames, rolling back on failure.
+func (fa *FrameAllocator) AllocN(owner OwnerID, n int) ([]FrameID, error) {
+	frames := make([]FrameID, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := fa.Alloc(owner)
+		if err != nil {
+			fa.FreeAll(frames)
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// Owner reports the owning domain of a frame.
+func (fa *FrameAllocator) Owner(f FrameID) (OwnerID, bool) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	o, ok := fa.owners[f]
+	return o, ok
+}
+
+// Free releases one frame.
+func (fa *FrameAllocator) Free(f FrameID) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	delete(fa.owners, f)
+}
+
+// FreeAll releases a set of frames.
+func (fa *FrameAllocator) FreeAll(fs []FrameID) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	for _, f := range fs {
+		delete(fa.owners, f)
+	}
+}
+
+// InUse returns the number of allocated frames.
+func (fa *FrameAllocator) InUse() int {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return len(fa.owners)
+}
+
+// PTE is one page-table entry.
+type PTE struct {
+	Frame    FrameID
+	Writable bool
+	// Global marks the entry as surviving CR3 switches (the §4.3
+	// optimization when set on LibOS/X-Kernel mappings).
+	Global bool
+	// Dirty is set by kernel-mode writes that bypass write protection
+	// (ABOM patches, §4.4).
+	Dirty bool
+	// User marks user-accessible pages; LibOS pages in X-Containers are
+	// user-accessible by design (no kernel isolation), while baseline
+	// Linux kernel pages are not.
+	User bool
+}
+
+// AddressSpace is one page table: virtual page number -> PTE.
+type AddressSpace struct {
+	ID    uint64
+	Owner OwnerID
+
+	mu    sync.RWMutex
+	pages map[uint64]PTE
+}
+
+var asNext uint64 = 1
+var asMu sync.Mutex
+
+// NewAddressSpace creates an empty page table owned by a domain.
+func NewAddressSpace(owner OwnerID) *AddressSpace {
+	asMu.Lock()
+	id := asNext
+	asNext++
+	asMu.Unlock()
+	return &AddressSpace{ID: id, Owner: owner, pages: make(map[uint64]PTE)}
+}
+
+// PageOf returns the virtual page number containing addr.
+func PageOf(addr uint64) uint64 { return addr / PageSize }
+
+// Map installs a PTE for the page containing vaddr.
+func (as *AddressSpace) Map(vpage uint64, pte PTE) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.pages[vpage] = pte
+}
+
+// Unmap removes the mapping for vpage.
+func (as *AddressSpace) Unmap(vpage uint64) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	delete(as.pages, vpage)
+}
+
+// Lookup walks the page table for vpage.
+func (as *AddressSpace) Lookup(vpage uint64) (PTE, bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	pte, ok := as.pages[vpage]
+	return pte, ok
+}
+
+// MarkDirty sets the dirty bit on vpage (ABOM patch signalling).
+func (as *AddressSpace) MarkDirty(vpage uint64) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if pte, ok := as.pages[vpage]; ok {
+		pte.Dirty = true
+		as.pages[vpage] = pte
+	}
+}
+
+// DirtyPages returns the set of dirty virtual pages (for the flush-or-
+// ignore choice §4.4 leaves to X-LibOS).
+func (as *AddressSpace) DirtyPages() []uint64 {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	var out []uint64
+	for vp, pte := range as.pages {
+		if pte.Dirty {
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
+// ClearDirty clears the dirty bit on vpage.
+func (as *AddressSpace) ClearDirty(vpage uint64) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if pte, ok := as.pages[vpage]; ok {
+		pte.Dirty = false
+		as.pages[vpage] = pte
+	}
+}
+
+// Size returns the number of mapped pages.
+func (as *AddressSpace) Size() int {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return len(as.pages)
+}
+
+// Each iterates over all mappings (order unspecified).
+func (as *AddressSpace) Each(f func(vpage uint64, pte PTE)) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	for vp, pte := range as.pages {
+		f(vp, pte)
+	}
+}

@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameAllocatorOwnership(t *testing.T) {
+	fa := NewFrameAllocator(0)
+	f1, err := fa.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := fa.Alloc(2)
+	if f1 == f2 {
+		t.Fatal("frames must be unique")
+	}
+	if o, ok := fa.Owner(f1); !ok || o != 1 {
+		t.Fatalf("owner(f1) = %d,%v", o, ok)
+	}
+	fa.Free(f1)
+	if _, ok := fa.Owner(f1); ok {
+		t.Fatal("freed frame must have no owner")
+	}
+}
+
+func TestFrameAllocatorLimitAndRollback(t *testing.T) {
+	fa := NewFrameAllocator(10)
+	if _, err := fa.AllocN(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	// This must fail and roll back, leaving exactly 8 in use.
+	if _, err := fa.AllocN(2, 5); err == nil {
+		t.Fatal("over-limit allocation must fail")
+	}
+	if fa.InUse() != 8 {
+		t.Fatalf("in use = %d, want 8 after rollback", fa.InUse())
+	}
+}
+
+func TestAddressSpaceBasics(t *testing.T) {
+	as := NewAddressSpace(1)
+	as.Map(10, PTE{Frame: 5, Writable: true})
+	pte, ok := as.Lookup(10)
+	if !ok || pte.Frame != 5 || !pte.Writable {
+		t.Fatalf("lookup = %+v, %v", pte, ok)
+	}
+	as.MarkDirty(10)
+	if d := as.DirtyPages(); len(d) != 1 || d[0] != 10 {
+		t.Fatalf("dirty = %v", d)
+	}
+	as.ClearDirty(10)
+	if d := as.DirtyPages(); len(d) != 0 {
+		t.Fatalf("dirty after clear = %v", d)
+	}
+	as.Unmap(10)
+	if _, ok := as.Lookup(10); ok {
+		t.Fatal("unmapped page still present")
+	}
+}
+
+func TestAddressSpaceIDsUnique(t *testing.T) {
+	a, b := NewAddressSpace(1), NewAddressSpace(1)
+	if a.ID == b.ID {
+		t.Fatal("address space IDs must be unique")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	as := NewAddressSpace(1)
+	as.Map(7, PTE{Frame: 3})
+	tlb := NewTLB(4)
+
+	f, ok, miss := tlb.Lookup(as, 7)
+	if !ok || f != 3 || !miss {
+		t.Fatalf("first lookup = %v,%v,%v", f, ok, miss)
+	}
+	_, ok, miss = tlb.Lookup(as, 7)
+	if !ok || miss {
+		t.Fatal("second lookup must hit")
+	}
+	if _, ok, _ := tlb.Lookup(as, 99); ok {
+		t.Fatal("unmapped page must fail")
+	}
+	if tlb.Stats.Hits != 1 || tlb.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", tlb.Stats)
+	}
+}
+
+func TestTLBGlobalSurvivesNonGlobalFlush(t *testing.T) {
+	as := NewAddressSpace(1)
+	as.Map(1, PTE{Frame: 1, Global: true})
+	as.Map(2, PTE{Frame: 2})
+	tlb := NewTLB(8)
+	tlb.Lookup(as, 1)
+	tlb.Lookup(as, 2)
+
+	flushed := tlb.FlushNonGlobal()
+	if flushed != 1 {
+		t.Fatalf("flushed = %d, want 1", flushed)
+	}
+	if tlb.Len() != 1 || !tlb.HasGlobalEntries() {
+		t.Fatal("global entry must survive")
+	}
+	// The surviving global entry is usable from a different address
+	// space — the X-LibOS sharing property.
+	other := NewAddressSpace(1)
+	_, ok, miss := tlb.Lookup(other, 1)
+	if !ok || miss {
+		t.Fatal("global entry must hit from another address space")
+	}
+
+	if n := tlb.FlushAll(); n != 1 {
+		t.Fatalf("full flush removed %d, want 1", n)
+	}
+	if tlb.Len() != 0 {
+		t.Fatal("full flush must empty the TLB")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	as := NewAddressSpace(1)
+	for i := uint64(0); i < 10; i++ {
+		as.Map(i, PTE{Frame: FrameID(i + 1)})
+	}
+	tlb := NewTLB(4)
+	for i := uint64(0); i < 10; i++ {
+		tlb.Lookup(as, i)
+	}
+	if tlb.Len() > 4 {
+		t.Fatalf("TLB exceeded capacity: %d", tlb.Len())
+	}
+}
+
+func TestTLBCapacityQuick(t *testing.T) {
+	// Property: the TLB never exceeds its capacity under arbitrary
+	// lookup/flush sequences.
+	f := func(pages []uint8, flushes []bool) bool {
+		as := NewAddressSpace(1)
+		for i := uint64(0); i < 256; i++ {
+			as.Map(i, PTE{Frame: FrameID(i + 1), Global: i%7 == 0})
+		}
+		tlb := NewTLB(16)
+		for i, p := range pages {
+			tlb.Lookup(as, uint64(p))
+			if i < len(flushes) && flushes[i] {
+				tlb.FlushNonGlobal()
+			}
+			if tlb.Len() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+}

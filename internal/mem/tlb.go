@@ -1,0 +1,139 @@
+package mem
+
+import "sync"
+
+// TLBEntry caches one translation together with the global bit that
+// decides whether it survives an address-space switch.
+type TLBEntry struct {
+	VPage  uint64
+	Frame  FrameID
+	Global bool
+	ASID   uint64 // address space the entry was filled from
+}
+
+// TLBStats counts hits, misses and flushes for cost accounting.
+type TLBStats struct {
+	Hits            uint64
+	Misses          uint64
+	FullFlushes     uint64
+	NonGlobalFlush  uint64
+	EntriesFlushed  uint64
+	GlobalSurvivors uint64
+}
+
+// TLB is a simple fully-associative TLB with FIFO replacement. One TLB
+// exists per hardware thread (pCPU in cpusim).
+type TLB struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[uint64]TLBEntry // keyed by vpage
+	order    []uint64            // FIFO of vpages for eviction
+	Stats    TLBStats
+}
+
+// DefaultTLBCapacity approximates a modern L2 STLB (1536 entries on the
+// paper's Xeon E5-2690 generation).
+const DefaultTLBCapacity = 1536
+
+// NewTLB creates a TLB with the given entry capacity (0 selects the
+// default).
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultTLBCapacity
+	}
+	return &TLB{capacity: capacity, entries: make(map[uint64]TLBEntry)}
+}
+
+// Lookup translates vpage. On a miss it walks the page table of as,
+// fills the TLB, and reports miss=true so the caller can charge the
+// walk cost.
+func (t *TLB) Lookup(as *AddressSpace, vpage uint64) (FrameID, bool, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[vpage]; ok && e.ASID == as.ID {
+		t.Stats.Hits++
+		return e.Frame, true, false
+	}
+	// Also allow a hit on a global entry filled from another address
+	// space — that is exactly what the global bit means in hardware.
+	if e, ok := t.entries[vpage]; ok && e.Global {
+		t.Stats.Hits++
+		return e.Frame, true, false
+	}
+	pte, ok := as.Lookup(vpage)
+	if !ok {
+		t.Stats.Misses++
+		return 0, false, true
+	}
+	t.Stats.Misses++
+	t.fillLocked(TLBEntry{VPage: vpage, Frame: pte.Frame, Global: pte.Global, ASID: as.ID})
+	return pte.Frame, true, true
+}
+
+func (t *TLB) fillLocked(e TLBEntry) {
+	if _, exists := t.entries[e.VPage]; !exists {
+		for len(t.entries) >= t.capacity && len(t.order) > 0 {
+			victim := t.order[0]
+			t.order = t.order[1:]
+			delete(t.entries, victim)
+		}
+		t.order = append(t.order, e.VPage)
+	}
+	t.entries[e.VPage] = e
+}
+
+// FlushNonGlobal drops all non-global entries — the hardware behaviour
+// of a CR3 write. It returns how many entries were flushed (the refill
+// cost driver).
+func (t *TLB) FlushNonGlobal() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Stats.NonGlobalFlush++
+	n := 0
+	keep := t.order[:0]
+	for _, vp := range t.order {
+		if e, ok := t.entries[vp]; ok && e.Global {
+			keep = append(keep, vp)
+			t.Stats.GlobalSurvivors++
+			continue
+		}
+		delete(t.entries, vp)
+		n++
+	}
+	t.order = keep
+	t.Stats.EntriesFlushed += uint64(n)
+	return n
+}
+
+// FlushAll drops every entry, global or not — a full flush as on a
+// cross-container switch or a CR4.PGE toggle.
+func (t *TLB) FlushAll() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Stats.FullFlushes++
+	n := len(t.entries)
+	t.entries = make(map[uint64]TLBEntry)
+	t.order = t.order[:0]
+	t.Stats.EntriesFlushed += uint64(n)
+	return n
+}
+
+// Len returns the number of live entries.
+func (t *TLB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// HasGlobalEntries reports whether any global entries are cached
+// (isolation tests assert none survive a cross-container FlushAll).
+func (t *TLB) HasGlobalEntries() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Global {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+// Package netsim models the network data path: per-packet processing
+// stations, wire segments, and the load-balancing topologies of §5.7
+// (HAProxy vs IPVS NAT vs IPVS direct routing), plus the iperf bulk
+// transfer model used by Fig. 5.
+//
+// The model is a pipeline-bottleneck one: a request (or packet stream)
+// crosses a sequence of stations, each with a CPU budget; sustained
+// throughput is set by the most loaded station. This matches how the
+// paper's load-balancer experiment behaves ("the load balancer was the
+// bottleneck ... with direct routing the bottleneck shifted to the
+// NGINX servers").
+package netsim
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+)
+
+// Station is one CPU-bound processing stage: a proxy, a backend server,
+// a kernel forwarding path.
+type Station struct {
+	Name string
+	// CostPerReq is the CPU consumed at this station per request.
+	CostPerReq cycles.Cycles
+	// Cores is the CPU capacity assigned to the station.
+	Cores float64
+}
+
+// Capacity returns the station's maximum requests per second.
+func (s Station) Capacity() float64 {
+	if s.CostPerReq == 0 {
+		return 0
+	}
+	return s.Cores * cycles.Hz / float64(s.CostPerReq)
+}
+
+// Pipeline is a request path across stations. Stations with the same
+// Name share one CPU budget (e.g. a NAT-mode load balancer charged on
+// both the request and response legs appears twice).
+type Pipeline struct {
+	Stations []Station
+}
+
+// Bottleneck returns the sustainable throughput (requests/s) and the
+// limiting station's name. Replicated stations (Replicas > 1) are
+// expressed by giving the station proportionally more cores before
+// calling.
+func (p Pipeline) Bottleneck() (float64, string, error) {
+	if len(p.Stations) == 0 {
+		return 0, "", fmt.Errorf("netsim: empty pipeline")
+	}
+	// Merge same-name stations: their costs add against one budget.
+	type agg struct {
+		cost  cycles.Cycles
+		cores float64
+	}
+	merged := map[string]*agg{}
+	order := []string{}
+	for _, s := range p.Stations {
+		a, ok := merged[s.Name]
+		if !ok {
+			a = &agg{cores: s.Cores}
+			merged[s.Name] = a
+			order = append(order, s.Name)
+		}
+		a.cost += s.CostPerReq
+	}
+	best := -1.0
+	name := ""
+	for _, n := range order {
+		a := merged[n]
+		if a.cost == 0 {
+			continue
+		}
+		cap := a.cores * cycles.Hz / float64(a.cost)
+		if best < 0 || cap < best {
+			best = cap
+			name = n
+		}
+	}
+	if best < 0 {
+		return 0, "", fmt.Errorf("netsim: pipeline has no cost")
+	}
+	return best, name, nil
+}
+
+// Wire models link capacity for bulk transfers.
+type Wire struct {
+	GbitPerSec float64
+	MTUBytes   int
+}
+
+// TenGbE is the paper's local-cluster interconnect.
+func TenGbE() Wire { return Wire{GbitPerSec: 10, MTUBytes: 1500} }
+
+// PacketsPerSec returns the wire's packet ceiling.
+func (w Wire) PacketsPerSec() float64 {
+	return w.GbitPerSec * 1e9 / 8 / float64(w.MTUBytes)
+}
+
+// IperfThroughput computes achievable bulk TCP throughput in Gbit/s
+// when the sender and receiver each spend perPacket cycles of one core
+// per MTU-sized packet, bounded by the wire.
+func IperfThroughput(w Wire, senderPerPacket, receiverPerPacket cycles.Cycles) float64 {
+	pps := w.PacketsPerSec()
+	if senderPerPacket > 0 {
+		if c := cycles.Hz / float64(senderPerPacket); c < pps {
+			pps = c
+		}
+	}
+	if receiverPerPacket > 0 {
+		if c := cycles.Hz / float64(receiverPerPacket); c < pps {
+			pps = c
+		}
+	}
+	return pps * float64(w.MTUBytes) * 8 / 1e9
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xcontainers/internal/cycles"
+)
+
+func TestStationCapacity(t *testing.T) {
+	s := Station{Name: "s", CostPerReq: cycles.Hz, Cores: 1}
+	if got := s.Capacity(); got != 1 {
+		t.Errorf("capacity = %v, want 1 req/s", got)
+	}
+	s.Cores = 3
+	if got := s.Capacity(); got != 3 {
+		t.Errorf("capacity = %v, want 3", got)
+	}
+	if (Station{Name: "z"}).Capacity() != 0 {
+		t.Error("zero-cost station capacity must be 0 (undefined)")
+	}
+}
+
+func TestPipelineBottleneck(t *testing.T) {
+	p := Pipeline{Stations: []Station{
+		{Name: "lb", CostPerReq: 10_000, Cores: 1},
+		{Name: "backends", CostPerReq: 30_000, Cores: 3},
+	}}
+	tput, name, err := p.Bottleneck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lb: 290k req/s; backends: 290k req/s -> tie; first seen wins.
+	if name != "lb" && name != "backends" {
+		t.Errorf("bottleneck = %q", name)
+	}
+	if tput < 289_000 || tput > 291_000 {
+		t.Errorf("throughput = %v", tput)
+	}
+}
+
+func TestPipelineMergesSameName(t *testing.T) {
+	// A NAT-mode balancer charged on both legs: its two appearances
+	// share one CPU budget.
+	p := Pipeline{Stations: []Station{
+		{Name: "lb", CostPerReq: 10_000, Cores: 1},
+		{Name: "backend", CostPerReq: 5_000, Cores: 4},
+		{Name: "lb", CostPerReq: 10_000, Cores: 1},
+	}}
+	tput, name, err := p.Bottleneck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "lb" {
+		t.Errorf("bottleneck = %q, want lb", name)
+	}
+	want := cycles.Hz / 20_000.0
+	if tput < want*0.99 || tput > want*1.01 {
+		t.Errorf("throughput = %v, want %v (merged budget)", tput, want)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, _, err := (Pipeline{}).Bottleneck(); err == nil {
+		t.Error("empty pipeline must fail")
+	}
+	if _, _, err := (Pipeline{Stations: []Station{{Name: "x"}}}).Bottleneck(); err == nil {
+		t.Error("zero-cost pipeline must fail")
+	}
+}
+
+func TestWire(t *testing.T) {
+	w := TenGbE()
+	pps := w.PacketsPerSec()
+	// 10 Gbit/s over 1500-byte frames ≈ 833k packets/s.
+	if pps < 800_000 || pps > 900_000 {
+		t.Errorf("pps = %v", pps)
+	}
+}
+
+func TestIperfWireLimited(t *testing.T) {
+	// Cheap endpoints: the wire is the limit.
+	got := IperfThroughput(TenGbE(), 100, 100)
+	if got < 9.9 || got > 10.1 {
+		t.Errorf("wire-limited iperf = %v, want ≈10 Gbit/s", got)
+	}
+}
+
+func TestIperfCPULimited(t *testing.T) {
+	// An expensive receiver caps throughput below the wire.
+	got := IperfThroughput(TenGbE(), 100, 10_000)
+	if got >= 9 {
+		t.Errorf("CPU-limited iperf = %v, want well under wire rate", got)
+	}
+	// Sender-limited symmetric case.
+	if s := IperfThroughput(TenGbE(), 10_000, 100); s != got {
+		t.Errorf("sender/receiver asymmetry: %v vs %v", s, got)
+	}
+}
+
+func TestIperfMonotoneQuick(t *testing.T) {
+	// More per-packet cost never increases throughput.
+	f := func(a, b uint16) bool {
+		lo, hi := cycles.Cycles(a), cycles.Cycles(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return IperfThroughput(TenGbE(), hi, hi) <= IperfThroughput(TenGbE(), lo, lo)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package runtimes
+
+import (
+	"testing"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/syscalls"
+)
+
+// TestBinaryCompatibilityMatrix runs every Table-1 application binary
+// under every architecture — the §2.3 claim quantified: the same
+// unmodified image either runs everywhere, or fails for the exact
+// reason the paper gives (single-process LibOSes cannot fork/exec).
+func TestBinaryCompatibilityMatrix(t *testing.T) {
+	kinds := []Kind{Docker, XenContainer, XContainer, GVisor, ClearContainer, Unikernel, Graphene}
+	for _, app := range apps.Table1Apps() {
+		forks := appForks(app)
+		for _, kind := range kinds {
+			name := app.Name + "/" + kind.String()
+			text, err := app.BuildBinary(3, 100)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			rt := MustNew(Config{Kind: kind, Patched: true, Cloud: LocalCluster})
+			c, err := rt.NewContainer("m", 1, false)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			p, err := rt.StartProcess(c, text, &cycles.Clock{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			runErr := p.CPU.Run(50_000_000)
+			if kind == Unikernel && forks {
+				// The paper's central LibOS limitation: fork/exec
+				// workloads cannot run on single-process unikernels.
+				if runErr == nil && p.CPU.Fault == nil {
+					t.Errorf("%s: fork-heavy app unexpectedly ran on a unikernel", name)
+				}
+				continue
+			}
+			if runErr != nil {
+				t.Errorf("%s: %v", name, runErr)
+				continue
+			}
+			if !p.CPU.Halted {
+				t.Errorf("%s: did not halt", name)
+			}
+		}
+	}
+}
+
+func appForks(app *apps.App) bool {
+	for _, s := range app.Sites {
+		if s.N == syscalls.Fork || s.N == syscalls.Execve || s.N == syscalls.Clone {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package runtimes
+
+import (
+	"math/rand"
+	"testing"
+
+	"xcontainers/internal/abom"
+	"xcontainers/internal/arch"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/syscalls"
+)
+
+// These tests establish the central ABOM correctness property the
+// paper argues informally: patching — online or offline — never
+// changes program behaviour, only its cost. Random programs are run
+// under Docker (reference semantics: no patching possible) and under
+// X-Containers (aggressive patching), and their architectural outcomes
+// must match.
+
+// traceNums is the set of syscalls whose semantics are
+// register-only and deterministic across kernels, so final state
+// comparison is meaningful.
+var traceNums = []syscalls.No{
+	syscalls.Getpid, syscalls.Getuid, syscalls.Gettimeofday,
+	syscalls.SchedYield, syscalls.RtSigreturn, syscalls.Brk,
+}
+
+// randomProgram builds a random straight-line-with-loops program out
+// of wrapper shapes, work, and stack-neutral filler.
+func randomProgram(rng *rand.Rand) *arch.Text {
+	a := arch.NewAssembler(arch.UserTextBase)
+	emitted := 0
+	for emitted < 6+rng.Intn(10) {
+		n := traceNums[rng.Intn(len(traceNums))]
+		switch rng.Intn(6) {
+		case 0:
+			a.SyscallN(uint32(n))
+		case 1:
+			a.SyscallN64(uint32(n))
+		case 2:
+			// libpthread gapped shape.
+			a.MovR32(arch.RAX, uint32(n))
+			a.PushRdi()
+			a.PopRdi()
+			a.Syscall()
+		case 3:
+			a.Nop()
+		case 4:
+			a.Work(uint32(rng.Intn(500)))
+		case 5:
+			a.Loop(uint32(1+rng.Intn(4)), func(b *arch.Assembler) {
+				b.SyscallN(uint32(n))
+			})
+		}
+		emitted++
+	}
+	a.Hlt()
+	return a.MustAssemble()
+}
+
+type outcome struct {
+	rax, rdi, rsp uint64
+	syscalls      uint64
+	halted        bool
+}
+
+func runUnder(t *testing.T, kind Kind, text *arch.Text) outcome {
+	t.Helper()
+	rt := MustNew(Config{Kind: kind, Patched: true, Cloud: LocalCluster})
+	c, err := rt.NewContainer("eq", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.StartProcess(c, text, &cycles.Clock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CPU.Run(5_000_000); err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+	return outcome{
+		rax:      p.CPU.Regs[arch.RAX],
+		rdi:      p.CPU.Regs[arch.RDI],
+		rsp:      p.CPU.Regs[arch.RSP],
+		syscalls: p.CPU.Counters.RawSyscalls + p.CPU.Counters.VsyscallCalls,
+		halted:   p.CPU.Halted,
+	}
+}
+
+func TestOnlinePatchingPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		text := randomProgram(rng)
+		ref := runUnder(t, Docker, arch.NewText(text.Base, text.Bytes()))
+		got := runUnder(t, XContainer, arch.NewText(text.Base, text.Bytes()))
+		if !got.halted || !ref.halted {
+			t.Fatalf("trial %d: did not halt (ref %v, got %v)", trial, ref.halted, got.halted)
+		}
+		// Same number of logical syscalls, same final stack; RAX may
+		// differ only through getpid (PIDs allocate per-kernel), so
+		// compare RSP/RDI and counts.
+		if got.syscalls != ref.syscalls {
+			t.Fatalf("trial %d: syscall count %d != %d", trial, got.syscalls, ref.syscalls)
+		}
+		if got.rsp != ref.rsp || got.rdi != ref.rdi {
+			t.Fatalf("trial %d: final state diverged: rsp %#x/%#x rdi %d/%d",
+				trial, got.rsp, ref.rsp, got.rdi, ref.rdi)
+		}
+	}
+}
+
+func TestOfflinePatchingPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		text := randomProgram(rng)
+		plain := arch.NewText(text.Base, text.Bytes())
+		patched := arch.NewText(text.Base, text.Bytes())
+		if _, err := abom.PatchOffline(patched); err != nil {
+			t.Fatalf("trial %d: offline patch: %v", trial, err)
+		}
+		ref := runUnder(t, XContainer, plain)
+		got := runUnder(t, XContainer, patched)
+		if got.syscalls != ref.syscalls || got.rsp != ref.rsp || got.rdi != ref.rdi || got.halted != ref.halted {
+			t.Fatalf("trial %d: offline patch changed behaviour: %+v vs %+v", trial, got, ref)
+		}
+	}
+}
+
+func TestRepeatedRunsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	text := randomProgram(rng)
+	first := runUnder(t, XContainer, arch.NewText(text.Base, text.Bytes()))
+	for i := 0; i < 5; i++ {
+		again := runUnder(t, XContainer, arch.NewText(text.Base, text.Bytes()))
+		if again != first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestConcurrentPatchersSafe(t *testing.T) {
+	// Multicore safety (§4.4): several vCPUs trapping on the same text
+	// concurrently. Every intermediate state is a valid program, and
+	// exactly one patcher wins each site.
+	text := arch.NewAssembler(arch.UserTextBase).
+		SyscallN(uint32(syscalls.Getpid)).
+		Hlt().MustAssemble()
+	sysRIP := arch.UserTextBase + 5
+
+	const patchers = 8
+	wins := make(chan abom.PatchResult, patchers)
+	ab := abom.New()
+	for i := 0; i < patchers; i++ {
+		go func() {
+			wins <- ab.OnSyscall(text, sysRIP, uint64(syscalls.Getpid))
+		}()
+	}
+	patchedCount := 0
+	for i := 0; i < patchers; i++ {
+		if r := <-wins; r == abom.Patched7 {
+			patchedCount++
+		}
+	}
+	if patchedCount != 1 {
+		t.Fatalf("%d patchers won the race, want exactly 1", patchedCount)
+	}
+	// Final state decodes cleanly and is the patched call.
+	ins := arch.Decode(text.Fetch(arch.UserTextBase, 8))
+	if ins.Op != arch.OpCallAbs {
+		t.Fatalf("final bytes decode as %v", ins.Op)
+	}
+}

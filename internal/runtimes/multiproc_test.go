@@ -1,0 +1,143 @@
+package runtimes
+
+import (
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/syscalls"
+)
+
+func TestRunConcurrentInterleaves(t *testing.T) {
+	rt := MustNew(Config{Kind: XContainer, Patched: true, Cloud: LocalCluster})
+	c, err := rt.NewContainer("multi", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &cycles.Clock{}
+	mk := func() *Proc {
+		text := arch.NewAssembler(arch.UserTextBase).
+			Loop(200, func(a *arch.Assembler) {
+				a.Work(5000)
+				a.SyscallN(uint32(syscalls.Getpid))
+			}).Hlt().MustAssemble()
+		p, err := rt.StartProcess(c, text, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	procs := []*Proc{mk(), mk(), mk()}
+	elapsed, err := rt.RunConcurrent(procs, cycles.FromMicros(100), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range procs {
+		if !p.CPU.Halted {
+			t.Errorf("process %d did not finish", i)
+		}
+		if pid := p.CPU.Regs[arch.RAX]; pid == 0 {
+			t.Errorf("process %d: getpid = 0", i)
+		}
+	}
+	// Each process has a distinct PID — separate address spaces and
+	// kernel-visible identities within one container.
+	pids := map[uint64]bool{}
+	for _, p := range procs {
+		pids[p.CPU.Regs[arch.RAX]] = true
+	}
+	if len(pids) != 3 {
+		t.Errorf("distinct pids = %d, want 3", len(pids))
+	}
+	if elapsed == 0 {
+		t.Error("no time consumed")
+	}
+	// Interleaving happened: the guest scheduler charged context
+	// switches between quanta.
+	if rt.Costs.ContextSwitchKernel == 0 {
+		t.Skip("no switch cost to observe")
+	}
+}
+
+func TestSharedTextPatchBenefitsAllProcesses(t *testing.T) {
+	// Two nginx-style workers share one text image (fork'd workers map
+	// the same pages). The first worker's trap patches the shared site;
+	// the second worker must never trap at all.
+	rt := MustNew(Config{Kind: XContainer, Patched: true, Cloud: LocalCluster})
+	c, err := rt.NewContainer("workers", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := arch.NewAssembler(arch.UserTextBase).
+		Loop(20, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
+		Hlt().MustAssemble()
+	clk := &cycles.Clock{}
+	pa, err := rt.StartProcess(c, text, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := rt.StartProcess(c, text, clk) // same *arch.Text
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.CPU.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	forwardedAfterA := rt.Hyper.Stats.SyscallsForwarded
+	if forwardedAfterA != 1 {
+		t.Fatalf("worker A forwarded %d syscalls, want 1", forwardedAfterA)
+	}
+	if err := pb.CPU.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Hyper.Stats.SyscallsForwarded; got != forwardedAfterA {
+		t.Errorf("worker B trapped %d times; shared-text patches must carry over", got-forwardedAfterA)
+	}
+	if pb.CPU.Counters.VsyscallCalls != 20 {
+		t.Errorf("worker B function calls = %d, want 20", pb.CPU.Counters.VsyscallCalls)
+	}
+}
+
+func TestRunConcurrentValidation(t *testing.T) {
+	rt := MustNew(Config{Kind: XContainer, Patched: true, Cloud: LocalCluster})
+	c1, _ := rt.NewContainer("a", 1, false)
+	c2, _ := rt.NewContainer("b", 1, false)
+	text := arch.NewAssembler(arch.UserTextBase).Hlt().MustAssemble()
+	clk := &cycles.Clock{}
+	p1, err := rt.StartProcess(c1, text, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := rt.StartProcess(c2, arch.NewText(text.Base, text.Bytes()), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunConcurrent([]*Proc{p1, p2}, 0, 1000); err == nil {
+		t.Fatal("processes of different containers must be rejected")
+	}
+	p3, err := rt.StartProcess(c1, arch.NewText(text.Base, text.Bytes()), &cycles.Clock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunConcurrent([]*Proc{p1, p3}, 0, 1000); err == nil {
+		t.Fatal("processes with different clocks must be rejected")
+	}
+	if _, err := rt.RunConcurrent(nil, 0, 1000); err != nil {
+		t.Fatal("empty process list is a no-op")
+	}
+}
+
+func TestRunConcurrentStepBudget(t *testing.T) {
+	rt := MustNew(Config{Kind: XContainer, Patched: true, Cloud: LocalCluster})
+	c, _ := rt.NewContainer("spin", 1, false)
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Label("spin").Jmp("spin")
+	clk := &cycles.Clock{}
+	p, err := rt.StartProcess(c, a.MustAssemble(), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunConcurrent([]*Proc{p}, 0, 1000); err == nil {
+		t.Fatal("spinning process must exhaust the step budget")
+	}
+}

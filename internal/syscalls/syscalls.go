@@ -1,0 +1,161 @@
+// Package syscalls defines the system-call numbering and metadata shared
+// by every kernel in the simulation: the baseline Linux model
+// (internal/linuxsim), the X-LibOS (internal/libos), and the user-space
+// kernels (gVisor model in internal/runtimes).
+//
+// Numbers follow the real x86-64 Linux ABI so that binary images built
+// by internal/apps are meaningful and the vsyscall entry-table offsets
+// in ABOM patches line up with the paper's Figure 2 (read=0 patches to
+// entry *0xffffffffff600008, rt_sigreturn=15 to *0xffffffffff600080).
+package syscalls
+
+import "fmt"
+
+// No is a system call number (x86-64 Linux ABI).
+type No uint32
+
+// The syscalls the simulation implements. This is the working set of
+// the paper's workloads: the UnixBench microbenchmark set (dup, close,
+// getpid, getuid, umask, execve, fork, pipe, read, write), the network
+// set used by the server applications, and scheduling/time calls that
+// event loops issue.
+const (
+	Read         No = 0
+	Write        No = 1
+	Open         No = 2
+	Close        No = 3
+	Stat         No = 4
+	Fstat        No = 5
+	Poll         No = 7
+	Mmap         No = 9
+	Munmap       No = 11
+	Brk          No = 12
+	RtSigreturn  No = 15
+	Ioctl        No = 16
+	Pipe         No = 22
+	Select       No = 23
+	SchedYield   No = 24
+	Dup          No = 32
+	Nanosleep    No = 35
+	Getpid       No = 39
+	Sendfile     No = 40
+	Socket       No = 41
+	Connect      No = 42
+	Accept       No = 43
+	Sendto       No = 44
+	Recvfrom     No = 45
+	Shutdown     No = 48
+	Bind         No = 49
+	Listen       No = 50
+	Clone        No = 56
+	Fork         No = 57
+	Execve       No = 59
+	Exit         No = 60
+	Wait4        No = 61
+	Kill         No = 62
+	Fcntl        No = 72
+	Getuid       No = 102
+	Umask        No = 95
+	Gettimeofday No = 96
+	Futex        No = 202
+	EpollWait    No = 232
+	EpollCtl     No = 233
+	Openat       No = 257
+	Accept4      No = 288
+	EpollCreate1 No = 291
+	MaxNo        No = 335
+)
+
+var names = map[No]string{
+	Read: "read", Write: "write", Open: "open", Close: "close",
+	Stat: "stat", Fstat: "fstat", Poll: "poll", Mmap: "mmap",
+	Munmap: "munmap", Brk: "brk", RtSigreturn: "rt_sigreturn",
+	Ioctl: "ioctl", Pipe: "pipe", Select: "select",
+	SchedYield: "sched_yield", Dup: "dup", Nanosleep: "nanosleep",
+	Getpid: "getpid", Sendfile: "sendfile", Socket: "socket",
+	Connect: "connect", Accept: "accept", Sendto: "sendto",
+	Recvfrom: "recvfrom", Shutdown: "shutdown", Bind: "bind",
+	Listen: "listen", Clone: "clone", Fork: "fork", Execve: "execve",
+	Exit: "exit", Wait4: "wait4", Kill: "kill", Fcntl: "fcntl",
+	Getuid: "getuid", Umask: "umask", Gettimeofday: "gettimeofday",
+	Futex: "futex", EpollWait: "epoll_wait", EpollCtl: "epoll_ctl",
+	Openat: "openat", Accept4: "accept4", EpollCreate1: "epoll_create1",
+}
+
+func (n No) String() string {
+	if s, ok := names[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("sys_%d", uint32(n))
+}
+
+// Valid reports whether n is within the ABI table.
+func (n No) Valid() bool { return n < MaxNo }
+
+// Kind classifies syscalls by the cost of their kernel handler body
+// (charged on top of the entry/exit path the runtime dictates).
+type Kind uint8
+
+const (
+	// KindTrivial: getpid/getuid/umask-style — read a field, return.
+	KindTrivial Kind = iota
+	// KindFd: dup/close/fcntl-style fd-table manipulation.
+	KindFd
+	// KindIO: read/write/send/recv — buffer copy plus fs or socket work.
+	KindIO
+	// KindProcess: fork/execve/clone/wait — page-table construction,
+	// scheduler interaction.
+	KindProcess
+	// KindMemory: mmap/munmap/brk — page-table updates.
+	KindMemory
+	// KindWait: poll/select/epoll_wait/accept/futex/nanosleep — may block.
+	KindWait
+	// KindSignal: rt_sigreturn and friends.
+	KindSignal
+)
+
+// Classify maps a syscall number to its handler-cost class.
+func Classify(n No) Kind {
+	switch n {
+	case Getpid, Getuid, Umask, Gettimeofday, SchedYield:
+		return KindTrivial
+	case Dup, Close, Fcntl, Ioctl, Open, Openat, Stat, Fstat,
+		Socket, Bind, Listen, Shutdown, Pipe, EpollCtl, EpollCreate1:
+		return KindFd
+	case Read, Write, Sendto, Recvfrom, Sendfile:
+		return KindIO
+	case Fork, Clone, Execve, Exit, Wait4, Kill:
+		return KindProcess
+	case Mmap, Munmap, Brk:
+		return KindMemory
+	case Poll, Select, EpollWait, Accept, Accept4, Connect, Futex, Nanosleep:
+		return KindWait
+	case RtSigreturn:
+		return KindSignal
+	}
+	return KindTrivial
+}
+
+// HandlerCycles is the kernel handler-body cost for each class: the work
+// the kernel does once the call has arrived, identical across runtimes
+// (what differs between architectures is the entry/exit path). fork and
+// execve are charged per page-table update separately by each kernel.
+func HandlerCycles(k Kind) uint64 {
+	switch k {
+	case KindTrivial:
+		return 8
+	case KindFd:
+		return 25
+	case KindIO:
+		return 350
+	case KindProcess:
+		return 2000
+	case KindMemory:
+		return 300
+	case KindWait:
+		return 150
+	case KindSignal:
+		return 120
+	}
+	return 8
+}

@@ -1,0 +1,62 @@
+package syscalls
+
+import "testing"
+
+func TestABINumbers(t *testing.T) {
+	// The x86-64 Linux numbers ABOM's entry-table geometry depends on.
+	cases := map[No]uint32{
+		Read: 0, Write: 1, Open: 2, Close: 3, RtSigreturn: 15,
+		Dup: 32, Getpid: 39, Fork: 57, Execve: 59, Exit: 60,
+		Getuid: 102, Umask: 95, Futex: 202, EpollWait: 232, Accept4: 288,
+	}
+	for n, want := range cases {
+		if uint32(n) != want {
+			t.Errorf("%v = %d, want %d", n, uint32(n), want)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Read.String() != "read" || RtSigreturn.String() != "rt_sigreturn" {
+		t.Error("canonical names wrong")
+	}
+	if No(333).String() != "sys_333" {
+		t.Errorf("unnamed syscall renders %q", No(333).String())
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Read.Valid() || !No(MaxNo-1).Valid() {
+		t.Error("valid numbers rejected")
+	}
+	if MaxNo.Valid() || No(10000).Valid() {
+		t.Error("invalid numbers accepted")
+	}
+}
+
+func TestClassifyCoversWorkingSet(t *testing.T) {
+	// Every named syscall classifies without falling through
+	// unintentionally into trivial (except the genuinely trivial ones).
+	trivial := map[No]bool{Getpid: true, Getuid: true, Umask: true, Gettimeofday: true, SchedYield: true}
+	for n := range names {
+		k := Classify(n)
+		if k == KindTrivial && !trivial[n] {
+			t.Errorf("%v classified trivial", n)
+		}
+	}
+}
+
+func TestHandlerCyclesOrdering(t *testing.T) {
+	// Process-class handlers are the heaviest; trivial the lightest.
+	if HandlerCycles(KindProcess) <= HandlerCycles(KindIO) {
+		t.Error("process handlers must exceed I/O handlers")
+	}
+	if HandlerCycles(KindTrivial) >= HandlerCycles(KindFd) {
+		t.Error("trivial handlers must be the cheapest")
+	}
+	for _, k := range []Kind{KindTrivial, KindFd, KindIO, KindProcess, KindMemory, KindWait, KindSignal} {
+		if HandlerCycles(k) == 0 {
+			t.Errorf("kind %d has zero handler cost", k)
+		}
+	}
+}

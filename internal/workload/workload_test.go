@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+)
+
+func rt(t *testing.T, kind runtimes.Kind, patched bool) *runtimes.Runtime {
+	t.Helper()
+	return runtimes.MustNew(runtimes.Config{Kind: kind, Patched: patched, Cloud: runtimes.LocalCluster})
+}
+
+func TestSyscallLoopProgramSemantics(t *testing.T) {
+	// The loop must actually dup and close: under Docker the fd table
+	// must end balanced (every dup closed).
+	docker := rt(t, runtimes.Docker, true)
+	c, err := docker.NewContainer("ub", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := docker.StartProcess(c, SyscallLoopProgram(10), &cycles.Clock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CPU.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CPU.Counters.RawSyscalls; got != 10*SyscallsPerIteration {
+		t.Errorf("syscalls = %d, want %d", got, 10*SyscallsPerIteration)
+	}
+	// 3 seeded stdio fds remain; all dups closed.
+	if got := p.OS.FDs.Len(); got != 3 {
+		t.Errorf("fd table size = %d, want 3 (dups all closed)", got)
+	}
+}
+
+func TestAllUnixBenchTestsRunEverywhere(t *testing.T) {
+	kinds := []runtimes.Kind{
+		runtimes.Docker, runtimes.XenContainer, runtimes.XContainer,
+		runtimes.GVisor, runtimes.ClearContainer, runtimes.Graphene,
+	}
+	tests := append([]UnixBenchTest{TestSyscall}, AllUnixBenchTests()...)
+	for _, k := range kinds {
+		for _, test := range tests {
+			s, err := RunUnixBench(rt(t, k, true), test, false)
+			if err != nil {
+				t.Errorf("%v/%s: %v", k, test, err)
+				continue
+			}
+			if s.OpsPS <= 0 {
+				t.Errorf("%v/%s: nonpositive score", k, test)
+			}
+		}
+	}
+}
+
+func TestSyscallBenchmarkOrdering(t *testing.T) {
+	// The Fig. 4 ordering: X > Clear > Docker-unpatched > Docker >
+	// Xen-Container > gVisor.
+	score := func(k runtimes.Kind, patched bool) float64 {
+		s, err := RunUnixBench(rt(t, k, patched), TestSyscall, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.OpsPS
+	}
+	x := score(runtimes.XContainer, true)
+	clear := score(runtimes.ClearContainer, true)
+	dockerU := score(runtimes.Docker, false)
+	docker := score(runtimes.Docker, true)
+	xen := score(runtimes.XenContainer, true)
+	gv := score(runtimes.GVisor, true)
+	if !(x > clear && clear > dockerU && dockerU > docker && docker > xen && xen > gv) {
+		t.Errorf("ordering violated: x=%g clear=%g dockerU=%g docker=%g xen=%g gvisor=%g",
+			x, clear, dockerU, docker, xen, gv)
+	}
+	// Headline ratios (paper: up to 27x over Docker, ≈1.6x over Clear,
+	// gVisor at 7-9% of Docker).
+	if r := x / docker; r < 20 || r > 30 {
+		t.Errorf("X/Docker = %.1f, want ≈25", r)
+	}
+	if r := x / clear; r < 1.3 || r > 2.0 {
+		t.Errorf("X/Clear = %.2f, want ≈1.6", r)
+	}
+	if r := gv / docker; r < 0.05 || r > 0.12 {
+		t.Errorf("gVisor/Docker = %.3f, want 0.07-0.09", r)
+	}
+}
+
+func TestMeltdownPatchInsensitivity(t *testing.T) {
+	// Fig. 4: the patch must not affect X-Containers or Clear
+	// Containers, and must hurt Docker.
+	ratio := func(k runtimes.Kind) float64 {
+		p, err := RunUnixBench(rt(t, k, true), TestSyscall, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := RunUnixBench(rt(t, k, false), TestSyscall, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u.OpsPS / p.OpsPS
+	}
+	if r := ratio(runtimes.XContainer); r > 1.05 {
+		t.Errorf("X-Container patched/unpatched gap = %.2f, want ≈1", r)
+	}
+	if r := ratio(runtimes.ClearContainer); r > 1.05 {
+		t.Errorf("Clear patched/unpatched gap = %.2f, want ≈1", r)
+	}
+	if r := ratio(runtimes.Docker); r < 2 {
+		t.Errorf("Docker unpatched/patched = %.2f, want >2", r)
+	}
+}
+
+func TestProcessCreationPenalty(t *testing.T) {
+	// Fig. 5: X-Containers lose to Docker on fork-heavy loops (page
+	// tables via hypercalls, §5.4).
+	d, err := RunUnixBench(rt(t, runtimes.Docker, true), TestProcCreate, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := RunUnixBench(rt(t, runtimes.XContainer, true), TestProcCreate, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.OpsPS >= d.OpsPS {
+		t.Errorf("X (%v) must be slower than Docker (%v) on process creation", x.OpsPS, d.OpsPS)
+	}
+}
+
+func TestConcurrencyTaxDirection(t *testing.T) {
+	single, err := RunUnixBench(rt(t, runtimes.Docker, true), TestSyscall, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunUnixBench(rt(t, runtimes.Docker, true), TestSyscall, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.OpsPS >= single.OpsPS {
+		t.Error("concurrent copies must contend on a shared kernel")
+	}
+}
+
+func TestConversionFraction(t *testing.T) {
+	if f := ConversionFraction(apps.Memcached()); f != 1 {
+		t.Errorf("memcached fraction = %v, want 1", f)
+	}
+	f := ConversionFraction(apps.MySQL())
+	if f < 0.44 || f > 0.45 {
+		t.Errorf("MySQL fraction = %v, want ≈0.446", f)
+	}
+}
+
+func TestSyscallCosterBlendsPaths(t *testing.T) {
+	x := rt(t, runtimes.XContainer, true)
+	full := SyscallCoster(x, apps.Memcached()) // conversion 1.0
+	half := SyscallCoster(x, apps.MySQL())     // conversion ≈0.45
+	if full(syscalls.Read) >= half(syscalls.Read) {
+		t.Error("lower conversion must mean costlier average syscalls")
+	}
+}
+
+func TestServerLoadParallelismCap(t *testing.T) {
+	x := rt(t, runtimes.XContainer, true)
+	app := apps.Nginx() // single worker
+	one := ServerLoad{App: app, RT: x, Workers: 1, Cores: 8}.Run()
+	four := ServerLoad{App: app, RT: x, Workers: 4, Cores: 8}.Run()
+	capped := ServerLoad{App: app, RT: x, Workers: 16, Cores: 8}.Run()
+	if four.Throughput < 3.9*one.Throughput {
+		t.Errorf("4 workers = %v, want ≈4x single (%v)", four.Throughput, one.Throughput)
+	}
+	if capped.Throughput > 8.1*one.Throughput {
+		t.Error("workers beyond cores must not help")
+	}
+}
+
+func TestServerLoadLittleLaw(t *testing.T) {
+	x := rt(t, runtimes.XContainer, true)
+	res := ServerLoad{App: apps.Redis(), RT: x, Cores: 1, Concurrency: 10}.Run()
+	// latency(s) × throughput == concurrency.
+	got := res.LatencyUS / 1e6 * res.Throughput
+	if got < 9.99 || got > 10.01 {
+		t.Errorf("Little's law violated: L = %v, want 10", got)
+	}
+}
+
+func TestGrapheneMultiProcessPenalty(t *testing.T) {
+	g := rt(t, runtimes.Graphene, false)
+	app := apps.Nginx()
+	single := RequestCostN(g, app, 1)
+	multi := RequestCostN(g, app, 4)
+	if multi <= single {
+		t.Error("multi-process Graphene must pay IPC coordination (§5.5)")
+	}
+	// X-Containers must not pay it.
+	x := rt(t, runtimes.XContainer, false)
+	if RequestCostN(x, app, 4) != RequestCostN(x, app, 1) {
+		t.Error("X-Container request cost must not depend on process count")
+	}
+}

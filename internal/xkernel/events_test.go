@@ -1,0 +1,221 @@
+package xkernel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"xcontainers/internal/cycles"
+)
+
+func TestSharedInfoPendingFlag(t *testing.T) {
+	s := NewSharedInfo()
+	if s.AnyPending() {
+		t.Fatal("fresh page must be quiet")
+	}
+	if !s.Set(3) {
+		t.Fatal("first set must signal an upcall")
+	}
+	if s.Set(3) {
+		t.Fatal("re-raising a pending port must not re-signal")
+	}
+	if !s.AnyPending() {
+		t.Fatal("pending flag not raised")
+	}
+	got := s.Consume()
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("consume = %v", got)
+	}
+	if s.AnyPending() {
+		t.Fatal("consume must clear the flag")
+	}
+}
+
+func TestSharedInfoMasking(t *testing.T) {
+	s := NewSharedInfo()
+	s.Mask(5)
+	if s.Set(5) {
+		t.Fatal("masked port must not signal")
+	}
+	if len(s.Consume()) != 0 {
+		t.Fatal("masked events must not be consumable")
+	}
+	if !s.Unmask(5) {
+		t.Fatal("unmask must report the waiting event")
+	}
+	got := s.Consume()
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("after unmask consume = %v", got)
+	}
+	// Unmasking a quiet port reports nothing waiting.
+	s.Mask(6)
+	if s.Unmask(6) {
+		t.Fatal("quiet port unmask must report false")
+	}
+}
+
+func TestEventBusNotify(t *testing.T) {
+	b := NewEventBus()
+	ch := b.Connect(1, 2)
+	to, port, ok := b.Notify(ch, 1)
+	if !ok || to != 2 || port != ch.PortB {
+		t.Fatalf("notify = %d %d %v", to, port, ok)
+	}
+	if !b.Info(2).AnyPending() {
+		t.Fatal("destination shared info not marked")
+	}
+	// Reverse direction.
+	to, port, ok = b.Notify(ch, 2)
+	if !ok || to != 1 || port != ch.PortA {
+		t.Fatalf("reverse notify = %d %d %v", to, port, ok)
+	}
+	// Stranger domain rejected.
+	if _, _, ok := b.Notify(ch, 9); ok {
+		t.Fatal("non-endpoint notify must fail")
+	}
+	// Ports unique across channels.
+	ch2 := b.Connect(1, 3)
+	if ch2.PortA == ch.PortA || ch2.PortB == ch.PortB {
+		t.Fatal("ports must be unique")
+	}
+}
+
+func TestRingBackpressure(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.PushRequest(RingDesc{ID: uint64(i)}) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if r.PushRequest(RingDesc{ID: 99}) {
+		t.Fatal("full ring must refuse")
+	}
+	if r.Stats.Full != 1 {
+		t.Errorf("full count = %d", r.Stats.Full)
+	}
+	got := r.ConsumeRequests(2)
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("consume = %v (FIFO order required)", got)
+	}
+	if r.Inflight() != 2 {
+		t.Fatalf("inflight = %d", r.Inflight())
+	}
+	if !r.PushRequest(RingDesc{ID: 99}) {
+		t.Fatal("drained ring must accept again")
+	}
+}
+
+func TestRingResponses(t *testing.T) {
+	r := NewRing(0)
+	r.PushRequest(RingDesc{ID: 1, Size: 1500})
+	for _, d := range r.ConsumeRequests(0) {
+		r.PushResponse(d)
+	}
+	got := r.CollectResponses()
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("responses = %v", got)
+	}
+	if len(r.CollectResponses()) != 0 {
+		t.Fatal("responses must drain")
+	}
+}
+
+func TestRingConservationQuick(t *testing.T) {
+	// Property: consumed + inflight == pushed, regardless of the
+	// push/consume interleaving.
+	f := func(ops []uint8) bool {
+		r := NewRing(32)
+		var pushed, consumed uint64
+		for _, op := range ops {
+			if op%3 == 0 {
+				consumed += uint64(len(r.ConsumeRequests(int(op % 7))))
+			} else {
+				if r.PushRequest(RingDesc{ID: uint64(op)}) {
+					pushed++
+				}
+			}
+		}
+		return consumed+uint64(r.Inflight()) == pushed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDeviceTransfer(t *testing.T) {
+	k := New(Config{Mode: ModeXKernel})
+	bus := NewEventBus()
+	front, _ := k.CreateDomain("fe", DomXContainer, 16, 1)
+	back, _ := k.CreateDomain("driver", DomDriver, 4, 1)
+	sd := &SplitDevice{
+		Ring:    NewRing(8),
+		Chan:    bus.Connect(front.ID, back.ID),
+		Bus:     bus,
+		Grants:  NewGrantTable(k.Frames),
+		Backend: back.ID,
+	}
+	clk := &cycles.Clock{}
+	sent, err := sd.TransferBatch(k, clk, front.ID, front.Frames[:5], 1500)
+	if err != nil || sent != 5 {
+		t.Fatalf("transfer = %d, %v", sent, err)
+	}
+	// The front-end's shared info has the completion event pending.
+	if !bus.Info(front.ID).AnyPending() {
+		t.Fatal("completion event missing")
+	}
+	if clk.Now() == 0 {
+		t.Fatal("ring transfer must consume cycles")
+	}
+	// All grants revoked after completion — nothing leaks to the
+	// driver domain.
+	if sd.Grants.Live() != 0 {
+		t.Fatalf("%d grants leaked after transfer", sd.Grants.Live())
+	}
+	// Oversized batch is truncated by ring capacity, not an error.
+	sent, err = sd.TransferBatch(k, clk, front.ID, front.Frames, 1500)
+	if err != nil || sent != 8 {
+		t.Fatalf("oversized transfer = %d, %v", sent, err)
+	}
+	if sd.Grants.Live() != 0 {
+		t.Fatalf("%d grants leaked after truncated transfer", sd.Grants.Live())
+	}
+}
+
+func TestSplitDeviceRejectsForeignFrames(t *testing.T) {
+	// A front-end trying to DMA another domain's memory through the
+	// driver must be stopped at the grant step.
+	k := New(Config{Mode: ModeXKernel})
+	bus := NewEventBus()
+	front, _ := k.CreateDomain("fe", DomXContainer, 4, 1)
+	victim, _ := k.CreateDomain("victim", DomXContainer, 4, 1)
+	back, _ := k.CreateDomain("driver", DomDriver, 4, 1)
+	sd := &SplitDevice{
+		Ring:    NewRing(8),
+		Chan:    bus.Connect(front.ID, back.ID),
+		Bus:     bus,
+		Grants:  NewGrantTable(k.Frames),
+		Backend: back.ID,
+	}
+	_, err := sd.TransferBatch(k, &cycles.Clock{}, front.ID, victim.Frames[:1], 1500)
+	if err == nil {
+		t.Fatal("transfer of a foreign frame must fail")
+	}
+}
+
+func TestSharedInfoConcurrentSetters(t *testing.T) {
+	// Many producers racing on one shared-info page never lose events.
+	s := NewSharedInfo()
+	const producers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s.Set(Port(p))
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.Consume()); got != producers {
+		t.Fatalf("consumed %d events, want %d", got, producers)
+	}
+}

@@ -1,0 +1,90 @@
+package xkernel
+
+import "testing"
+
+func grantFixture(t *testing.T) (*Kernel, *Domain, *Domain, *GrantTable) {
+	t.Helper()
+	k := New(Config{Mode: ModeXKernel})
+	fe, err := k.CreateDomain("frontend", DomXContainer, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := k.CreateDomain("backend", DomDriver, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, fe, be, NewGrantTable(k.Frames)
+}
+
+func TestGrantMapUnmapRevoke(t *testing.T) {
+	_, fe, be, gt := grantFixture(t)
+	ref, err := gt.Grant(fe.ID, be.ID, fe.Frames[0], GrantRead|GrantWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := gt.Map(be.ID, ref, GrantRead)
+	if err != nil || frame != fe.Frames[0] {
+		t.Fatalf("map = %d, %v", frame, err)
+	}
+	// Revocation blocked while mapped.
+	if err := gt.Revoke(fe.ID, ref); err == nil {
+		t.Fatal("revoke with active mappings must fail")
+	}
+	if err := gt.Unmap(be.ID, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := gt.Revoke(fe.ID, ref); err != nil {
+		t.Fatalf("revoke after unmap: %v", err)
+	}
+	if gt.Live() != 0 {
+		t.Fatal("entry not removed")
+	}
+	// Mapping a revoked grant fails.
+	if _, err := gt.Map(be.ID, ref, GrantRead); err == nil {
+		t.Fatal("map of revoked grant must fail")
+	}
+}
+
+func TestGrantOwnershipEnforced(t *testing.T) {
+	_, fe, be, gt := grantFixture(t)
+	// A domain cannot grant a frame it does not own.
+	if _, err := gt.Grant(fe.ID, be.ID, be.Frames[0], GrantRead); err == nil {
+		t.Fatal("granting a foreign frame must fail")
+	}
+	if gt.Stats.Denied == 0 {
+		t.Error("denial not recorded")
+	}
+}
+
+func TestGrantGranteeOnly(t *testing.T) {
+	k, fe, be, gt := grantFixture(t)
+	other, err := k.CreateDomain("snoop", DomXContainer, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := gt.Grant(fe.ID, be.ID, fe.Frames[0], GrantRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third domain cannot map someone else's grant.
+	if _, err := gt.Map(other.ID, ref, GrantRead); err == nil {
+		t.Fatal("non-grantee map must fail")
+	}
+	// Nor can the grantee exceed the granted access.
+	if _, err := gt.Map(be.ID, ref, GrantWrite); err == nil {
+		t.Fatal("write map of a read-only grant must fail")
+	}
+}
+
+func TestGrantUnmapValidation(t *testing.T) {
+	_, fe, be, gt := grantFixture(t)
+	ref, _ := gt.Grant(fe.ID, be.ID, fe.Frames[0], GrantRead)
+	// Unmap without map.
+	if err := gt.Unmap(be.ID, ref); err == nil {
+		t.Fatal("unmap without mapping must fail")
+	}
+	// Revoke by non-owner.
+	if err := gt.Revoke(be.ID, ref); err == nil {
+		t.Fatal("revoke by grantee must fail")
+	}
+}

@@ -1,0 +1,98 @@
+package xkernel
+
+// Hypercall numbers. The set mirrors Xen's actual ABI surface: this is
+// the paper's security argument made concrete — the X-Kernel exposes a
+// few dozen well-documented hypercalls versus the ~330+ system calls of
+// a monolithic Linux kernel (compare syscalls.MaxNo). The
+// AttackSurface helpers below are used by the isolation report in
+// cmd/xcbench and by tests.
+type Hypercall uint32
+
+const (
+	HySetTrapTable Hypercall = iota
+	HyMMUUpdate
+	HySetGDT
+	HyStackSwitch
+	HySetCallbacks
+	HyFpuTaskswitch
+	HySchedOpCompat
+	HyPlatformOp
+	HySetDebugreg
+	HyGetDebugreg
+	HyUpdateDescriptor
+	HyMemoryOp
+	HyMulticall
+	HyUpdateVaMapping
+	HySetTimerOp
+	HyEventChannelOpCompat
+	HyXenVersion
+	HyConsoleIO
+	HyPhysdevOpCompat
+	HyGrantTableOp
+	HyVMAssist
+	HyUpdateVaMappingOtherdomain
+	HyIret
+	HyVCPUOp
+	HySetSegmentBase
+	HyMMUExtOp
+	HyXSMOp
+	HyNMIOp
+	HySchedOp
+	HyCallbackOp
+	HyXenoprofOp
+	HyEventChannelOp
+	HyPhysdevOp
+	HyHVMOp
+	HySysctl
+	HyDomctl
+	HyKexecOp
+	HyTmemOp
+	HyArgoOp
+	HyXenpmuOp
+	NumHypercalls // == 40: the whole hypervisor interface
+)
+
+var hypercallNames = [NumHypercalls]string{
+	"set_trap_table", "mmu_update", "set_gdt", "stack_switch",
+	"set_callbacks", "fpu_taskswitch", "sched_op_compat", "platform_op",
+	"set_debugreg", "get_debugreg", "update_descriptor", "memory_op",
+	"multicall", "update_va_mapping", "set_timer_op",
+	"event_channel_op_compat", "xen_version", "console_io",
+	"physdev_op_compat", "grant_table_op", "vm_assist",
+	"update_va_mapping_otherdomain", "iret", "vcpu_op",
+	"set_segment_base", "mmuext_op", "xsm_op", "nmi_op", "sched_op",
+	"callback_op", "xenoprof_op", "event_channel_op", "physdev_op",
+	"hvm_op", "sysctl", "domctl", "kexec_op", "tmem_op", "argo_op",
+	"xenpmu_op",
+}
+
+func (h Hypercall) String() string {
+	if h < NumHypercalls {
+		return hypercallNames[h]
+	}
+	return "hypercall(?)"
+}
+
+// AttackSurface summarizes the kernel-mode interface exposed to
+// untrusted code — the quantity the paper's threat model (§3.4) is
+// about.
+type AttackSurface struct {
+	Name        string
+	Interfaces  int // number of entry points callable from a container
+	TCBKLoC     int // order-of-magnitude trusted computing base size
+	SharedState bool
+}
+
+// XKernelSurface is the X-Kernel's surface: hypercalls only, small TCB.
+// The ~100 KLoC figure is Xen's hypervisor core, per the LightVM and
+// Xen literature.
+func XKernelSurface() AttackSurface {
+	return AttackSurface{Name: "X-Kernel", Interfaces: int(NumHypercalls), TCBKLoC: 100, SharedState: false}
+}
+
+// LinuxSurface is the monolithic-kernel surface containers sit on under
+// Docker: the full syscall table and a multi-MLoC TCB shared by all
+// tenants.
+func LinuxSurface() AttackSurface {
+	return AttackSurface{Name: "Linux (shared)", Interfaces: 335, TCBKLoC: 17000, SharedState: true}
+}

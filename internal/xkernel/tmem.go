@@ -1,0 +1,178 @@
+package xkernel
+
+import (
+	"fmt"
+	"sync"
+
+	"xcontainers/internal/mem"
+)
+
+// This file implements the memory-management mechanisms §4.5 points to
+// for lifting the static-allocation limitation of the prototype:
+//
+//   - ballooning: a guest returns frames to (or reclaims frames from)
+//     the hypervisor at runtime, enabling dynamic sizing and
+//     over-subscription;
+//   - Transcendent Memory (tmem): a hypervisor-managed pool that
+//     guests use as an ephemeral second-chance page cache and a
+//     persistent RAM-based swap, letting idle memory be shared across
+//     X-Containers.
+
+// BalloonAdjust grows (delta > 0) or shrinks (delta < 0) a domain's
+// memory reservation by |delta| pages. Shrinking always succeeds (the
+// guest's balloon driver has already freed the pages); growing fails
+// when machine memory is exhausted.
+func (k *Kernel) BalloonAdjust(d *Domain, delta int) error {
+	switch {
+	case delta == 0:
+		return nil
+	case delta > 0:
+		frames, err := k.Frames.AllocN(d.Owner, delta)
+		if err != nil {
+			return fmt.Errorf("xkernel: balloon up %q by %d: %w", d.Name, delta, err)
+		}
+		d.Frames = append(d.Frames, frames...)
+		d.MemoryPages += delta
+		return nil
+	default:
+		n := -delta
+		if n > len(d.Frames) {
+			return fmt.Errorf("xkernel: balloon down %q by %d: only %d pages held", d.Name, n, len(d.Frames))
+		}
+		victim := d.Frames[len(d.Frames)-n:]
+		d.Frames = d.Frames[:len(d.Frames)-n]
+		k.Frames.FreeAll(victim)
+		d.MemoryPages -= n
+		return nil
+	}
+}
+
+// TmemPoolKind distinguishes the two tmem pool semantics.
+type TmemPoolKind uint8
+
+const (
+	// TmemEphemeral: the hypervisor may drop pages at any time (clean
+	// page-cache second chance); Get may miss.
+	TmemEphemeral TmemPoolKind = iota
+	// TmemPersistent: pages are guaranteed until the domain flushes
+	// them (RAM-based swap); Put fails instead of evicting.
+	TmemPersistent
+)
+
+type tmemKey struct {
+	dom  DomID
+	pool uint32
+	key  uint64
+}
+
+type tmemPage struct {
+	data []byte
+	kind TmemPoolKind
+}
+
+// TmemStats counts tmem operations.
+type TmemStats struct {
+	Puts      uint64
+	GetHits   uint64
+	GetMisses uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// Tmem is the hypervisor-wide transcendent-memory store.
+type Tmem struct {
+	mu       sync.Mutex
+	capacity int // pages
+	pages    map[tmemKey]*tmemPage
+	order    []tmemKey // FIFO eviction order among ephemeral pages
+	Stats    TmemStats
+}
+
+// NewTmem creates a pool bounded to capacity pages.
+func NewTmem(capacity int) *Tmem {
+	return &Tmem{capacity: capacity, pages: make(map[tmemKey]*tmemPage)}
+}
+
+// Put stores one page. Ephemeral puts evict older ephemeral pages when
+// full; persistent puts fail when no space can be made.
+func (t *Tmem) Put(dom DomID, pool uint32, key uint64, data []byte, kind TmemPoolKind) error {
+	if len(data) > mem.PageSize {
+		return fmt.Errorf("xkernel: tmem page exceeds %d bytes", mem.PageSize)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := tmemKey{dom, pool, key}
+	if _, exists := t.pages[k]; !exists && len(t.pages) >= t.capacity {
+		if !t.evictLocked() {
+			if kind == TmemPersistent {
+				return fmt.Errorf("xkernel: tmem full (%d pages), persistent put refused", t.capacity)
+			}
+			// Ephemeral put into a full pool of persistent pages is
+			// silently dropped — legal tmem semantics.
+			t.Stats.Puts++
+			return nil
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if _, exists := t.pages[k]; !exists && kind == TmemEphemeral {
+		t.order = append(t.order, k)
+	}
+	t.pages[k] = &tmemPage{data: cp, kind: kind}
+	t.Stats.Puts++
+	return nil
+}
+
+// evictLocked drops the oldest ephemeral page; false if none exists.
+func (t *Tmem) evictLocked() bool {
+	for len(t.order) > 0 {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		if pg, ok := t.pages[victim]; ok && pg.kind == TmemEphemeral {
+			delete(t.pages, victim)
+			t.Stats.Evictions++
+			return true
+		}
+	}
+	return false
+}
+
+// Get retrieves a page. Ephemeral hits consume the page (second-chance
+// cache semantics); persistent pages remain until flushed.
+func (t *Tmem) Get(dom DomID, pool uint32, key uint64) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := tmemKey{dom, pool, key}
+	pg, ok := t.pages[k]
+	if !ok {
+		t.Stats.GetMisses++
+		return nil, false
+	}
+	t.Stats.GetHits++
+	if pg.kind == TmemEphemeral {
+		delete(t.pages, k)
+	}
+	return pg.data, true
+}
+
+// FlushDomain drops every page a domain owns (domain destruction).
+func (t *Tmem) FlushDomain(dom DomID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for k := range t.pages {
+		if k.dom == dom {
+			delete(t.pages, k)
+			n++
+		}
+	}
+	t.Stats.Flushes++
+	return n
+}
+
+// InUse reports stored pages.
+func (t *Tmem) InUse() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pages)
+}

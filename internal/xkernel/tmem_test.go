@@ -1,0 +1,161 @@
+package xkernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalloonDownAndUp(t *testing.T) {
+	k := New(Config{Mode: ModeXKernel, MachineFrames: 100})
+	a, _ := k.CreateDomain("a", DomXContainer, 60, 1)
+	if _, err := k.CreateDomain("b", DomXContainer, 60, 1); err == nil {
+		t.Fatal("machine should be too small for both at full size")
+	}
+	// a balloons down; b now fits.
+	if err := k.BalloonAdjust(a, -30); err != nil {
+		t.Fatal(err)
+	}
+	if a.MemoryPages != 30 || len(a.Frames) != 30 {
+		t.Fatalf("after balloon: pages=%d frames=%d", a.MemoryPages, len(a.Frames))
+	}
+	b, err := k.CreateDomain("b", DomXContainer, 60, 1)
+	if err != nil {
+		t.Fatalf("b should fit after ballooning: %v", err)
+	}
+	// a cannot balloon back past the machine limit...
+	if err := k.BalloonAdjust(a, 30); err == nil {
+		t.Fatal("balloon up past machine memory must fail")
+	}
+	// ...until b shrinks.
+	if err := k.BalloonAdjust(b, -40); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.BalloonAdjust(a, 30); err != nil {
+		t.Fatalf("balloon up after space freed: %v", err)
+	}
+	// Can't shrink below zero.
+	if err := k.BalloonAdjust(b, -10000); err == nil {
+		t.Fatal("balloon below held pages must fail")
+	}
+	// Zero is a no-op.
+	if err := k.BalloonAdjust(a, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalloonOwnership(t *testing.T) {
+	// Frames released by a balloon can be claimed by another domain and
+	// carry the new owner (no stale mappings possible).
+	k := New(Config{Mode: ModeXKernel, MachineFrames: 10})
+	a, _ := k.CreateDomain("a", DomXContainer, 10, 1)
+	if err := k.BalloonAdjust(a, -5); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := k.CreateDomain("b", DomXContainer, 5, 1)
+	for _, f := range b.Frames {
+		owner, ok := k.Frames.Owner(f)
+		if !ok || owner != b.Owner {
+			t.Fatalf("frame %d owner = %d, want %d", f, owner, b.Owner)
+		}
+	}
+}
+
+func TestTmemPersistentRoundTrip(t *testing.T) {
+	tm := NewTmem(8)
+	data := []byte("swap page payload")
+	if err := tm.Put(1, 0, 42, data, TmemPersistent); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tm.Get(1, 0, 42)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	// Persistent pages survive gets.
+	if _, ok := tm.Get(1, 0, 42); !ok {
+		t.Fatal("persistent page vanished after get")
+	}
+	tm.FlushDomain(1)
+	if _, ok := tm.Get(1, 0, 42); ok {
+		t.Fatal("flushed page still present")
+	}
+}
+
+func TestTmemEphemeralSemantics(t *testing.T) {
+	tm := NewTmem(2)
+	tm.Put(1, 0, 1, []byte("a"), TmemEphemeral)
+	tm.Put(1, 0, 2, []byte("b"), TmemEphemeral)
+	// Third put evicts the oldest.
+	tm.Put(1, 0, 3, []byte("c"), TmemEphemeral)
+	if _, ok := tm.Get(1, 0, 1); ok {
+		t.Fatal("oldest ephemeral page should have been evicted")
+	}
+	if tm.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d", tm.Stats.Evictions)
+	}
+	// Ephemeral gets consume the page.
+	if _, ok := tm.Get(1, 0, 2); !ok {
+		t.Fatal("page 2 missing")
+	}
+	if _, ok := tm.Get(1, 0, 2); ok {
+		t.Fatal("ephemeral page must be consumed by get")
+	}
+}
+
+func TestTmemPersistentFullRefusal(t *testing.T) {
+	tm := NewTmem(1)
+	if err := tm.Put(1, 0, 1, []byte("x"), TmemPersistent); err != nil {
+		t.Fatal(err)
+	}
+	// No ephemeral page to evict: persistent put must refuse.
+	if err := tm.Put(1, 0, 2, []byte("y"), TmemPersistent); err == nil {
+		t.Fatal("persistent put into a full pool must fail")
+	}
+	// Ephemeral put is silently dropped — and the original survives.
+	if err := tm.Put(1, 0, 3, []byte("z"), TmemEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tm.Get(1, 0, 3); ok {
+		t.Fatal("dropped ephemeral page must not be retrievable")
+	}
+	if _, ok := tm.Get(1, 0, 1); !ok {
+		t.Fatal("persistent page lost")
+	}
+}
+
+func TestTmemPageSizeLimit(t *testing.T) {
+	tm := NewTmem(4)
+	if err := tm.Put(1, 0, 1, make([]byte, 5000), TmemPersistent); err == nil {
+		t.Fatal("oversized page must be rejected")
+	}
+}
+
+func TestTmemIsolationByDomain(t *testing.T) {
+	tm := NewTmem(8)
+	tm.Put(1, 0, 7, []byte("secret"), TmemPersistent)
+	// Another domain with the same pool/key must not see it.
+	if _, ok := tm.Get(2, 0, 7); ok {
+		t.Fatal("tmem leaked a page across domains")
+	}
+	// And flushing domain 2 must not disturb domain 1.
+	tm.FlushDomain(2)
+	if _, ok := tm.Get(1, 0, 7); !ok {
+		t.Fatal("victim domain's page lost")
+	}
+}
+
+func TestTmemCapacityQuick(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tm := NewTmem(16)
+		for _, k := range keys {
+			tm.Put(DomID(k%3), 0, uint64(k), []byte{k}, TmemEphemeral)
+			if tm.InUse() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
