@@ -7,38 +7,44 @@
 //
 //	abomtool -app MySQL            patch an application's binary model
 //	abomtool -app Nginx -dump      also disassemble before/after
+//	abomtool -app MySQL -json      emit the patch report as JSON
 //	abomtool -list                 list known applications
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"xcontainers/internal/abom"
-	"xcontainers/internal/apps"
 	"xcontainers/internal/arch"
+	"xcontainers/xc"
 )
 
 func main() {
 	appName := flag.String("app", "", "application model to patch (see -list)")
 	dump := flag.Bool("dump", false, "disassemble the binary before and after patching")
 	iters := flag.Uint("iters", 1, "main-loop iterations to encode")
+	jsonOut := flag.Bool("json", false, "emit the patch report as a JSON document")
+	list := flag.Bool("list", false, "list known applications and exit")
 	flag.Parse()
 
+	if *list {
+		for _, name := range xc.AppNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *appName == "" {
 		fmt.Fprintln(os.Stderr, "abomtool: -app required; known applications:")
-		for _, a := range apps.Table1Apps() {
-			fmt.Fprintf(os.Stderr, "  %s\n", a.Name)
+		for _, name := range xc.AppNames() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
 		}
 		os.Exit(2)
 	}
-	app, err := apps.ByName(*appName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "abomtool:", err)
-		os.Exit(1)
-	}
-	text, err := app.BuildBinary(uint32(*iters), 100)
+	w := xc.App(*appName).Iterations(uint32(*iters))
+	text, err := w.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abomtool:", err)
 		os.Exit(1)
@@ -52,7 +58,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abomtool:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %s\n", app.Name, rep)
+	if *jsonOut {
+		blob, err := json.MarshalIndent(struct {
+			App string `json:"app"`
+			abom.OfflineReport
+		}{w.Name(), rep}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abomtool:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(blob))
+	} else {
+		fmt.Printf("%s: %s\n", w.Name(), rep)
+	}
 	if *dump {
 		fmt.Println("=== after ===")
 		disassemble(text)

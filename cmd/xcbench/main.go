@@ -7,9 +7,11 @@
 //	xcbench -list
 //	xcbench -exp table1
 //	xcbench -exp fig3,fig8 -markdown
+//	xcbench -exp table1 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	csv := flag.Bool("csv", false, "emit CSV (for external plotting)")
+	jsonOut := flag.Bool("json", false, "emit one JSON array of report documents")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +45,7 @@ func main() {
 	}
 
 	failed := false
+	reports := []*bench.Report{} // marshals as [] even when every run fails
 	for _, id := range ids {
 		e, ok := bench.Lookup(strings.TrimSpace(id))
 		if !ok {
@@ -56,6 +60,8 @@ func main() {
 			continue
 		}
 		switch {
+		case *jsonOut:
+			reports = append(reports, rep)
 		case *markdown:
 			fmt.Print(rep.Markdown())
 		case *csv:
@@ -63,6 +69,14 @@ func main() {
 		default:
 			fmt.Print(rep)
 		}
+	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xcbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(blob))
 	}
 	if failed {
 		os.Exit(1)

@@ -7,82 +7,76 @@
 //
 //	xcrun -runtime xcontainer -app memcached -iters 100
 //	xcrun -runtime docker -app Nginx
-//	xcrun -runtime gvisor -app Redis
+//	xcrun -runtime gvisor -app Redis -json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"xcontainers/internal/apps"
-	"xcontainers/internal/core"
-	"xcontainers/internal/runtimes"
+	"xcontainers/xc"
 )
 
-var kindNames = map[string]runtimes.Kind{
-	"docker":          runtimes.Docker,
-	"xen-container":   runtimes.XenContainer,
-	"xcontainer":      runtimes.XContainer,
-	"gvisor":          runtimes.GVisor,
-	"clear-container": runtimes.ClearContainer,
-	"unikernel":       runtimes.Unikernel,
-	"graphene":        runtimes.Graphene,
-}
+// errUsage marks a flag-parse failure the FlagSet already reported.
+var errUsage = errors.New("usage")
 
 func main() {
-	rtName := flag.String("runtime", "xcontainer", "docker|xen-container|xcontainer|gvisor|clear-container|unikernel|graphene")
-	appName := flag.String("app", "memcached", "application model (Table 1 name)")
-	iters := flag.Uint("iters", 50, "main-loop iterations")
-	patched := flag.Bool("patched", true, "apply Meltdown mitigations")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "xcrun:", err)
+		os.Exit(1)
+	}
+}
 
-	kind, ok := kindNames[strings.ToLower(*rtName)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "xcrun: unknown runtime %q\n", *rtName)
-		os.Exit(2)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xcrun", flag.ContinueOnError)
+	rtName := fs.String("runtime", "xcontainer", xc.KindUsage())
+	cloud := fs.String("cloud", "local", "provider profile: local|ec2|gce")
+	appName := fs.String("app", "memcached", "application model (Table 1 name)")
+	iters := fs.Uint("iters", 50, "main-loop iterations")
+	warmup := fs.Uint("warmup", 0, "warm-up passes before the measured run")
+	patched := fs.Bool("patched", true, "apply Meltdown mitigations")
+	jsonOut := fs.Bool("json", false, "emit the report as a JSON document")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not an error
+		}
+		return errUsage // the FlagSet printed its own message
 	}
-	app, err := apps.ByName(*appName)
+
+	kind, err := xc.ParseKind(*rtName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xcrun:", err)
-		os.Exit(1)
+		return err
 	}
-	text, err := app.BuildBinary(uint32(*iters), 100)
+	cl, err := xc.ParseCloud(*cloud)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xcrun:", err)
-		os.Exit(1)
+		return err
 	}
-	platform, err := core.NewPlatform(core.PlatformConfig{
-		Kind: kind, MeltdownPatched: *patched, Cloud: runtimes.LocalCluster,
-		FastToolstack: true,
-	})
+	platform, err := xc.NewPlatform(kind,
+		xc.WithCloud(cl),
+		xc.WithMeltdownPatched(*patched),
+	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xcrun:", err)
-		os.Exit(1)
+		return err
 	}
-	inst, err := platform.Boot(core.Image{Name: app.Name, Program: text})
+	rep, err := platform.Run(
+		xc.App(*appName).Iterations(uint32(*iters)).Warmup(*warmup))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xcrun:", err)
-		os.Exit(1)
+		return err
 	}
-	elapsed, err := inst.Run(500_000_000)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "xcrun:", err)
-		os.Exit(1)
+	if *jsonOut {
+		blob, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(blob))
+		return nil
 	}
-	s := inst.Stats()
-	total := s.RawSyscalls + s.FunctionCalls
-	fmt.Printf("app:            %s (%s)\n", app.Name, app.Language)
-	fmt.Printf("runtime:        %s\n", platform.Runtime().Name())
-	fmt.Printf("virtual time:   %v\n", elapsed)
-	fmt.Printf("instructions:   %d\n", s.Instructions)
-	fmt.Printf("syscalls:       %d raw traps, %d function calls\n", s.RawSyscalls, s.FunctionCalls)
-	if kind == runtimes.XContainer && total > 0 {
-		fmt.Printf("ABOM:           %d sites patched, %.1f%% of syscalls converted\n",
-			s.ABOMPatches, 100*float64(s.FunctionCalls)/float64(total))
-	}
-	if inst.BootTime > 0 {
-		fmt.Printf("boot time:      %v\n", inst.BootTime)
-	}
+	fmt.Fprint(stdout, rep)
+	return nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xcontainers/xc"
+)
+
+// TestJSONOutputIsValidReport is the acceptance check for `xcrun -json`:
+// the bytes on stdout must be one valid xc.Report JSON document.
+func TestJSONOutputIsValidReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-runtime", "xcontainer", "-app", "memcached", "-iters", "5", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a valid xc.Report document: %v\n%s", err, out.Bytes())
+	}
+	if rep.App != "memcached" || rep.Kind != "xcontainer" || rep.Iterations != 5 {
+		t.Errorf("report identity = %q/%q/%d, want memcached/xcontainer/5", rep.App, rep.Kind, rep.Iterations)
+	}
+	if rep.Syscalls.RawTraps+rep.Syscalls.FunctionCalls == 0 {
+		t.Error("report recorded no syscalls")
+	}
+}
+
+func TestHumanOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-runtime", "docker", "-app", "Redis", "-iters", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"app:", "runtime:", "Docker", "syscalls:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownRuntime(t *testing.T) {
+	if err := run([]string{"-runtime", "runc"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown runtime accepted, want error")
+	}
+}

@@ -14,11 +14,8 @@ import (
 	"log"
 	"os"
 
-	"xcontainers/internal/arch"
-	"xcontainers/internal/core"
-	"xcontainers/internal/runtimes"
-	"xcontainers/internal/syscalls"
 	"xcontainers/internal/xkernel"
+	"xcontainers/xc"
 )
 
 func main() {
@@ -46,15 +43,15 @@ func surfaces() {
 }
 
 func demo() {
-	program := arch.NewAssembler(arch.UserTextBase).
-		Loop(1000, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
-		Hlt().MustAssemble()
+	program, err := xc.SyscallLoop("getpid", 1000).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	newHost := func(name string, memMB int) *core.Platform {
-		p, err := core.NewPlatform(core.PlatformConfig{
-			Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster,
-			MachineMB: memMB, FastToolstack: true,
-		})
+	newHost := func(name string, memMB int) *xc.Platform {
+		// The demo models an unpatched host, as the original did.
+		p, err := xc.NewPlatform(xc.XContainer,
+			xc.WithMachineMB(memMB), xc.WithMeltdownPatched(false))
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
@@ -66,7 +63,7 @@ func demo() {
 	hostB := newHost("host-b", 1024)
 
 	fmt.Println("\nxctl create worker (128 MB, 1 vCPU)")
-	inst, err := hostA.Boot(core.Image{Name: "worker", Program: program})
+	inst, err := hostA.Boot(xc.Image{Name: "worker", Program: program})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +82,7 @@ func demo() {
 		s.Instructions, s.RawSyscalls, s.FunctionCalls, s.ABOMPatches)
 
 	fmt.Println("\nxctl migrate worker host-b")
-	moved, err := core.Migrate(hostA, inst, hostB)
+	moved, err := xc.Migrate(hostA, inst, hostB)
 	if err != nil {
 		log.Fatal(err)
 	}

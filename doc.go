@@ -15,11 +15,13 @@
 //
 // Entry points:
 //
+//	xc            the public API: platforms, workloads, reports
 //	cmd/xcbench   regenerate the evaluation (tables/figures)
 //	cmd/abomtool  the offline binary patcher of §4.4
 //	cmd/xcrun     run one app model under one architecture
+//	cmd/xctl      the xl-style toolstack front-end
 //	examples/     runnable walkthroughs of the public API
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See DESIGN.md for the system inventory and package map; regenerate
+// the paper-vs-measured results with `go run ./cmd/xcbench`.
 package xcontainers

@@ -10,18 +10,14 @@ import (
 	"log"
 
 	"xcontainers/internal/bench"
-	"xcontainers/internal/core"
 	"xcontainers/internal/libos"
-	"xcontainers/internal/runtimes"
+	"xcontainers/xc"
 )
 
 func main() {
 	// Boot the load-balancer X-Container with IPVS preloaded in its
 	// dedicated kernel.
-	platform, err := core.NewPlatform(core.PlatformConfig{
-		Kind: runtimes.XContainer, MeltdownPatched: true,
-		Cloud: runtimes.LocalCluster, FastToolstack: true,
-	})
+	platform, err := xc.NewPlatform(xc.XContainer)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,16 +9,11 @@ import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/arch"
-	"xcontainers/internal/core"
-	"xcontainers/internal/runtimes"
-	"xcontainers/internal/syscalls"
+	"xcontainers/xc"
 )
 
-func host(name string) *core.Platform {
-	p, err := core.NewPlatform(core.PlatformConfig{
-		Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true,
-	})
+func host(name string) *xc.Platform {
+	p, err := xc.NewPlatform(xc.XContainer, xc.WithMeltdownPatched(false))
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
@@ -26,12 +21,13 @@ func host(name string) *core.Platform {
 }
 
 func main() {
-	program := arch.NewAssembler(arch.UserTextBase).
-		Loop(100, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
-		Hlt().MustAssemble()
+	program, err := xc.SyscallLoop("getpid", 100).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	hostA, hostB := host("host-a"), host("host-b")
-	inst, err := hostA.Boot(core.Image{Name: "worker", Program: program})
+	inst, err := hostA.Boot(xc.Image{Name: "worker", Program: program})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +37,7 @@ func main() {
 	fmt.Printf("on host-a: %d instructions, %d trap, %d function calls, rip=%#x\n",
 		s.Instructions, s.RawSyscalls, s.FunctionCalls, inst.Proc.CPU.RIP)
 
-	moved, err := core.Migrate(hostA, inst, hostB)
+	moved, err := xc.Migrate(hostA, inst, hostB)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,64 +2,57 @@
 // watch the Automatic Binary Optimization Module convert its system
 // calls into function calls — then compare against the same binary on a
 // Docker-style shared kernel.
+//
+// This is the documented entry path of the public xc API; main_test.go
+// executes it in CI.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
-	"xcontainers/internal/arch"
-	"xcontainers/internal/core"
-	"xcontainers/internal/runtimes"
-	"xcontainers/internal/syscalls"
+	"xcontainers/xc"
 )
 
-// program builds a tiny unmodified "application": a loop of getpid
-// syscalls using the standard glibc wrapper shape.
-func program() *arch.Text {
-	return arch.NewAssembler(arch.UserTextBase).
-		Loop(10000, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
-		Hlt().MustAssemble()
+const calls = 10000
+
+func run(kind xc.Kind) (*xc.Report, error) {
+	p, err := xc.NewPlatform(kind,
+		xc.WithMeltdownPatched(true),
+		xc.WithCloud(xc.AmazonEC2),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(xc.SyscallLoop("getpid", calls))
 }
 
-func run(kind runtimes.Kind) (*core.Instance, error) {
-	p, err := core.NewPlatform(core.PlatformConfig{
-		Kind:            kind,
-		MeltdownPatched: true,
-		Cloud:           runtimes.AmazonEC2,
-		FastToolstack:   true,
-	})
+func quickstart(out io.Writer) error {
+	xr, err := run(xc.XContainer)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	inst, err := p.Boot(core.Image{Name: "quickstart", Program: program()})
+	dr, err := run(xc.Docker)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if _, err := inst.Run(10_000_000); err != nil {
-		return nil, err
-	}
-	return inst, nil
+
+	fmt.Fprintf(out, "Same binary, %d getpid calls:\n", calls)
+	fmt.Fprintf(out, "  Docker:      %d syscall traps, %.3fms\n",
+		dr.Syscalls.RawTraps, dr.VirtualSeconds*1000)
+	fmt.Fprintf(out, "  X-Container: %d trap (ABOM patched %d site), then %d function calls, %.3fms total incl. boot\n",
+		xr.Syscalls.RawTraps, xr.Syscalls.PatchedSites, xr.Syscalls.FunctionCalls, xr.VirtualSeconds*1000)
+
+	dkCompute := dr.RunCycles
+	xcCompute := xr.RunCycles
+	fmt.Fprintf(out, "  speedup on the syscall path: %.1fx\n", float64(dkCompute)/float64(xcCompute))
+	return nil
 }
 
 func main() {
-	xc, err := run(runtimes.XContainer)
-	if err != nil {
+	if err := quickstart(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	dk, err := run(runtimes.Docker)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	xs, ds := xc.Stats(), dk.Stats()
-	fmt.Println("Same binary, 10,000 getpid calls:")
-	fmt.Printf("  Docker:      %d syscall traps, %v\n",
-		ds.RawSyscalls, dk.Clock.Now())
-	fmt.Printf("  X-Container: %d trap (ABOM patched %d site), then %d function calls, %v total incl. %v boot\n",
-		xs.RawSyscalls, xs.ABOMPatches, xs.FunctionCalls, xc.Clock.Now(), xc.BootTime)
-
-	dkCompute := dk.Clock.Now()
-	xcCompute := xc.Clock.Now() - xc.BootTime
-	fmt.Printf("  speedup on the syscall path: %.1fx\n", float64(dkCompute)/float64(xcCompute))
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstart executes the documented entry path of the public API
+// end to end, so the example cannot rot.
+func TestQuickstart(t *testing.T) {
+	var out bytes.Buffer
+	if err := quickstart(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Docker:", "X-Container:", "speedup on the syscall path"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, s)
+		}
+	}
+	// The headline claim: the X-Container converts all but the first call.
+	if !strings.Contains(s, "1 trap") {
+		t.Errorf("quickstart did not show the single cold trap:\n%s", s)
+	}
+}

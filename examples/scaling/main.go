@@ -9,21 +9,21 @@ import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/apps"
 	"xcontainers/internal/cpusim"
 	"xcontainers/internal/cycles"
-	"xcontainers/internal/runtimes"
 	"xcontainers/internal/workload"
+	"xcontainers/xc"
 )
 
-func throughput(kind runtimes.Kind, n int) float64 {
-	rt, err := runtimes.New(runtimes.Config{Kind: kind, Cloud: runtimes.LocalCluster})
+func throughput(kind xc.Kind, n int) float64 {
+	p, err := xc.NewPlatform(kind, xc.WithMeltdownPatched(false))
 	if err != nil {
 		log.Fatal(err)
 	}
-	app := apps.PHPFPMNginx()
+	rt := p.Runtime()
+	app := xc.App("nginx+php-fpm").Model()
 	perReq := workload.RequestCostN(rt, app, 4)
-	if rt.Hierarchical() {
+	if p.Hierarchical() {
 		perReq = cycles.Cycles(float64(perReq) * 1.12)
 	}
 	cfg := cpusim.MachineConfig{
@@ -31,7 +31,7 @@ func throughput(kind runtimes.Kind, n int) float64 {
 		GuestSwitch: rt.CtxSwitch(true),
 		HostSwitch:  func(same bool) cycles.Cycles { return rt.CtxSwitch(same) },
 	}
-	if rt.Hierarchical() {
+	if p.Hierarchical() {
 		cfg.Host, cfg.Guest = cpusim.CreditParams(), cpusim.CFSParams()
 		cfg.ProcsPerKernel = 4
 	} else {
@@ -48,7 +48,7 @@ func throughput(kind runtimes.Kind, n int) float64 {
 		for i := range tasks {
 			tasks[i] = &cpusim.Task{ContainerID: c, ReqCycles: perReq}
 		}
-		if rt.Hierarchical() {
+		if p.Hierarchical() {
 			m.AddHierarchical(tasks, c)
 		} else {
 			m.AddFlat(tasks, c)
@@ -61,8 +61,8 @@ func main() {
 	fmt.Println("NGINX+PHP-FPM containers on one 32-thread host (requests/s):")
 	fmt.Printf("%12s %12s %12s %8s\n", "containers", "Docker", "X-Container", "winner")
 	for _, n := range []int{10, 50, 100, 200, 300, 400} {
-		d := throughput(runtimes.Docker, n)
-		x := throughput(runtimes.XContainer, n)
+		d := throughput(xc.Docker, n)
+		x := throughput(xc.XContainer, n)
 		winner := "Docker"
 		if x > d {
 			winner = "X"

@@ -9,19 +9,13 @@ import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/apps"
 	"xcontainers/internal/arch"
-	"xcontainers/internal/core"
 	"xcontainers/internal/libos"
-	"xcontainers/internal/runtimes"
+	"xcontainers/xc"
 )
 
 func binary(name string) *arch.Text {
-	app, err := apps.ByName(name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	text, err := app.BuildBinary(10, 100)
+	text, err := xc.App(name).Iterations(10).Build()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,13 +25,11 @@ func binary(name string) *arch.Text {
 func main() {
 	// Boot a merged PHP+MySQL X-Container — the topology single-process
 	// LibOSes cannot express.
-	platform, err := core.NewPlatform(core.PlatformConfig{
-		Kind: runtimes.XContainer, Cloud: runtimes.LocalCluster, FastToolstack: true,
-	})
+	platform, err := xc.NewPlatform(xc.XContainer, xc.WithMeltdownPatched(false))
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := platform.Boot(core.Image{
+	inst, err := platform.Boot(xc.Image{
 		Name:    "php+mysql-merged",
 		Program: binary("PHP"),
 		VCPUs:   1,
@@ -58,7 +50,7 @@ func main() {
 		inst.Image.Name, inst.Container.Procs, inst.Container.LibOS.HasModule("unix-sockets"))
 
 	// Contrast: a Unikernel refuses the second process.
-	uk := runtimes.MustNew(runtimes.Config{Kind: runtimes.Unikernel, Cloud: runtimes.LocalCluster})
+	uk := xc.MustNewPlatform(xc.Unikernel, xc.WithMeltdownPatched(false)).Runtime()
 	c, err := uk.NewContainer("uk-php", 1, false)
 	if err != nil {
 		log.Fatal(err)

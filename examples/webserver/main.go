@@ -7,37 +7,33 @@ import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/apps"
-	"xcontainers/internal/runtimes"
 	"xcontainers/internal/workload"
+	"xcontainers/xc"
 )
 
 func main() {
-	app := apps.Nginx()
+	app := xc.App("Nginx").Model()
 	fmt.Printf("NGINX (%d syscalls/request, %d packets) on Google GCE, patched kernels:\n\n",
 		len(app.ReqSyscalls), app.ReqPackets)
 	fmt.Printf("%-18s %12s %12s %10s\n", "runtime", "requests/s", "latency(us)", "rel tput")
 
 	var base float64
-	for _, kind := range []runtimes.Kind{
-		runtimes.Docker, runtimes.XenContainer, runtimes.XContainer,
-		runtimes.GVisor, runtimes.ClearContainer,
+	for _, kind := range []xc.Kind{
+		xc.Docker, xc.XenContainer, xc.XContainer, xc.GVisor, xc.ClearContainer,
 	} {
-		rt, err := runtimes.New(runtimes.Config{
-			Kind: kind, Patched: true, Cloud: runtimes.GoogleGCE,
-		})
+		p, err := xc.NewPlatform(kind, xc.WithCloud(xc.GoogleGCE))
 		if err != nil {
 			log.Fatal(err)
 		}
 		res := workload.ServerLoad{
-			Driver: workload.DriverAB, App: app, RT: rt,
+			Driver: workload.DriverAB, App: app, RT: p.Runtime(),
 			Cores: 8, Concurrency: 50,
 		}.Run()
 		if base == 0 {
 			base = res.Throughput
 		}
 		fmt.Printf("%-18s %12.0f %12.1f %9.2fx\n",
-			rt.Name(), res.Throughput, res.LatencyUS, res.Throughput/base)
+			p.Name(), res.Throughput, res.LatencyUS, res.Throughput/base)
 	}
 	fmt.Println("\nThe X-Container wins on the syscall-dense request path;")
 	fmt.Println("gVisor pays ptrace interception, Clear Containers nested-virt exits.")

@@ -1,0 +1,3 @@
+module xcontainers
+
+go 1.22

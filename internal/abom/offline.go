@@ -9,11 +9,11 @@ import (
 
 // OfflineReport summarizes one offline patching run.
 type OfflineReport struct {
-	SyscallSites   int // syscall instructions found
-	PatchedSimple  int // sites the online patterns would also catch
-	PatchedWindow  int // extended-window rewrites (libpthread-style)
-	SkippedUnknown int // no statically-known syscall number
-	SkippedTarget  int // a jump lands inside the rewrite window
+	SyscallSites   int `json:"syscall_sites"`   // syscall instructions found
+	PatchedSimple  int `json:"patched_simple"`  // sites the online patterns would also catch
+	PatchedWindow  int `json:"patched_window"`  // extended-window rewrites (libpthread-style)
+	SkippedUnknown int `json:"skipped_unknown"` // no statically-known syscall number
+	SkippedTarget  int `json:"skipped_target"`  // a jump lands inside the rewrite window
 }
 
 // String renders the report in the style of the tool's CLI output.

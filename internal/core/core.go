@@ -30,6 +30,11 @@ type PlatformConfig struct {
 	Cloud runtimes.Cloud
 	// MachineMB bounds host memory (0 = unlimited).
 	MachineMB int
+	// MachineFrames bounds host memory in 4 KiB frames; when non-zero it
+	// takes precedence over MachineMB.
+	MachineFrames int
+	// Costs overrides the cycle cost table (nil = cycles.Default).
+	Costs *cycles.CostTable
 	// FastToolstack uses a LightVM-style toolstack instead of stock xl
 	// (§4.5), shrinking instantiation from seconds to milliseconds.
 	FastToolstack bool
@@ -43,11 +48,16 @@ type Platform struct {
 
 // NewPlatform boots a platform host.
 func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	frames := cfg.MachineFrames
+	if frames == 0 {
+		frames = cfg.MachineMB * 256 // 4 KiB pages
+	}
 	rt, err := runtimes.New(runtimes.Config{
 		Kind:          cfg.Kind,
 		Patched:       cfg.MeltdownPatched,
 		Cloud:         cfg.Cloud,
-		MachineFrames: cfg.MachineMB * 256, // 4 KiB pages
+		Costs:         cfg.Costs,
+		MachineFrames: frames,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

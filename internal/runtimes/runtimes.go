@@ -54,8 +54,8 @@ var kindNames = map[Kind]string{
 
 func (k Kind) String() string { return kindNames[k] }
 
-// Runtime-specific calibration constants (see DESIGN.md §4 and
-// EXPERIMENTS.md for paper-vs-measured validation).
+// Runtime-specific calibration constants (see DESIGN.md; validate
+// against the paper by regenerating the evaluation with cmd/xcbench).
 const (
 	// optimizedGuestSyscall is Clear Containers' guest syscall path:
 	// "the guest kernel is highly optimized by disabling most security

@@ -1,0 +1,40 @@
+package xc_test
+
+import (
+	"fmt"
+	"log"
+
+	"xcontainers/xc"
+)
+
+// Example reproduces the package quickstart: one syscall loop under an
+// X-Container, where the first call traps, the ABOM patches the site,
+// and every later call takes the function-call fast path.
+func Example() {
+	p, err := xc.NewPlatform(xc.XContainer, xc.WithMeltdownPatched(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := p.Run(xc.SyscallLoop("getpid", 10000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw traps:      %d\n", rep.Syscalls.RawTraps)
+	fmt.Printf("function calls: %d\n", rep.Syscalls.FunctionCalls)
+	fmt.Printf("converted:      %.1f%%\n", 100*rep.Syscalls.Converted)
+	// Output:
+	// raw traps:      1
+	// function calls: 9999
+	// converted:      100.0%
+}
+
+// ExampleParseKind shows how CLI front-ends resolve runtime names.
+func ExampleParseKind() {
+	k, _ := xc.ParseKind("xcontainer")
+	fmt.Println(k, "=", xc.KindName(k))
+	k, _ = xc.ParseKind("Clear-Container")
+	fmt.Println(k, "=", xc.KindName(k))
+	// Output:
+	// X-Container = xcontainer
+	// Clear-Container = clear-container
+}

@@ -1,0 +1,76 @@
+package xc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 9 {
+		t.Fatalf("Kinds() = %d entries, want 9", len(kinds))
+	}
+	for _, k := range kinds {
+		// Canonical CLI name round-trips.
+		got, err := ParseKind(KindName(k))
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", KindName(k), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(KindName(%v)) = %v, want %v", k, got, k)
+		}
+		// The paper legend form (Kind.String) parses too, any case.
+		for _, s := range []string{k.String(), strings.ToUpper(k.String()), "  " + k.String() + " "} {
+			got, err := ParseKind(s)
+			if err != nil {
+				t.Fatalf("ParseKind(%q): %v", s, err)
+			}
+			if got != k {
+				t.Errorf("ParseKind(%q) = %v, want %v", s, got, k)
+			}
+		}
+	}
+}
+
+func TestParseKindAliases(t *testing.T) {
+	for alias, want := range map[string]Kind{
+		"xc": XContainer, "x-container": XContainer, "XContainer": XContainer,
+		"lightvm": XenContainer, "clear": ClearContainer, "rumprun": Unikernel,
+		"xenpv": XenPVVM, "xen-hvm-vm": XenHVMVM,
+	} {
+		got, err := ParseKind(alias)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", alias, err)
+		}
+		if got != want {
+			t.Errorf("ParseKind(%q) = %v, want %v", alias, got, want)
+		}
+	}
+}
+
+func TestParseKindUnknown(t *testing.T) {
+	if _, err := ParseKind("runc"); err == nil {
+		t.Fatal("ParseKind(runc) succeeded, want error")
+	}
+	if !strings.Contains(KindUsage(), "xcontainer") || !strings.Contains(KindUsage(), "docker") {
+		t.Errorf("KindUsage() = %q, missing canonical names", KindUsage())
+	}
+}
+
+func TestParseCloudRoundTrip(t *testing.T) {
+	for _, c := range Clouds() {
+		got, err := ParseCloud(CloudName(c))
+		if err != nil {
+			t.Fatalf("ParseCloud(%q): %v", CloudName(c), err)
+		}
+		if got != c {
+			t.Errorf("ParseCloud(CloudName(%v)) = %v, want %v", c, got, c)
+		}
+	}
+	if got, _ := ParseCloud("AWS"); got != AmazonEC2 {
+		t.Errorf("ParseCloud(AWS) = %v, want AmazonEC2", got)
+	}
+	if _, err := ParseCloud("azure"); err == nil {
+		t.Fatal("ParseCloud(azure) succeeded, want error")
+	}
+}

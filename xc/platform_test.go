@@ -1,0 +1,81 @@
+package xc
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+func TestOptionsApplyToConfig(t *testing.T) {
+	table := cycles.Default // copy
+	p, err := NewPlatform(XContainer,
+		WithCloud(GoogleGCE),
+		WithMeltdownPatched(false),
+		WithCostTable(&table),
+		WithMachineFrames(4096),
+		WithFastToolstack(false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.Kind != XContainer {
+		t.Errorf("Kind = %v, want XContainer", cfg.Kind)
+	}
+	if cfg.Cloud != GoogleGCE {
+		t.Errorf("Cloud = %v, want GoogleGCE", cfg.Cloud)
+	}
+	if cfg.MeltdownPatched {
+		t.Error("MeltdownPatched = true, want false")
+	}
+	if cfg.Costs != &table {
+		t.Error("Costs not applied")
+	}
+	if cfg.MachineFrames != 4096 {
+		t.Errorf("MachineFrames = %d, want 4096", cfg.MachineFrames)
+	}
+	if cfg.FastToolstack {
+		t.Error("FastToolstack = true, want false")
+	}
+	// The override reaches the composed runtime.
+	rt := p.Runtime()
+	if rt.Costs != &table {
+		t.Error("cost table did not reach the runtime")
+	}
+	if rt.Cfg.MachineFrames != 4096 {
+		t.Errorf("runtime MachineFrames = %d, want 4096", rt.Cfg.MachineFrames)
+	}
+}
+
+func TestPlatformDefaults(t *testing.T) {
+	p, err := NewPlatform(Docker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if !cfg.MeltdownPatched || cfg.Cloud != LocalCluster || !cfg.FastToolstack {
+		t.Errorf("defaults = %+v, want patched local fast-toolstack", cfg)
+	}
+	if p.Name() != "Docker" {
+		t.Errorf("Name() = %q, want Docker", p.Name())
+	}
+}
+
+func TestMachineMBOption(t *testing.T) {
+	p, err := NewPlatform(XContainer, WithMachineMB(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Runtime().Cfg.MachineFrames; got != 1024*256 {
+		t.Errorf("MachineFrames = %d, want %d", got, 1024*256)
+	}
+}
+
+func TestClearContainerNeedsNestedVirt(t *testing.T) {
+	if _, err := NewPlatform(ClearContainer, WithCloud(AmazonEC2)); err == nil {
+		t.Fatal("Clear Containers on EC2 booted, want nested-virt error")
+	}
+	if _, err := NewPlatform(ClearContainer, WithCloud(GoogleGCE)); err != nil {
+		t.Fatalf("Clear Containers on GCE: %v", err)
+	}
+}

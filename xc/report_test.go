@@ -1,0 +1,117 @@
+package xc
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenReport pins the JSON wire shape: field names, nesting, ordering.
+// If this test fails, machine consumers of `xcrun -json` break — bump
+// their schema together with this golden.
+const goldenReport = `{
+  "app": "memcached",
+  "runtime": "X-Container",
+  "kind": "xcontainer",
+  "cloud": "local",
+  "meltdown_patched": true,
+  "iterations": 50,
+  "warmup_passes": 1,
+  "boot_cycles": 533600000,
+  "run_cycles": 1000000,
+  "total_cycles": 534600000,
+  "virtual_seconds": 0.18434482758620688,
+  "instructions": 250000,
+  "layer_breakdown": [
+    {
+      "name": "boot",
+      "cycles": 533600000,
+      "share": 0.998129442573887
+    },
+    {
+      "name": "user",
+      "cycles": 250000,
+      "share": 0.0004676393565282454
+    },
+    {
+      "name": "kernel",
+      "cycles": 750000,
+      "share": 0.0014029180695847362
+    }
+  ],
+  "syscalls": {
+    "raw_traps": 0,
+    "function_calls": 5000,
+    "trapped_in_libos": 5000,
+    "abom_patched_sites": 6,
+    "converted_fraction": 1
+  },
+  "hypervisor": {
+    "hypercalls": 12,
+    "syscalls_forwarded": 0,
+    "events_delivered": 0,
+    "page_table_updates": 40
+  },
+  "throughput": {
+    "iterations_per_sec": 145000,
+    "syscalls_per_sec": 14500000
+  }
+}`
+
+func TestReportJSONGolden(t *testing.T) {
+	rep := &Report{
+		App: "memcached", Runtime: "X-Container", Kind: "xcontainer",
+		Cloud: "local", Patched: true, Iterations: 50, WarmupPasses: 1,
+		BootCycles: 533_600_000, RunCycles: 1_000_000, TotalCycles: 534_600_000,
+		VirtualSeconds: 0.18434482758620688, Instructions: 250_000,
+		Layers: []Layer{
+			{Name: "boot", Cycles: 533_600_000, Share: 0.998129442573887},
+			{Name: "user", Cycles: 250_000, Share: 0.0004676393565282454},
+			{Name: "kernel", Cycles: 750_000, Share: 0.0014029180695847362},
+		},
+		Syscalls: SyscallStats{
+			FunctionCalls: 5000, TrappedInLibOS: 5000, PatchedSites: 6, Converted: 1,
+		},
+		Hypervisor: &HyperStats{Hypercalls: 12, PTUpdates: 40},
+		Throughput: Throughput{IterationsPerSec: 145_000, SyscallsPerSec: 14_500_000},
+	}
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != goldenReport {
+		t.Errorf("report JSON drifted from golden.\ngot:\n%s\nwant:\n%s", got, goldenReport)
+	}
+
+	// And it round-trips losslessly.
+	var back Report
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, rep) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", back, *rep)
+	}
+}
+
+func TestRunProducedReportMarshals(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	rep, err := p.Run(SyscallLoop("getpid", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("run-produced report is not valid JSON: %v", err)
+	}
+	if back.Kind != "xcontainer" || back.Syscalls.FunctionCalls != rep.Syscalls.FunctionCalls {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if !strings.Contains(rep.String(), "syscalls:") {
+		t.Errorf("human rendering missing syscalls line:\n%s", rep)
+	}
+}

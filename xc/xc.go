@@ -1,0 +1,147 @@
+// Package xc is the public face of the X-Containers simulator: one
+// importable surface over the platforms, workloads, and reports that
+// every command, example, and external user drives the system through.
+//
+// The repository models each layer of "X-Containers: Breaking Down
+// Barriers to Improve Performance and Isolation of Cloud-Native
+// Containers" (Shen et al., ASPLOS 2019) under internal/ — the X-Kernel
+// exokernel, the X-LibOS, the Automatic Binary Optimization Module, and
+// seven baseline runtimes. Package xc composes them behind three ideas:
+//
+//   - a Platform (xc.NewPlatform(kind, options...)): one booted host of
+//     a chosen container architecture;
+//   - a Workload (xc.App("memcached"), xc.Program(text),
+//     xc.SyscallLoop("getpid", n)): a binary to run, with iteration and
+//     warm-up knobs;
+//   - a Report (platform.Run(workload)): structured, JSON-marshalable
+//     per-run statistics — cycle breakdown, syscall conversion, throughput.
+//
+// Quickstart:
+//
+//	p, _ := xc.NewPlatform(xc.XContainer, xc.WithMeltdownPatched(true))
+//	rep, _ := p.Run(xc.SyscallLoop("getpid", 10000))
+//	fmt.Println(rep.Syscalls.FunctionCalls, "syscalls became function calls")
+//
+// The lower-level lifecycle (Boot, per-instance Run, Checkpoint,
+// Restore, Migrate) remains available for tooling like cmd/xctl.
+package xc
+
+import (
+	"fmt"
+
+	"xcontainers/internal/core"
+	"xcontainers/internal/cycles"
+)
+
+// Config is the resolved platform configuration; options mutate it.
+type Config = core.PlatformConfig
+
+// Image is the Docker-wrapper view of a container image (§4.5).
+type Image = core.Image
+
+// Instance is one running container with its first process.
+type Instance = core.Instance
+
+// Checkpoint is the serializable frozen state of one instance (§3.3).
+type Checkpoint = core.Checkpoint
+
+// Stats is the raw per-instance counter snapshot.
+type Stats = core.Stats
+
+// Option configures a Platform at boot.
+type Option func(*Config)
+
+// WithCloud selects the provider profile (§5.1).
+func WithCloud(c Cloud) Option { return func(cfg *Config) { cfg.Cloud = c } }
+
+// WithMeltdownPatched applies (or removes) the KPTI/XPTI mitigations.
+func WithMeltdownPatched(on bool) Option {
+	return func(cfg *Config) { cfg.MeltdownPatched = on }
+}
+
+// WithCostTable overrides the cycle cost model (nil = the calibrated
+// default table).
+func WithCostTable(t *cycles.CostTable) Option {
+	return func(cfg *Config) { cfg.Costs = t }
+}
+
+// WithMachineFrames bounds host memory to n 4 KiB frames (0 = unlimited),
+// for the Fig. 8-style packing experiments.
+func WithMachineFrames(n int) Option {
+	return func(cfg *Config) { cfg.MachineFrames = n }
+}
+
+// WithMachineMB bounds host memory in megabytes (0 = unlimited).
+func WithMachineMB(mb int) Option {
+	return func(cfg *Config) { cfg.MachineMB = mb }
+}
+
+// WithFastToolstack swaps the stock xl toolstack for the LightVM-style
+// one (§4.5), shrinking instantiation from seconds to milliseconds.
+// Platforms boot with it on by default; pass false to model stock xl.
+func WithFastToolstack(on bool) Option {
+	return func(cfg *Config) { cfg.FastToolstack = on }
+}
+
+// Platform is one booted host. It embeds the core platform, so the full
+// lifecycle — Boot, Checkpoint, Restore, Destroy, Runtime — is promoted
+// alongside the high-level Run.
+type Platform struct {
+	*core.Platform
+	cfg Config
+}
+
+// NewPlatform boots a host of the given architecture. Defaults:
+// Meltdown-patched, local cluster, fast toolstack, unlimited memory.
+func NewPlatform(kind Kind, opts ...Option) (*Platform, error) {
+	cfg := Config{
+		Kind:            kind,
+		MeltdownPatched: true,
+		Cloud:           LocalCluster,
+		FastToolstack:   true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := core.NewPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{Platform: p, cfg: cfg}, nil
+}
+
+// MustNewPlatform is NewPlatform for static configurations in examples
+// and benchmarks.
+func MustNewPlatform(kind Kind, opts ...Option) *Platform {
+	p, err := NewPlatform(kind, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the resolved configuration the platform booted with.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Kind returns the platform's container architecture.
+func (p *Platform) Kind() Kind { return p.cfg.Kind }
+
+// Name renders the configuration like the paper's legends
+// ("X-Container", "Docker-unpatched", ...).
+func (p *Platform) Name() string { return p.Runtime().Name() }
+
+// Migrate checkpoints inst on src, transports the blob, and resumes it
+// on dst — live migration between two hosts (§3.3). The checkpoint
+// carries ABOM-patched text, so converted call sites do not re-trap on
+// the destination.
+func Migrate(src *Platform, inst *Instance, dst *Platform) (*Instance, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("xc: migrate requires source and destination platforms")
+	}
+	return core.Migrate(src.Platform, inst, dst.Platform)
+}
+
+// Hierarchical reports whether the host scheduler sees one vCPU per
+// container rather than every process individually (the Fig. 8
+// mechanism); re-exported for scheduling experiments.
+func (p *Platform) Hierarchical() bool { return p.Runtime().Hierarchical() }

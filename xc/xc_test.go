@@ -1,0 +1,200 @@
+package xc
+
+import (
+	"testing"
+)
+
+// TestEndToEndBootRunReport is the e2e smoke test of the documented
+// entry path: the same syscall loop under an X-Container and under
+// Docker, compared through the structured report.
+func TestEndToEndBootRunReport(t *testing.T) {
+	const iters = 1000
+	xcp := MustNewPlatform(XContainer)
+	xr, err := xcp.Run(SyscallLoop("getpid", iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dkp := MustNewPlatform(Docker)
+	dr, err := dkp.Run(SyscallLoop("getpid", iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Docker: every call traps into the shared kernel.
+	if dr.Syscalls.RawTraps != iters || dr.Syscalls.FunctionCalls != 0 {
+		t.Errorf("Docker syscalls = %+v, want %d raw traps", dr.Syscalls, iters)
+	}
+	// X-Container: the site traps once, ABOM patches it, the rest are
+	// function calls.
+	if xr.Syscalls.RawTraps != 1 {
+		t.Errorf("X-Container raw traps = %d, want 1", xr.Syscalls.RawTraps)
+	}
+	if xr.Syscalls.FunctionCalls != iters-1 {
+		t.Errorf("X-Container function calls = %d, want %d", xr.Syscalls.FunctionCalls, iters-1)
+	}
+	if xr.Syscalls.PatchedSites == 0 {
+		t.Error("X-Container patched no sites")
+	}
+	if xr.Hypervisor == nil || dr.Hypervisor != nil {
+		t.Errorf("hypervisor stats: xc=%v docker=%v, want set/nil", xr.Hypervisor, dr.Hypervisor)
+	}
+
+	// Identity fields round through the parsers.
+	if k, err := ParseKind(xr.Kind); err != nil || k != XContainer {
+		t.Errorf("report kind %q does not parse back to XContainer (%v)", xr.Kind, err)
+	}
+	if xr.BootCycles == 0 {
+		t.Error("X-Container report has no boot cycles")
+	}
+	if dr.BootCycles != 0 {
+		t.Errorf("Docker boot cycles = %d, want 0", dr.BootCycles)
+	}
+
+	// The layer breakdown accounts for every cycle.
+	for _, r := range []*Report{xr, dr} {
+		var sum uint64
+		for _, l := range r.Layers {
+			sum += l.Cycles
+		}
+		if sum != r.TotalCycles {
+			t.Errorf("%s: layer cycles sum %d != total %d", r.Runtime, sum, r.TotalCycles)
+		}
+		if r.RunCycles+r.BootCycles != r.TotalCycles {
+			t.Errorf("%s: boot %d + run %d != total %d", r.Runtime, r.BootCycles, r.RunCycles, r.TotalCycles)
+		}
+	}
+}
+
+// TestWarmupReachesSteadyState: after one warm-up pass over the shared
+// text, the measured run must be fully converted — zero raw traps.
+func TestWarmupReachesSteadyState(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	rep, err := p.Run(SyscallLoop("getpid", 500).Warmup(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Syscalls.RawTraps != 0 {
+		t.Errorf("warmed run raw traps = %d, want 0", rep.Syscalls.RawTraps)
+	}
+	if rep.Syscalls.FunctionCalls != 500 {
+		t.Errorf("warmed run function calls = %d, want 500", rep.Syscalls.FunctionCalls)
+	}
+	if rep.WarmupPasses != 1 {
+		t.Errorf("report warmup passes = %d, want 1", rep.WarmupPasses)
+	}
+	// Sites were patched during warm-up, not during the measured run.
+	if rep.Syscalls.PatchedSites != 0 {
+		t.Errorf("warmed run patched sites = %d, want 0 (patched pre-measurement)", rep.Syscalls.PatchedSites)
+	}
+}
+
+// TestWorkloadReusableAcrossPlatforms: one Workload driven through an
+// X-Container (which patches its text in place) must still trap
+// normally on a Docker platform afterwards — Build hands out copies.
+func TestWorkloadReusableAcrossPlatforms(t *testing.T) {
+	w := SyscallLoop("getpid", 200)
+	xr, err := MustNewPlatform(XContainer).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xr.Syscalls.FunctionCalls != 199 {
+		t.Fatalf("X-Container function calls = %d, want 199", xr.Syscalls.FunctionCalls)
+	}
+	dr, err := MustNewPlatform(Docker).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Syscalls.RawTraps != 200 || dr.Syscalls.FunctionCalls != 0 {
+		t.Errorf("Docker after X-Container reuse = %+v, want 200 raw traps (text leaked patches?)", dr.Syscalls)
+	}
+}
+
+// TestSequentialRunsReportPerRunHypervisorStats: global hypervisor
+// counters must not accumulate across Run calls on one platform.
+func TestSequentialRunsReportPerRunHypervisorStats(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	first, err := p.Run(SyscallLoop("getpid", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Run(SyscallLoop("getpid", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Hypervisor == nil || second.Hypervisor == nil {
+		t.Fatal("missing hypervisor stats")
+	}
+	if second.Hypervisor.SyscallsForwarded != first.Hypervisor.SyscallsForwarded {
+		t.Errorf("second run forwarded = %d, want %d (per-run, not cumulative)",
+			second.Hypervisor.SyscallsForwarded, first.Hypervisor.SyscallsForwarded)
+	}
+	if second.Syscalls.PatchedSites != first.Syscalls.PatchedSites {
+		t.Errorf("second run patched sites = %d, want %d",
+			second.Syscalls.PatchedSites, first.Syscalls.PatchedSites)
+	}
+}
+
+func TestAppWorkload(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	rep, err := p.Run(App("memcached").Iterations(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App != "memcached" || rep.Iterations != 5 {
+		t.Errorf("report identity = %q/%d, want memcached/5", rep.App, rep.Iterations)
+	}
+	if rep.Syscalls.Converted <= 0.5 {
+		t.Errorf("memcached converted fraction = %v, want > 0.5 (mostly glibc shapes)", rep.Syscalls.Converted)
+	}
+	if rep.Throughput.IterationsPerSec <= 0 {
+		t.Error("application workload reported no iteration throughput")
+	}
+
+	// Case-insensitive catalog lookup.
+	if _, err := App("REDIS").Build(); err != nil {
+		t.Errorf("App(REDIS): %v", err)
+	}
+	if _, err := App("no-such-app").Build(); err == nil {
+		t.Error("App(no-such-app) built, want error")
+	}
+	if len(AppNames()) < 12 {
+		t.Errorf("AppNames() = %d entries, want at least Table 1's twelve", len(AppNames()))
+	}
+}
+
+func TestSyscallLoopUnknownSyscall(t *testing.T) {
+	p := MustNewPlatform(Docker)
+	if _, err := p.Run(SyscallLoop("frobnicate", 10)); err == nil {
+		t.Fatal("unknown syscall ran, want error")
+	}
+}
+
+// TestMigrateFacade exercises Checkpoint/Restore through the façade:
+// patched text must not re-trap on the destination host.
+func TestMigrateFacade(t *testing.T) {
+	src := MustNewPlatform(XContainer)
+	dst := MustNewPlatform(XContainer)
+	text, err := SyscallLoop("getpid", 100).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := src.Boot(Image{Name: "worker", Program: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = inst.Run(150) // partial run: budget exhaustion is expected
+	moved, err := Migrate(src, inst, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := moved.Run(DefaultInstructionBudget); err != nil {
+		t.Fatal(err)
+	}
+	s := moved.Stats()
+	if s.RawSyscalls != 1 {
+		t.Errorf("raw traps after migration = %d, want the single pre-migration trap", s.RawSyscalls)
+	}
+	if s.FunctionCalls != 99 {
+		t.Errorf("function calls after migration = %d, want 99", s.FunctionCalls)
+	}
+}
