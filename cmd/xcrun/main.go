@@ -8,6 +8,14 @@
 //	xcrun -runtime xcontainer -app memcached -iters 100
 //	xcrun -runtime docker -app Nginx
 //	xcrun -runtime gvisor -app Redis -json
+//
+// With -rate or -duration the run becomes a flow-level traffic
+// experiment on the discrete-event engine: open-loop arrivals at -rate
+// requests/s (closed-loop saturation when only -duration is given) for
+// -duration virtual seconds, reporting latency percentiles and queue
+// depth alongside throughput:
+//
+//	xcrun -runtime xcontainer -app memcached -rate 50000 -duration 2 -json
 package main
 
 import (
@@ -42,6 +50,11 @@ func run(args []string, stdout io.Writer) error {
 	warmup := fs.Uint("warmup", 0, "warm-up passes before the measured run")
 	patched := fs.Bool("patched", true, "apply Meltdown mitigations")
 	jsonOut := fs.Bool("json", false, "emit the report as a JSON document")
+	rate := fs.Float64("rate", 0, "open-loop traffic: offered requests/s (0 with -duration: closed loop)")
+	duration := fs.Float64("duration", 0, "traffic horizon in virtual seconds (with -rate; 0 = auto)")
+	seed := fs.Uint64("seed", 0, "traffic arrival randomness seed (runs are deterministic per seed)")
+	cores := fs.Int("cores", 0, "traffic: physical cores per container (0 = 1)")
+	conns := fs.Int("conns", 0, "traffic: closed-loop connections (0 = saturating default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; -h is not an error
@@ -64,8 +77,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := platform.Run(
-		xc.App(*appName).Iterations(uint32(*iters)).Warmup(*warmup))
+	var rep *xc.Report
+	if *rate > 0 || *duration > 0 || *conns > 0 {
+		t := xc.Traffic().Rate(*rate).Duration(*duration).Seed(*seed).
+			Cores(*cores).Connections(*conns)
+		rep, err = platform.Serve(xc.App(*appName), t)
+	} else {
+		rep, err = platform.Run(
+			xc.App(*appName).Iterations(uint32(*iters)).Warmup(*warmup))
+	}
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,46 @@ func TestHumanOutput(t *testing.T) {
 	}
 }
 
+// TestTrafficFlags is the acceptance check for `xcrun -rate -duration`:
+// the traffic path must emit a report carrying latency percentiles and
+// queue statistics, deterministically for a fixed seed.
+func TestTrafficFlags(t *testing.T) {
+	args := []string{"-runtime", "xcontainer", "-app", "memcached",
+		"-rate", "40000", "-duration", "0.25", "-seed", "9", "-json"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a valid xc.Report document: %v\n%s", err, out.Bytes())
+	}
+	if rep.Latency == nil || rep.Queue == nil || rep.Traffic == nil {
+		t.Fatalf("traffic report missing latency/queue/traffic sections:\n%s", out.Bytes())
+	}
+	if rep.Throughput.RequestsPerSec <= 0 || rep.Throughput.OfferedPerSec != 40000 {
+		t.Errorf("throughput = %+v, want served>0 at offered 40000", rep.Throughput)
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Error("fixed-seed traffic runs must be byte-identical")
+	}
+
+	// Human rendering of a closed-loop run shows the latency lines.
+	var human bytes.Buffer
+	if err := run([]string{"-runtime", "docker", "-app", "Redis", "-duration", "0.1"}, &human); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"served:", "latency:", "queue:"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, human.String())
+		}
+	}
+}
+
 func TestUnknownRuntime(t *testing.T) {
 	if err := run([]string{"-runtime", "runc"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown runtime accepted, want error")

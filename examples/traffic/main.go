@@ -1,0 +1,74 @@
+// Traffic: open-loop load against one memcached container — the
+// experiment closed-form models cannot run. A rate sweep shows latency
+// exploding as the offered load approaches the platform's capacity
+// (the hockey-stick every queueing system hides below its throughput
+// number), and a bursty trace shows tail latency inflating at a mean
+// rate the server could comfortably absorb if it arrived smoothly.
+//
+// Everything is driven through the xc façade: xc.Traffic specs into
+// Platform.Serve, latency percentiles and queue depths out. Fixed
+// seeds make every line reproducible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xcontainers/xc"
+)
+
+func serve(p *xc.Platform, w *xc.Workload, t *xc.TrafficSpec) *xc.Report {
+	rep, err := p.Serve(w, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+func main() {
+	w := xc.App("memcached")
+
+	for _, kind := range []xc.Kind{xc.Docker, xc.XContainer} {
+		p, err := xc.NewPlatform(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Capacity from a saturating closed loop, then sweep below it.
+		cap := serve(p, w, xc.Traffic().Duration(0.2).Cores(1)).Throughput.RequestsPerSec
+
+		fmt.Printf("%s: one core, capacity %.0f requests/s\n", p.Name(), cap)
+		fmt.Printf("  %8s %12s %10s %10s %10s %10s\n",
+			"load", "served/s", "p50(us)", "p95(us)", "p99(us)", "max depth")
+		for _, frac := range []float64{0.25, 0.50, 0.75, 0.90, 0.98} {
+			rep := serve(p, w, xc.Traffic().
+				Rate(frac*cap).Duration(1).Seed(1).Cores(1))
+			fmt.Printf("  %7.0f%% %12.0f %10.1f %10.1f %10.1f %10d\n",
+				100*frac, rep.Throughput.RequestsPerSec,
+				rep.Latency.P50US, rep.Latency.P95US, rep.Latency.P99US,
+				rep.Queue.MaxDepth)
+		}
+
+		// Same 50% mean load, but delivered as 2x-capacity bursts.
+		smooth := serve(p, w, xc.Traffic().Rate(0.5*cap).Duration(1).Seed(1).Cores(1))
+		burst := serve(p, w, xc.Traffic().
+			Burst(2*cap, 0.025, 0.075).Duration(1).Seed(1).Cores(1))
+		fmt.Printf("  bursty 50%%: p99 %.1fus vs smooth %.1fus (%.1fx), depth %d vs %d\n\n",
+			burst.Latency.P99US, smooth.Latency.P99US,
+			burst.Latency.P99US/smooth.Latency.P99US,
+			burst.Queue.MaxDepth, smooth.Queue.MaxDepth)
+	}
+
+	// Scale-out: the same offered load spread over four X-Containers.
+	p, err := xc.NewPlatform(xc.XContainer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cap := serve(p, w, xc.Traffic().Duration(0.2).Cores(1)).Throughput.RequestsPerSec
+	one := serve(p, w, xc.Traffic().Rate(0.9*cap).Duration(1).Seed(1).Cores(1))
+	four := serve(p, w, xc.Traffic().Rate(0.9*cap).Duration(1).Seed(1).Cores(1).Containers(4))
+	fmt.Printf("scale-out at 90%% of one container's capacity:\n")
+	fmt.Printf("  1 container:  p99 %8.1fus, mean depth %.2f\n",
+		one.Latency.P99US, one.Queue.MeanDepth)
+	fmt.Printf("  4 containers: p99 %8.1fus, mean depth %.2f\n",
+		four.Latency.P99US, four.Queue.MeanDepth)
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
 )
 
 // Task is one closed-loop worker process: it always has a next request
@@ -162,12 +163,23 @@ func (m *Machine) AddHierarchical(tasks []*Task, containerID int) {
 	m.Add(&VCPU{ContainerID: containerID, Tasks: tasks})
 }
 
+// pcpu is one physical CPU's scheduling state between dispatch events.
+type pcpu struct {
+	queue []*VCPU
+	slice cycles.Cycles
+	idx   int
+	prev  int // index of previously running entity
+}
+
 // Run simulates the machine for a virtual duration and returns
 // aggregate results. Entities are partitioned across pCPUs round-robin
 // (an affine load balance, as production schedulers converge to under
-// steady load); each pCPU then runs its local queue with the host
-// scheduling parameters, and each entity round-robins its tasks with
-// the guest parameters.
+// steady load). Each pCPU is an actor on the discrete-event engine: a
+// dispatch event picks the next host entity, charges the switch, runs
+// one host timeslice (the entity round-robining its tasks with the
+// guest parameters), and schedules the following dispatch at the
+// consumed-time mark — the same slice arithmetic the hand-rolled loop
+// used, now on the shared event kernel all tier-2 models run on.
 func (m *Machine) Run(duration cycles.Cycles) Result {
 	res := Result{Duration: duration}
 	perCPU := make([][]*VCPU, m.cfg.PCPUs)
@@ -177,35 +189,42 @@ func (m *Machine) Run(duration cycles.Cycles) Result {
 	}
 	contention := m.cfg.Contention(m.cfg.ProcsPerKernel)
 
+	eng := sim.NewEngine()
 	for _, queue := range perCPU {
 		if len(queue) == 0 {
 			continue
 		}
-		var t cycles.Cycles
-		prev := -1 // index of previously running entity
-		hostSlice := m.cfg.Host.Slice(len(queue))
-		idx := 0
-		for t < duration {
-			e := queue[idx]
-			if prev != idx {
-				same := prev >= 0 && queue[prev].ContainerID == e.ContainerID
+		p := &pcpu{queue: queue, slice: m.cfg.Host.Slice(len(queue)), prev: -1}
+		var dispatch func()
+		dispatch = func() {
+			if eng.Now() >= duration {
+				return
+			}
+			var adv cycles.Cycles
+			e := p.queue[p.idx]
+			if p.prev != p.idx {
+				same := p.prev >= 0 && p.queue[p.prev].ContainerID == e.ContainerID
 				c := m.cfg.HostSwitch(same)
-				t += c
+				adv += c
 				res.SwitchCycles += c
 				res.HostSwitches++
-				prev = idx
+				p.prev = p.idx
 			}
-			consumed := m.runEntity(e, hostSlice, contention, &res)
-			t += consumed
+			consumed := m.runEntity(e, p.slice, contention, &res)
+			adv += consumed
 			res.BusyCycles += consumed
 			if consumed == 0 {
 				// Nothing runnable in this entity (cannot happen with
 				// closed-loop tasks, but guard against empty vCPUs).
-				t += hostSlice
+				adv += p.slice
 			}
-			idx = (idx + 1) % len(queue)
+			p.idx = (p.idx + 1) % len(p.queue)
+			eng.After(adv, dispatch)
 		}
+		eng.At(0, dispatch)
 	}
+	eng.Run(duration)
+
 	for _, e := range m.entities {
 		for _, task := range e.Tasks {
 			res.Completed += task.Completed

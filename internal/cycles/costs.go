@@ -149,6 +149,42 @@ type CostTable struct {
 	// SplitDriverRing is one Xen split-driver ring round trip
 	// (front-end -> back-end in the driver domain) per packet batch.
 	SplitDriverRing Cycles
+
+	// Runtime calibration constants, hoisted from internal/runtimes so
+	// WithCostTable can override every number the simulation charges.
+	// Zero values fall back to the calibrated defaults (see
+	// runtimes.New), so tables built by tweaking a few fields keep the
+	// baseline runtime models intact.
+
+	// OptimizedGuestSyscall is Clear Containers' guest syscall path:
+	// "the guest kernel is highly optimized by disabling most security
+	// features within a Clear container" (§5.4), calibrated to the
+	// paper's X≈1.6×Clear raw-syscall ratio.
+	OptimizedGuestSyscall Cycles
+
+	// GrapheneSyscall is Graphene's per-syscall LibOS+PAL overhead for
+	// implemented calls.
+	GrapheneSyscall Cycles
+
+	// GrapheneIPC is the inter-process coordination round trip Graphene
+	// pays on state-sharing syscalls when a container runs multiple
+	// processes ("processes use IPC calls to maintain the consistency
+	// of multiple LibOS instances", §2.3/§5.5).
+	GrapheneIPC Cycles
+
+	// GrapheneHostForward: roughly a third of Linux syscalls are
+	// implemented by Graphene; the rest must be emulated through host
+	// calls with seccomp filtering.
+	GrapheneHostForward Cycles
+
+	// RumpHandlerFactor scales Rumprun's kernel handler bodies relative
+	// to Linux ("the Linux kernel outperforms the Rumprun kernel",
+	// §5.5).
+	RumpHandlerFactor float64
+
+	// GVisorNetstackFactor scales gVisor's user-space netstack
+	// (Netstack is substantially slower than Linux's).
+	GVisorNetstackFactor float64
 }
 
 // Default is the calibrated cost table used by all experiments. Tests
@@ -185,4 +221,11 @@ var Default = CostTable{
 	ConntrackNAT:               1700,
 	BridgeHop:                  300,
 	SplitDriverRing:            700,
+
+	OptimizedGuestSyscall: 45,
+	GrapheneSyscall:       2600,
+	GrapheneIPC:           2500,
+	GrapheneHostForward:   1400,
+	RumpHandlerFactor:     1.35,
+	GVisorNetstackFactor:  1.6,
 }

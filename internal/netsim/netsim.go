@@ -3,18 +3,23 @@
 // (HAProxy vs IPVS NAT vs IPVS direct routing), plus the iperf bulk
 // transfer model used by Fig. 5.
 //
-// The model is a pipeline-bottleneck one: a request (or packet stream)
-// crosses a sequence of stations, each with a CPU budget; sustained
-// throughput is set by the most loaded station. This matches how the
-// paper's load-balancer experiment behaves ("the load balancer was the
-// bottleneck ... with direct routing the bottleneck shifted to the
-// NGINX servers").
+// Two views of the same pipeline coexist. Bottleneck is the closed-form
+// capacity merge: sustained throughput is set by the most loaded
+// station. Simulate runs the pipeline as station queues on the
+// discrete-event engine (internal/sim), so the bottleneck *emerges*
+// from queueing — the saturated station is the one whose utilization
+// pins at 1 — and end-to-end tail latency under a given offered rate
+// becomes observable. This matches how the paper's load-balancer
+// experiment behaves ("the load balancer was the bottleneck ... with
+// direct routing the bottleneck shifted to the NGINX servers").
 package netsim
 
 import (
 	"fmt"
+	"math"
 
 	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
 )
 
 // Station is one CPU-bound processing stage: a proxy, a backend server,
@@ -105,14 +110,141 @@ func (w Wire) PacketsPerSec() float64 {
 func IperfThroughput(w Wire, senderPerPacket, receiverPerPacket cycles.Cycles) float64 {
 	pps := w.PacketsPerSec()
 	if senderPerPacket > 0 {
-		if c := cycles.Hz / float64(senderPerPacket); c < pps {
-			pps = c
-		}
+		pps = min(pps, cycles.Hz/float64(senderPerPacket))
 	}
 	if receiverPerPacket > 0 {
-		if c := cycles.Hz / float64(receiverPerPacket); c < pps {
-			pps = c
-		}
+		pps = min(pps, cycles.Hz/float64(receiverPerPacket))
 	}
 	return pps * float64(w.MTUBytes) * 8 / 1e9
+}
+
+// StationStats is one station's view of a simulated run.
+type StationStats struct {
+	Name        string
+	Utilization float64 // busy fraction of the station's capacity
+	MeanDepth   float64 // time-weighted requests in system
+	MaxDepth    int
+}
+
+// SimResult is the outcome of Pipeline.Simulate.
+type SimResult struct {
+	OfferedPerSec float64
+	Throughput    float64 // requests/s completing the full pipeline
+	Completed     uint64
+
+	MeanUS float64 // end-to-end sojourn statistics
+	P50US  float64
+	P95US  float64
+	P99US  float64
+
+	// Bottleneck is the station with the highest utilization — under
+	// overload, the one pinned at 1. It emerges from queueing rather
+	// than being computed as a min over capacities.
+	Bottleneck string
+	Stations   []StationStats
+}
+
+// leg is one pipeline hop: which merged station serves it and at what
+// cost (legs of a fractional-core station carry scaled cost so the
+// single queue keeps the station's aggregate capacity).
+type leg struct {
+	q    *sim.Queue
+	cost cycles.Cycles
+}
+
+// Simulate drives the pipeline with Poisson arrivals at ratePerSec for
+// a virtual duration, each request visiting every station in order.
+// Same-name stations share one queue (and one CPU budget), exactly as
+// Bottleneck merges them. Runs are deterministic for a fixed seed.
+func (p Pipeline) Simulate(ratePerSec, seconds float64, seed uint64) (*SimResult, error) {
+	if len(p.Stations) == 0 {
+		return nil, fmt.Errorf("netsim: empty pipeline")
+	}
+	if ratePerSec <= 0 || seconds <= 0 {
+		return nil, fmt.Errorf("netsim: simulate needs a positive rate and duration")
+	}
+	eng := sim.NewEngine()
+	horizon := cycles.FromSeconds(seconds)
+
+	// Merge same-name stations into shared queues, preserving order;
+	// like Bottleneck, a station's CPU budget comes from its first
+	// appearance.
+	queues := map[string]*sim.Queue{}
+	cores := map[string]float64{}
+	var order []*sim.Queue
+	legs := make([]leg, 0, len(p.Stations))
+	anyCost := false
+	for _, s := range p.Stations {
+		q, ok := queues[s.Name]
+		if !ok {
+			// Whole cores become real servers; fractional capacity
+			// becomes one server with service times scaled by 1/cores,
+			// which preserves the station's aggregate rate.
+			servers := int(s.Cores)
+			if float64(servers) != s.Cores || servers < 1 {
+				servers = 1
+			}
+			q = sim.NewQueue(eng, s.Name, servers)
+			queues[s.Name] = q
+			cores[s.Name] = s.Cores
+			order = append(order, q)
+		}
+		cost := s.CostPerReq
+		if c := cores[s.Name]; c > 0 && float64(int(c)) != c {
+			cost = cycles.Cycles(float64(cost) / c)
+		}
+		if cost > 0 {
+			anyCost = true
+		}
+		legs = append(legs, leg{q: q, cost: cost})
+	}
+	if !anyCost {
+		return nil, fmt.Errorf("netsim: pipeline has no cost")
+	}
+
+	var latency sim.Histogram
+	var completed uint64
+	route := func(j sim.Job) {
+		j.Stage++
+		if j.Stage < len(legs) {
+			j.Cost = legs[j.Stage].cost
+			legs[j.Stage].q.Arrive(j)
+			return
+		}
+		completed++
+		latency.Observe(eng.Now() - j.Born)
+	}
+	for _, q := range order {
+		q.OnDone = route
+	}
+
+	eng.DriveArrivals(sim.PoissonRate(ratePerSec), sim.NewRand(seed), horizon, func(id uint64) {
+		legs[0].q.Arrive(sim.Job{ID: id, Cost: legs[0].cost, Born: eng.Now()})
+	})
+	eng.Run(horizon)
+
+	res := &SimResult{
+		OfferedPerSec: ratePerSec,
+		Throughput:    float64(completed) / seconds,
+		Completed:     completed,
+		MeanUS:        latency.MeanMicros(),
+		P50US:         latency.Quantile(0.50).Micros(),
+		P95US:         latency.Quantile(0.95).Micros(),
+		P99US:         latency.Quantile(0.99).Micros(),
+	}
+	best := math.Inf(-1)
+	for _, q := range order {
+		u := q.Utilization(horizon)
+		res.Stations = append(res.Stations, StationStats{
+			Name:        q.Name,
+			Utilization: u,
+			MeanDepth:   q.MeanDepth(horizon),
+			MaxDepth:    q.MaxDepth(),
+		})
+		if u > best {
+			best = u
+			res.Bottleneck = q.Name
+		}
+	}
+	return res, nil
 }

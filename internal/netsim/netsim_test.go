@@ -69,6 +69,133 @@ func TestPipelineErrors(t *testing.T) {
 	}
 }
 
+func TestSimulateAgreesWithBottleneck(t *testing.T) {
+	// Driven 50% past capacity, the simulated pipeline must complete
+	// ≈capacity and saturate the station the analytic model names.
+	p := Pipeline{Stations: []Station{
+		{Name: "lb", CostPerReq: 20_000, Cores: 1},
+		{Name: "backends", CostPerReq: 30_000, Cores: 4},
+	}}
+	cap, name, err := p.Bottleneck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Simulate(1.5*cap, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Throughput / cap; r < 0.97 || r > 1.03 {
+		t.Errorf("simulated throughput = %.3f of analytic capacity, want ≈1", r)
+	}
+	if res.Bottleneck != name {
+		t.Errorf("simulated bottleneck = %q, analytic = %q", res.Bottleneck, name)
+	}
+	for _, s := range res.Stations {
+		if s.Name == name && s.Utilization < 0.99 {
+			t.Errorf("bottleneck station utilization = %v, want pinned at 1", s.Utilization)
+		}
+	}
+}
+
+func TestSimulateBottleneckShiftEmerges(t *testing.T) {
+	// The §5.7 story: with a NAT balancer on the path both ways, the
+	// balancer saturates; direct routing removes the response leg and
+	// the bottleneck shifts to the backends — here discovered from
+	// queueing, not a capacity min.
+	nat := Pipeline{Stations: []Station{
+		{Name: "lb", CostPerReq: 12_000, Cores: 1},
+		{Name: "backends", CostPerReq: 40_000, Cores: 3},
+		{Name: "lb", CostPerReq: 12_000, Cores: 1},
+	}}
+	direct := Pipeline{Stations: []Station{
+		{Name: "lb", CostPerReq: 12_000, Cores: 1},
+		{Name: "backends", CostPerReq: 40_000, Cores: 3},
+	}}
+	// Drive each pipeline 10% past its own capacity: enough to saturate
+	// the narrowest station without choking every station upstream.
+	natCap, _, _ := nat.Bottleneck()
+	directCap, _, _ := direct.Bottleneck()
+	natRes, err := nat.Simulate(1.1*natCap, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directRes, err := direct.Simulate(1.1*directCap, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natRes.Bottleneck != "lb" {
+		t.Errorf("NAT bottleneck = %q, want lb", natRes.Bottleneck)
+	}
+	if directRes.Bottleneck != "backends" {
+		t.Errorf("direct-routing bottleneck = %q, want backends", directRes.Bottleneck)
+	}
+	if directRes.Throughput <= natRes.Throughput {
+		t.Errorf("direct routing must outperform NAT: %v <= %v",
+			directRes.Throughput, natRes.Throughput)
+	}
+}
+
+func TestSimulateLatencyShape(t *testing.T) {
+	p := Pipeline{Stations: []Station{
+		{Name: "lb", CostPerReq: 10_000, Cores: 1},
+		{Name: "backends", CostPerReq: 50_000, Cores: 2},
+	}}
+	cap, _, _ := p.Bottleneck()
+	light, err := p.Simulate(0.2*cap, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := p.Simulate(0.95*cap, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(light.P50US <= light.P95US && light.P95US <= light.P99US) {
+		t.Errorf("percentiles not ordered: %+v", light)
+	}
+	// Bare pipeline service is 60k cycles ≈ 20.7 µs; light load should
+	// sit near it, heavy load must queue well above it.
+	if light.MeanUS > 2*20.7 {
+		t.Errorf("light-load mean %v µs, want near bare service 20.7 µs", light.MeanUS)
+	}
+	if heavy.P99US <= light.P99US {
+		t.Errorf("p99 must grow toward saturation: %v <= %v", heavy.P99US, light.P99US)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := Pipeline{Stations: []Station{
+		{Name: "a", CostPerReq: 5_000, Cores: 1},
+		{Name: "b", CostPerReq: 9_000, Cores: 0.5},
+	}}
+	r1, err := p.Simulate(30_000, 0.25, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Simulate(30_000, 0.25, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completed != r2.Completed || r1.P99US != r2.P99US || r1.Bottleneck != r2.Bottleneck {
+		t.Errorf("replay diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := (Pipeline{}).Simulate(1000, 1, 1); err == nil {
+		t.Error("empty pipeline must fail")
+	}
+	p := Pipeline{Stations: []Station{{Name: "x", CostPerReq: 100, Cores: 1}}}
+	if _, err := p.Simulate(0, 1, 1); err == nil {
+		t.Error("zero rate must fail")
+	}
+	if _, err := p.Simulate(1000, 0, 1); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if _, err := (Pipeline{Stations: []Station{{Name: "z", Cores: 1}}}).Simulate(1000, 1, 1); err == nil {
+		t.Error("zero-cost pipeline must fail")
+	}
+}
+
 func TestWire(t *testing.T) {
 	w := TenGbE()
 	pps := w.PacketsPerSec()

@@ -128,3 +128,51 @@ func TestRuntimeNames(t *testing.T) {
 		t.Errorf("names = %q / %q", p.Name(), u.Name())
 	}
 }
+
+func TestCalibrationConstantsOverridableViaCostTable(t *testing.T) {
+	// The runtime calibration constants live in cycles.CostTable so a
+	// custom table overrides them like any other charged event.
+	custom := cycles.Default
+	custom.OptimizedGuestSyscall = 10 * cycles.Default.OptimizedGuestSyscall
+	custom.GrapheneSyscall = 10 * cycles.Default.GrapheneSyscall
+	custom.GrapheneIPC = 10 * cycles.Default.GrapheneIPC
+	custom.RumpHandlerFactor = 10 * cycles.Default.RumpHandlerFactor
+
+	base := MustNew(Config{Kind: ClearContainer, Cloud: LocalCluster})
+	slow := MustNew(Config{Kind: ClearContainer, Cloud: LocalCluster, Costs: &custom})
+	if slow.SyscallCost(syscalls.Getpid, false) <= base.SyscallCost(syscalls.Getpid, false) {
+		t.Error("OptimizedGuestSyscall override did not take effect")
+	}
+
+	gBase := MustNew(Config{Kind: Graphene, Cloud: LocalCluster})
+	gSlow := MustNew(Config{Kind: Graphene, Cloud: LocalCluster, Costs: &custom})
+	if gSlow.SyscallCost(syscalls.Getpid, false) <= gBase.SyscallCost(syscalls.Getpid, false) {
+		t.Error("GrapheneSyscall override did not take effect")
+	}
+	if gSlow.GrapheneIPCCost(syscalls.Close, 4) != custom.GrapheneIPC {
+		t.Errorf("GrapheneIPC = %v, want %v", gSlow.GrapheneIPCCost(syscalls.Close, 4), custom.GrapheneIPC)
+	}
+
+	uBase := MustNew(Config{Kind: Unikernel, Cloud: LocalCluster})
+	uSlow := MustNew(Config{Kind: Unikernel, Cloud: LocalCluster, Costs: &custom})
+	if uSlow.SyscallCost(syscalls.Read, false) <= uBase.SyscallCost(syscalls.Read, false) {
+		t.Error("RumpHandlerFactor override did not take effect")
+	}
+}
+
+func TestPartialCostTableKeepsCalibrationDefaults(t *testing.T) {
+	// A table built from scratch (zero calibration fields) must not
+	// zero out the baseline runtime models.
+	partial := &cycles.CostTable{SyscallTrap: 500}
+	g := MustNew(Config{Kind: Graphene, Cloud: LocalCluster, Costs: partial})
+	if g.Costs.GrapheneSyscall != cycles.Default.GrapheneSyscall {
+		t.Errorf("GrapheneSyscall = %v, want default %v", g.Costs.GrapheneSyscall, cycles.Default.GrapheneSyscall)
+	}
+	if g.Costs.RumpHandlerFactor != cycles.Default.RumpHandlerFactor {
+		t.Errorf("RumpHandlerFactor = %v, want default %v", g.Costs.RumpHandlerFactor, cycles.Default.RumpHandlerFactor)
+	}
+	// The explicitly set field is preserved.
+	if g.Costs.SyscallTrap != 500 {
+		t.Errorf("SyscallTrap = %v, want the override 500", g.Costs.SyscallTrap)
+	}
+}

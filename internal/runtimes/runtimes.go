@@ -54,39 +54,43 @@ var kindNames = map[Kind]string{
 
 func (k Kind) String() string { return kindNames[k] }
 
-// Runtime-specific calibration constants (see DESIGN.md; validate
-// against the paper by regenerating the evaluation with cmd/xcbench).
-const (
-	// optimizedGuestSyscall is Clear Containers' guest syscall path:
-	// "the guest kernel is highly optimized by disabling most security
-	// features within a Clear container" (§5.4), calibrated to the
-	// paper's X≈1.6×Clear raw-syscall ratio.
-	optimizedGuestSyscall cycles.Cycles = 45
+// The runtime calibration constants (Clear Containers' optimized guest
+// syscall path, Graphene's LibOS/IPC/host-forward costs, the Rumprun
+// and gVisor-netstack scaling factors) live in cycles.CostTable so
+// WithCostTable overrides them like every other charged event; see
+// normalizeCosts for the zero-value fallback and DESIGN.md §4 for the
+// calibration sources. Validate against the paper by regenerating the
+// evaluation with cmd/xcbench.
 
-	// grapheneSyscall is Graphene's per-syscall LibOS+PAL overhead for
-	// implemented calls.
-	grapheneSyscall cycles.Cycles = 2600
-
-	// grapheneIPC is the inter-process coordination round trip Graphene
-	// pays on state-sharing syscalls when a container runs multiple
-	// processes ("processes use IPC calls to maintain the consistency
-	// of multiple LibOS instances", §2.3/§5.5).
-	grapheneIPC cycles.Cycles = 2500
-
-	// grapheneHostForward: roughly a third of Linux syscalls are
-	// implemented by Graphene; the rest must be emulated through host
-	// calls with seccomp filtering.
-	grapheneHostForward cycles.Cycles = 1400
-
-	// rumpHandlerFactor scales Rumprun's kernel handler bodies relative
-	// to Linux ("the Linux kernel outperforms the Rumprun kernel",
-	// §5.5).
-	rumpHandlerFactor = 1.35
-
-	// gvisorNetstackFactor scales gVisor's user-space netstack
-	// (Netstack is substantially slower than Linux's).
-	gvisorNetstackFactor = 1.6
-)
+// normalizeCosts returns a table whose zero-valued calibration fields
+// are filled from the defaults: a custom table built by tweaking a few
+// trap costs must not silently zero Graphene's or Clear Containers'
+// runtime model.
+func normalizeCosts(t *cycles.CostTable) *cycles.CostTable {
+	if t == nil {
+		return &cycles.Default
+	}
+	c := *t
+	if c.OptimizedGuestSyscall == 0 {
+		c.OptimizedGuestSyscall = cycles.Default.OptimizedGuestSyscall
+	}
+	if c.GrapheneSyscall == 0 {
+		c.GrapheneSyscall = cycles.Default.GrapheneSyscall
+	}
+	if c.GrapheneIPC == 0 {
+		c.GrapheneIPC = cycles.Default.GrapheneIPC
+	}
+	if c.GrapheneHostForward == 0 {
+		c.GrapheneHostForward = cycles.Default.GrapheneHostForward
+	}
+	if c.RumpHandlerFactor == 0 {
+		c.RumpHandlerFactor = cycles.Default.RumpHandlerFactor
+	}
+	if c.GVisorNetstackFactor == 0 {
+		c.GVisorNetstackFactor = cycles.Default.GVisorNetstackFactor
+	}
+	return &c
+}
 
 // Cloud selects the provider profile of §5.1. Clear Containers need
 // nested hardware virtualization, which EC2 lacks; the two clouds also
@@ -142,10 +146,7 @@ type Runtime struct {
 
 // New boots a runtime per cfg.
 func New(cfg Config) (*Runtime, error) {
-	costs := cfg.Costs
-	if costs == nil {
-		costs = &cycles.Default
-	}
+	costs := normalizeCosts(cfg.Costs)
 	r := &Runtime{Cfg: cfg, Costs: costs}
 	switch cfg.Kind {
 	case Docker, GVisor, Graphene:
@@ -344,15 +345,15 @@ func (r *Runtime) SyscallCost(n syscalls.No, converted bool) cycles.Cycles {
 	case ClearContainer:
 		// Syscalls stay inside the guest; the (unpatched, stripped)
 		// guest kernel handles them with its optimized path.
-		return optimizedGuestSyscall + body
+		return r.Costs.OptimizedGuestSyscall + body
 	case Unikernel:
-		return r.Costs.FunctionCall + cycles.Cycles(float64(body)*rumpHandlerFactor)
+		return r.Costs.FunctionCall + cycles.Cycles(float64(body)*r.Costs.RumpHandlerFactor)
 	case Graphene:
 		k := syscalls.Classify(n)
-		c := grapheneSyscall + body
+		c := r.Costs.GrapheneSyscall + body
 		if k == syscalls.KindIO || k == syscalls.KindWait {
 			// Network/file I/O must reach the host kernel underneath.
-			c += grapheneHostForward + r.Costs.SyscallTrap
+			c += r.Costs.GrapheneHostForward + r.Costs.SyscallTrap
 			if r.Cfg.Patched {
 				c += r.Costs.KPTIPerSyscall
 			}
@@ -364,13 +365,13 @@ func (r *Runtime) SyscallCost(n syscalls.No, converted bool) cycles.Cycles {
 
 // GrapheneIPCCost is the extra multi-process coordination cost Graphene
 // pays per state-sharing syscall when nProcs > 1 (§5.5, Fig. 6b).
-func GrapheneIPCCost(n syscalls.No, nProcs int) cycles.Cycles {
+func (r *Runtime) GrapheneIPCCost(n syscalls.No, nProcs int) cycles.Cycles {
 	if nProcs <= 1 {
 		return 0
 	}
 	switch syscalls.Classify(n) {
 	case syscalls.KindFd, syscalls.KindProcess, syscalls.KindSignal, syscalls.KindWait:
-		return grapheneIPC
+		return r.Costs.GrapheneIPC
 	}
 	return 0
 }
@@ -457,7 +458,7 @@ func (r *Runtime) NetPerPacket() cycles.Cycles {
 		return stack + nic + r.Costs.ConntrackNAT + portFwd + cloudTax
 	case GVisor:
 		// Netstack in the Sentry, then host socket over the bridge.
-		return cycles.Cycles(float64(stack)*gvisorNetstackFactor) + stack/2 + nic + r.Costs.ConntrackNAT + portFwd + cloudTax
+		return cycles.Cycles(float64(stack)*r.Costs.GVisorNetstackFactor) + stack/2 + nic + r.Costs.ConntrackNAT + portFwd + cloudTax
 	case XenContainer, XenPVVM, XenHVMVM:
 		// Guest stack -> split driver ring -> Domain-0 bridge.
 		ring := r.Costs.SplitDriverRing
@@ -474,7 +475,7 @@ func (r *Runtime) NetPerPacket() cycles.Cycles {
 		return stack + ring + r.Costs.BridgeHop + portFwd + nic + cloudTax
 	case Unikernel:
 		ring := r.Costs.SplitDriverRing
-		return cycles.Cycles(float64(stack)*rumpHandlerFactor) + ring + r.Costs.BridgeHop + nic + cloudTax
+		return cycles.Cycles(float64(stack)*r.Costs.RumpHandlerFactor) + ring + r.Costs.BridgeHop + nic + cloudTax
 	case ClearContainer:
 		// virtio through the nested hypervisor: each packet batch exits.
 		return stack + stack/2 + nic + r.Costs.NestedVMExit/2 + r.Costs.ConntrackNAT + portFwd + cloudTax

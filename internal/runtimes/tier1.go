@@ -237,7 +237,7 @@ type hvmEnv struct {
 func (e *hvmEnv) Syscall(cpu *arch.CPU) arch.Action {
 	n := syscalls.No(cpu.Regs[arch.RAX])
 	if e.r.Cfg.Kind == ClearContainer {
-		cpu.Clock.Advance(optimizedGuestSyscall)
+		cpu.Clock.Advance(e.r.Costs.OptimizedGuestSyscall)
 	} else {
 		e.p.C.Guest.SyscallEntry(cpu.Clock)
 	}
@@ -295,7 +295,7 @@ func (e *unikernelEnv) Syscall(cpu *arch.CPU) arch.Action {
 		return arch.ActionExit
 	}
 	cpu.Clock.Advance(e.r.Costs.FunctionCall)
-	body := float64(syscalls.HandlerCycles(syscalls.Classify(n))) * rumpHandlerFactor
+	body := float64(syscalls.HandlerCycles(syscalls.Classify(n))) * e.r.Costs.RumpHandlerFactor
 	cpu.Clock.Advance(cycles.Cycles(body))
 	return doSemantics(e.r, e.p, cpu, n)
 }
@@ -316,13 +316,13 @@ type grapheneEnv struct {
 
 func (e *grapheneEnv) Syscall(cpu *arch.CPU) arch.Action {
 	n := syscalls.No(cpu.Regs[arch.RAX])
-	cpu.Clock.Advance(grapheneSyscall)
+	cpu.Clock.Advance(e.r.Costs.GrapheneSyscall)
 	k := syscalls.Classify(n)
 	if k == syscalls.KindIO || k == syscalls.KindWait {
-		cpu.Clock.Advance(grapheneHostForward)
+		cpu.Clock.Advance(e.r.Costs.GrapheneHostForward)
 		e.r.Host.SyscallEntry(cpu.Clock)
 	}
-	cpu.Clock.Advance(GrapheneIPCCost(n, e.p.C.Procs))
+	cpu.Clock.Advance(e.r.GrapheneIPCCost(n, e.p.C.Procs))
 	cpu.Clock.Advance(cycles.Cycles(syscalls.HandlerCycles(k)))
 	return doSemantics(e.r, e.p, cpu, n)
 }

@@ -1,0 +1,127 @@
+package sim
+
+import "xcontainers/internal/cycles"
+
+// Arrivals is an open-loop arrival process: Next draws the gap to the
+// following arrival. Implementations may be stateful (the bursty
+// process tracks its on/off phase), so one Arrivals value drives one
+// stream.
+type Arrivals interface {
+	Next(r *Rand) cycles.Cycles
+}
+
+// fixedArrivals spaces arrivals uniformly — a perfectly paced load
+// generator.
+type fixedArrivals struct {
+	gap cycles.Cycles
+}
+
+// FixedRate returns a deterministic arrival process at perSec
+// requests per second.
+func FixedRate(perSec float64) Arrivals {
+	return fixedArrivals{gap: gapFor(perSec)}
+}
+
+func (f fixedArrivals) Next(*Rand) cycles.Cycles { return f.gap }
+
+// poissonArrivals models memoryless open-loop traffic: exponentially
+// distributed gaps around the mean rate.
+type poissonArrivals struct {
+	mean float64 // mean gap in cycles
+}
+
+// PoissonRate returns a Poisson arrival process at perSec requests per
+// second.
+func PoissonRate(perSec float64) Arrivals {
+	return &poissonArrivals{mean: float64(gapFor(perSec))}
+}
+
+func (p *poissonArrivals) Next(r *Rand) cycles.Cycles {
+	return cycles.Cycles(p.mean * r.Exp())
+}
+
+// Bursty is a two-state on/off modulated Poisson process: bursts of
+// Poisson arrivals at the peak rate, alternating with silent gaps.
+// Phase sojourns are exponential around their means, so long horizons
+// see many on/off cycles. Mean offered rate is
+// peak × on / (on + off).
+type Bursty struct {
+	onGap     float64 // mean arrival gap during a burst, cycles
+	onMean    float64 // mean burst duration, cycles
+	offMean   float64 // mean silence duration, cycles
+	phaseLeft float64 // remaining cycles of the current on-phase
+}
+
+// NewBursty builds a bursty process: peakPerSec requests per second
+// while bursting, with mean burst and silence durations in seconds.
+// Degenerate shapes (no peak rate, zero-length bursts) yield a process
+// that never arrives rather than one that can never terminate a draw;
+// negative silences are clamped to back-to-back bursts.
+func NewBursty(peakPerSec, onSeconds, offSeconds float64) *Bursty {
+	if peakPerSec <= 0 || onSeconds <= 0 {
+		return &Bursty{}
+	}
+	return &Bursty{
+		onGap:   float64(gapFor(peakPerSec)),
+		onMean:  onSeconds * cycles.Hz,
+		offMean: max(offSeconds, 0) * cycles.Hz,
+	}
+}
+
+func (b *Bursty) Next(r *Rand) cycles.Cycles {
+	if b.onMean <= 0 {
+		return never
+	}
+	wait := 0.0
+	for {
+		if b.phaseLeft <= 0 {
+			b.phaseLeft = b.onMean * r.Exp()
+		}
+		gap := b.onGap * r.Exp()
+		if gap <= b.phaseLeft {
+			b.phaseLeft -= gap
+			return cycles.Cycles(wait + gap)
+		}
+		// The burst ends before the candidate arrival: spend what is
+		// left of it plus one silence, then retry in a fresh burst.
+		wait += b.phaseLeft + b.offMean*r.Exp()
+		b.phaseLeft = 0
+	}
+}
+
+// never is the gap of a process that has stopped arriving — far beyond
+// any simulation horizon.
+const never = cycles.Cycles(1) << 62
+
+// gapFor converts a per-second rate to a cycle gap, guarding the
+// degenerate rates that would otherwise divide by zero or round to a
+// zero gap (which an event loop would turn into infinite same-instant
+// arrivals).
+func gapFor(perSec float64) cycles.Cycles {
+	if perSec <= 0 {
+		return never
+	}
+	g := cycles.Cycles(cycles.Hz / perSec)
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// DriveArrivals pumps an open-loop source into admit: one call per
+// arrival with a 1-based id, self-rescheduling until the horizon. It is
+// the shared front end of every open-loop experiment (workload traffic,
+// netsim pipelines).
+func (e *Engine) DriveArrivals(arr Arrivals, rng *Rand, horizon cycles.Cycles, admit func(id uint64)) {
+	var id uint64
+	var pump func()
+	pump = func() {
+		if e.Now() >= horizon {
+			return
+		}
+		id++
+		admit(id)
+		e.After(arr.Next(rng), pump)
+	}
+	e.At(arr.Next(rng), pump)
+}

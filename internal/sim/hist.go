@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/bits"
+
+	"xcontainers/internal/cycles"
+)
+
+// histSub is the number of sub-buckets per power of two; 16 gives
+// ≈6% worst-case quantile resolution, plenty for p50/p95/p99 shape.
+const histSub = 16
+
+// Histogram is a log-bucketed latency histogram over cycle counts.
+// Buckets are geometric (histSub per octave), so one fixed-size array
+// covers nanoseconds to hours with bounded relative error, and
+// observation order never affects the quantiles — a determinism
+// requirement for golden-tested reports.
+type Histogram struct {
+	counts [64 * histSub]uint64
+	n      uint64
+	sum    float64
+	max    cycles.Cycles
+}
+
+func bucketOf(v cycles.Cycles) int {
+	u := uint64(v)
+	if u < histSub {
+		return int(u) // exact buckets for tiny values
+	}
+	exp := bits.Len64(u) - 1
+	frac := (u >> (uint(exp) - 4)) & (histSub - 1)
+	return exp*histSub + int(frac)
+}
+
+// bucketCeil returns the largest value mapping to bucket b — the
+// conservative representative Quantile reports.
+func bucketCeil(b int) cycles.Cycles {
+	if b < histSub {
+		return cycles.Cycles(b)
+	}
+	exp := uint(b / histSub)
+	frac := uint64(b % histSub)
+	lo := (uint64(histSub) + frac) << (exp - 4)
+	return cycles.Cycles(lo + 1<<(exp-4) - 1)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v cycles.Cycles) {
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact sample mean in cycles (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// MeanMicros returns the exact sample mean in virtual microseconds.
+func (h *Histogram) MeanMicros() float64 {
+	return h.Mean() / (cycles.Hz / 1e6)
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() cycles.Cycles { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) with
+// the bucket resolution's relative error. The exact maximum is
+// returned for quantiles that land in the top bucket.
+func (h *Histogram) Quantile(q float64) cycles.Cycles {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			ceil := bucketCeil(b)
+			if ceil > h.max {
+				ceil = h.max
+			}
+			return ceil
+		}
+	}
+	return h.max
+}

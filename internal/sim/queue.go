@@ -1,0 +1,136 @@
+package sim
+
+import "xcontainers/internal/cycles"
+
+// Job is one unit of work flowing through queues. Born is stamped by
+// the traffic source at admission so end-to-end latency survives
+// multi-station pipelines; Stage lets pipeline drivers route a
+// completed job to its next station.
+type Job struct {
+	ID    uint64
+	Cost  cycles.Cycles // service demand at the current station
+	Born  cycles.Cycles // admission time into the system
+	Stage int           // pipeline position, maintained by the driver
+
+	arrived cycles.Cycles // arrival at the current queue
+}
+
+// Queue is a multi-server FIFO station on an engine: up to Servers jobs
+// in service simultaneously, excess arrivals waiting in order. It
+// accumulates the statistics every flow-level consumer needs — sojourn
+// (queueing + service) histogram, busy cycles, and time-weighted queue
+// depth.
+type Queue struct {
+	Name    string
+	Servers int
+
+	// OnDone, when set, receives each completed job at its completion
+	// instant — the hook closed-loop sources use to re-inject work and
+	// pipelines use to route to the next station.
+	OnDone func(Job)
+
+	eng     *Engine
+	busy    int
+	waiting []Job
+	head    int
+
+	// Sojourn is the per-queue latency histogram: time from arrival to
+	// service completion.
+	Sojourn Histogram
+
+	Arrived    uint64
+	Completed  uint64
+	BusyCycles cycles.Cycles
+
+	depth      int // jobs in system (waiting + in service)
+	maxDepth   int
+	depthArea  float64 // ∫ depth dt, cycle-weighted
+	lastChange cycles.Cycles
+}
+
+// NewQueue creates a station with the given number of servers (≥ 1).
+func NewQueue(eng *Engine, name string, servers int) *Queue {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Queue{Name: name, Servers: servers, eng: eng}
+}
+
+// Arrive admits a job: it enters service if a server is free, otherwise
+// waits FIFO.
+func (q *Queue) Arrive(j Job) {
+	j.arrived = q.eng.Now()
+	q.Arrived++
+	q.setDepth(q.depth + 1)
+	if q.busy < q.Servers {
+		q.start(j)
+		return
+	}
+	q.waiting = append(q.waiting, j)
+}
+
+func (q *Queue) start(j Job) {
+	q.busy++
+	q.BusyCycles += j.Cost
+	q.eng.After(j.Cost, func() { q.finish(j) })
+}
+
+func (q *Queue) finish(j Job) {
+	q.Completed++
+	q.Sojourn.Observe(q.eng.Now() - j.arrived)
+	q.setDepth(q.depth - 1)
+	q.busy--
+	if q.head < len(q.waiting) {
+		next := q.waiting[q.head]
+		q.waiting[q.head] = Job{}
+		q.head++
+		if q.head == len(q.waiting) {
+			q.waiting = q.waiting[:0]
+			q.head = 0
+		}
+		q.start(next)
+	}
+	if q.OnDone != nil {
+		q.OnDone(j)
+	}
+}
+
+func (q *Queue) setDepth(d int) {
+	now := q.eng.Now()
+	q.depthArea += float64(q.depth) * float64(now-q.lastChange)
+	q.lastChange = now
+	q.depth = d
+	if d > q.maxDepth {
+		q.maxDepth = d
+	}
+}
+
+// Depth returns the current jobs-in-system count.
+func (q *Queue) Depth() int { return q.depth }
+
+// MaxDepth returns the peak jobs-in-system count.
+func (q *Queue) MaxDepth() int { return q.maxDepth }
+
+// MeanDepth returns the time-weighted mean jobs-in-system over the
+// window [0, horizon].
+func (q *Queue) MeanDepth(horizon cycles.Cycles) float64 {
+	if horizon == 0 {
+		return 0
+	}
+	// Account the still-open interval up to the horizon.
+	area := q.depthArea
+	if horizon > q.lastChange {
+		area += float64(q.depth) * float64(horizon-q.lastChange)
+	}
+	return area / float64(horizon)
+}
+
+// Utilization returns the fraction of server capacity consumed by work
+// started within the window.
+func (q *Queue) Utilization(horizon cycles.Cycles) float64 {
+	if horizon == 0 {
+		return 0
+	}
+	u := float64(q.BusyCycles) / (float64(q.Servers) * float64(horizon))
+	return min(u, 1)
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/sim"
+)
+
+// BurstSpec modulates open-loop traffic with an on/off process: bursts
+// at PeakRate alternating with silences, exponentially distributed
+// around the given mean durations.
+type BurstSpec struct {
+	PeakRate   float64 // requests/s while bursting
+	OnSeconds  float64 // mean burst duration
+	OffSeconds float64 // mean silence duration
+}
+
+// TrafficLoad is one discrete-event server experiment: an arrival
+// process drives requests at per-request cost RequestCostN through a
+// FIFO queue per container, each with one server per usable worker.
+//
+// Two modes share the kernel:
+//
+//   - open loop (Rate > 0 or Burst set): arrivals are an external
+//     process — Poisson at Rate, fixed-gap if Paced, or bursty on/off —
+//     independent of how the server keeps up, so queueing delay and
+//     tail latency build under load exactly as they do for real
+//     internet traffic;
+//   - closed loop (otherwise): a fixed population of Concurrency
+//     connections, each immediately re-issuing on completion — the
+//     paper's saturating ab/wrk/memtier drivers. Saturated, this
+//     reproduces the analytic ServerLoad model (see
+//     ServerLoad.Analytic) as one special case.
+type TrafficLoad struct {
+	Driver Driver
+	App    *apps.App
+	RT     *runtimes.Runtime
+
+	Workers int // worker processes per container (0 = app default)
+	Cores   int // physical cores per container (0 = 1)
+
+	// Concurrency is the closed-loop population (0 = 2× parallelism).
+	Concurrency int
+
+	// Rate, when > 0, switches to open loop at that many requests/s.
+	Rate float64
+	// Paced makes open-loop gaps uniform instead of Poisson.
+	Paced bool
+	// Burst overrides Rate with an on/off modulated process.
+	Burst *BurstSpec
+
+	// DurationSec is the simulated horizon in virtual seconds
+	// (0 = auto: long enough for ~30k closed-loop completions, or 1 s
+	// open loop).
+	DurationSec float64
+	// Seed selects the arrival randomness stream (0 = 1).
+	Seed uint64
+	// Replicas spreads the load round-robin over that many identical
+	// containers, each with its own queue, workers, and cores
+	// (0 = 1) — the multi-container Serve experiments.
+	Replicas int
+}
+
+// TrafficResult is one traffic experiment's outcome. All rates are in
+// requests per second — the same unit as OfferedRate — so feeding a
+// measured Throughput back in as a Rate is always meaningful; client
+// operations (App.OpsPerRequest) are a reporting concern of the
+// closed-loop drivers (see ServerLoad.Run).
+type TrafficResult struct {
+	Throughput  float64 // completed requests per virtual second
+	OfferedRate float64 // configured open-loop rate (0 closed loop)
+	Arrived     uint64  // requests admitted within the horizon
+	Completed   uint64  // requests finished within the horizon
+
+	LatencyUS float64 // mean sojourn (queueing + service), µs
+	P50US     float64
+	P95US     float64
+	P99US     float64
+	MaxUS     float64
+
+	MeanQueueDepth float64 // time-weighted jobs in system, all queues
+	MaxQueueDepth  int     // peak jobs in system on any one queue
+	Utilization    float64 // busy fraction of total server capacity
+
+	PerRequest  cycles.Cycles // CPU demand per request
+	Population  int           // resolved closed-loop population
+	DurationSec float64       // resolved horizon
+}
+
+// targetCompletions sizes auto-duration closed-loop runs: large enough
+// that whole-request granularity is ≪ the 2% equivalence budget.
+const targetCompletions = 30_000
+
+// Run executes the experiment on a fresh engine and returns its
+// statistics. Runs are deterministic: same configuration and seed,
+// same result.
+func (l TrafficLoad) Run() TrafficResult {
+	workers := l.Workers
+	if workers <= 0 {
+		workers = l.App.Processes
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	cores := max(l.Cores, 1)
+	parallel := min(workers*max(1, l.App.ThreadsPer), cores)
+	per := RequestCostN(l.RT, l.App, workers)
+	replicas := max(l.Replicas, 1)
+
+	open := l.Rate > 0 || l.Burst != nil
+	conc := l.Concurrency
+	if conc <= 0 {
+		conc = 2 * parallel * replicas
+	}
+
+	horizon := cycles.FromSeconds(max(l.DurationSec, 0))
+	if l.DurationSec <= 0 {
+		if open {
+			horizon = cycles.FromSeconds(1)
+		} else {
+			// Auto: ~targetCompletions whole requests across all servers.
+			horizon = cycles.Cycles(targetCompletions/(parallel*replicas)+1) * per
+		}
+	}
+
+	eng := sim.NewEngine()
+	queues := make([]*sim.Queue, replicas)
+	var latency sim.Histogram
+	for i := range queues {
+		q := sim.NewQueue(eng, fmt.Sprintf("container-%d", i), parallel)
+		q.OnDone = func(j sim.Job) { latency.Observe(eng.Now() - j.Born) }
+		queues[i] = q
+	}
+
+	if open {
+		var arr sim.Arrivals
+		switch {
+		case l.Burst != nil:
+			arr = sim.NewBursty(l.Burst.PeakRate, l.Burst.OnSeconds, l.Burst.OffSeconds)
+		case l.Paced:
+			arr = sim.FixedRate(l.Rate)
+		default:
+			arr = sim.PoissonRate(l.Rate)
+		}
+		eng.DriveArrivals(arr, sim.NewRand(l.Seed), horizon, func(id uint64) {
+			queues[int(id-1)%replicas].Arrive(sim.Job{ID: id, Cost: per, Born: eng.Now()})
+		})
+	} else {
+		// Closed loop: a fixed population re-issues on completion; each
+		// connection stays pinned to its container, like a keep-alive
+		// load generator.
+		for _, q := range queues {
+			q := q
+			done := q.OnDone
+			q.OnDone = func(j sim.Job) {
+				done(j)
+				if eng.Now() < horizon {
+					q.Arrive(sim.Job{ID: j.ID, Cost: per, Born: eng.Now()})
+				}
+			}
+		}
+		for i := 0; i < conc; i++ {
+			i := i
+			q := queues[i%replicas]
+			eng.At(0, func() { q.Arrive(sim.Job{ID: uint64(i + 1), Cost: per, Born: 0}) })
+		}
+	}
+
+	eng.Run(horizon)
+
+	res := TrafficResult{
+		OfferedRate: l.Rate,
+		PerRequest:  per,
+		DurationSec: horizon.Seconds(),
+	}
+	if !open {
+		res.Population = conc
+		res.OfferedRate = 0
+	}
+	if l.Burst != nil {
+		res.OfferedRate = l.Burst.PeakRate * l.Burst.OnSeconds / (l.Burst.OnSeconds + l.Burst.OffSeconds)
+	}
+	var busy cycles.Cycles
+	for _, q := range queues {
+		res.Arrived += q.Arrived
+		res.Completed += q.Completed
+		res.MeanQueueDepth += q.MeanDepth(horizon)
+		res.MaxQueueDepth = max(res.MaxQueueDepth, q.MaxDepth())
+		busy += q.BusyCycles
+	}
+	res.Utilization = min(float64(busy)/(float64(parallel*replicas)*float64(horizon)), 1)
+
+	res.Throughput = float64(res.Completed) / horizon.Seconds()
+	res.LatencyUS = latency.MeanMicros()
+	res.P50US = latency.Quantile(0.50).Micros()
+	res.P95US = latency.Quantile(0.95).Micros()
+	res.P99US = latency.Quantile(0.99).Micros()
+	res.MaxUS = latency.Max().Micros()
+	return res
+}

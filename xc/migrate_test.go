@@ -1,0 +1,162 @@
+package xc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMigrateRoundTrip is the §3.3 acceptance test: checkpointing an
+// instance, transporting the blob, and restoring it on another host
+// preserves the instance's counters — including the ABOM-patched text,
+// so converted call sites stay function calls on the destination.
+func TestMigrateRoundTrip(t *testing.T) {
+	src := MustNewPlatform(XContainer)
+	dst := MustNewPlatform(XContainer)
+
+	w := SyscallLoop("getpid", 300)
+	text, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := src.Boot(Image{Name: "migratee", Program: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(DefaultInstructionBudget); err != nil {
+		t.Fatal(err)
+	}
+	before := inst.Stats()
+	if before.FunctionCalls == 0 || before.ABOMPatches == 0 {
+		t.Fatalf("source run did not exercise the ABOM: %+v", before)
+	}
+
+	moved, err := Migrate(src, inst, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := moved.Stats()
+	if after.Instructions != before.Instructions ||
+		after.RawSyscalls != before.RawSyscalls ||
+		after.FunctionCalls != before.FunctionCalls {
+		t.Errorf("migration lost counters:\nbefore %+v\nafter  %+v", before, after)
+	}
+
+	// The instance resumed exactly where it stopped (halted): running
+	// it again must execute nothing new.
+	if _, err := moved.Run(DefaultInstructionBudget); err != nil {
+		t.Fatal(err)
+	}
+	if again := moved.Stats(); again.Instructions != after.Instructions {
+		t.Errorf("resumed instance re-executed: %d -> %d instructions",
+			after.Instructions, again.Instructions)
+	}
+	if err := dst.Destroy(moved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigratedStatsMatchFreshRun: the migrated instance's counters must
+// be indistinguishable from the same workload run on a fresh platform —
+// migration is transparent to the workload's execution history.
+func TestMigratedStatsMatchFreshRun(t *testing.T) {
+	run := func() Stats {
+		t.Helper()
+		p := MustNewPlatform(XContainer)
+		w := SyscallLoop("getpid", 250)
+		text, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := p.Boot(Image{Name: "ref", Program: text})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Run(DefaultInstructionBudget); err != nil {
+			t.Fatal(err)
+		}
+		return inst.Stats()
+	}
+	fresh := run()
+
+	src := MustNewPlatform(XContainer)
+	dst := MustNewPlatform(XContainer)
+	w := SyscallLoop("getpid", 250)
+	text, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := src.Boot(Image{Name: "mig", Program: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(DefaultInstructionBudget); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := Migrate(src, inst, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := moved.Stats()
+	// TrappedInLibOS and ABOMPatches are per-host state (the
+	// destination's LibOS never saw the traps); the portable counters
+	// must match exactly.
+	if got.Instructions != fresh.Instructions ||
+		got.RawSyscalls != fresh.RawSyscalls ||
+		got.FunctionCalls != fresh.FunctionCalls {
+		t.Errorf("migrated stats diverge from a fresh run:\nfresh    %+v\nmigrated %+v", fresh, got)
+	}
+}
+
+// TestCheckpointBlobRoundTrip: the serialized checkpoint decodes to an
+// identical value, so the transport step cannot corrupt state.
+func TestCheckpointBlobRoundTrip(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	w := SyscallLoop("read", 100)
+	text, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Boot(Image{Name: "blob", Program: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(DefaultInstructionBudget); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := p.Checkpoint(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gob canonicalizes empty containers, so compare re-encoded bytes
+	// rather than in-memory values.
+	blob2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blob, blob2) {
+		t.Error("checkpoint changed across encode/decode round trip")
+	}
+	if back.ImageName != ck.ImageName || back.RIP != ck.RIP ||
+		back.Instructions != ck.Instructions || back.VsyscallCalls != ck.VsyscallCalls ||
+		!reflect.DeepEqual(back.TextBytes, ck.TextBytes) {
+		t.Errorf("checkpoint fields drifted:\n%+v\n%+v", ck, back)
+	}
+}
+
+func TestMigrateRejectsNilPlatforms(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	if _, err := Migrate(nil, nil, p); err == nil {
+		t.Error("nil source must be rejected")
+	}
+	if _, err := Migrate(p, nil, nil); err == nil {
+		t.Error("nil destination must be rejected")
+	}
+}

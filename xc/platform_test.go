@@ -37,9 +37,11 @@ func TestOptionsApplyToConfig(t *testing.T) {
 	if cfg.FastToolstack {
 		t.Error("FastToolstack = true, want false")
 	}
-	// The override reaches the composed runtime.
+	// The override reaches the composed runtime (as a normalized copy:
+	// zero calibration fields are back-filled, so identity may differ
+	// but every value the caller set must survive).
 	rt := p.Runtime()
-	if rt.Costs != &table {
+	if *rt.Costs != table {
 		t.Error("cost table did not reach the runtime")
 	}
 	if rt.Cfg.MachineFrames != 4096 {

@@ -53,6 +53,43 @@ type Throughput struct {
 	// (0 when the workload's iteration count is unknown).
 	IterationsPerSec float64 `json:"iterations_per_sec,omitempty"`
 	SyscallsPerSec   float64 `json:"syscalls_per_sec"`
+	// RequestsPerSec is the served request rate of a traffic run
+	// (Platform.Serve only).
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	// OfferedPerSec is the mean open-loop arrival rate driven at the
+	// platform (0 for closed-loop runs).
+	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
+}
+
+// LatencyStats is the sojourn-time distribution of a traffic run:
+// queueing plus service, in virtual microseconds.
+type LatencyStats struct {
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// QueueStats summarizes queue occupancy over a traffic run.
+type QueueStats struct {
+	// MeanDepth is the time-weighted requests in system, summed across
+	// containers.
+	MeanDepth float64 `json:"mean_depth"`
+	// MaxDepth is the peak backlog of any one container.
+	MaxDepth int `json:"max_depth"`
+	// Utilization is the busy fraction of total worker capacity.
+	Utilization float64 `json:"utilization"`
+}
+
+// TrafficStats identifies the traffic experiment behind a Serve report.
+type TrafficStats struct {
+	Arrived   uint64 `json:"arrived"`
+	Completed uint64 `json:"completed"`
+	// Connections is the resolved closed-loop population (0 open loop).
+	Connections int    `json:"connections,omitempty"`
+	Containers  int    `json:"containers"`
+	Seed        uint64 `json:"seed"`
 }
 
 // Report is the structured outcome of one Platform.Run: which
@@ -78,6 +115,11 @@ type Report struct {
 	Syscalls   SyscallStats `json:"syscalls"`
 	Hypervisor *HyperStats  `json:"hypervisor,omitempty"`
 	Throughput Throughput   `json:"throughput"`
+
+	// Latency, Queue, and Traffic are set by Platform.Serve runs only.
+	Latency *LatencyStats `json:"latency,omitempty"`
+	Queue   *QueueStats   `json:"queue,omitempty"`
+	Traffic *TrafficStats `json:"traffic,omitempty"`
 }
 
 // Run builds the workload, executes its warm-up passes, boots an
@@ -163,10 +205,7 @@ func (p *Platform) report(w *Workload, inst *Instance, base counterBaseline) *Re
 	// The interpreter charges exactly one cycle per instruction plus
 	// the explicit compute imm of work instructions; everything else on
 	// the clock is the kernel/hypervisor/memory path.
-	user := s.Instructions + inst.Proc.CPU.Counters.WorkCycles
-	if user > run {
-		user = run
-	}
+	user := min(s.Instructions+inst.Proc.CPU.Counters.WorkCycles, run)
 	kernel := run - user
 
 	rep := &Report{
@@ -256,6 +295,21 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, ", %.0f iterations/s", r.Throughput.IterationsPerSec)
 		}
 		b.WriteByte('\n')
+	}
+	if r.Throughput.RequestsPerSec > 0 {
+		fmt.Fprintf(&b, "served:         %.0f requests/s", r.Throughput.RequestsPerSec)
+		if r.Throughput.OfferedPerSec > 0 {
+			fmt.Fprintf(&b, " (offered %.0f/s)", r.Throughput.OfferedPerSec)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Latency != nil {
+		fmt.Fprintf(&b, "latency:        mean %.1fus, p50 %.1fus, p95 %.1fus, p99 %.1fus\n",
+			r.Latency.MeanUS, r.Latency.P50US, r.Latency.P95US, r.Latency.P99US)
+	}
+	if r.Queue != nil {
+		fmt.Fprintf(&b, "queue:          mean depth %.1f, max depth %d, utilization %.1f%%\n",
+			r.Queue.MeanDepth, r.Queue.MaxDepth, 100*r.Queue.Utilization)
 	}
 	return b.String()
 }

@@ -1,0 +1,178 @@
+package xc
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/workload"
+)
+
+// TrafficSpec describes a flow-level traffic experiment: how requests
+// arrive (open-loop rate, bursts, or a closed-loop connection pool) and
+// for how long. Build one with Traffic and chain the knobs:
+//
+//	t := xc.Traffic().Rate(50_000).Duration(2).Seed(7)
+//	rep, err := platform.Serve(xc.App("memcached"), t)
+//
+// Serve runs the spec on the discrete-event engine and reports
+// throughput, latency percentiles, and queue-depth statistics. Runs
+// are deterministic for a fixed seed.
+type TrafficSpec struct {
+	rate       float64
+	paced      bool
+	burst      *workload.BurstSpec
+	duration   float64
+	seed       uint64
+	conns      int
+	workers    int
+	cores      int
+	containers int
+}
+
+// Traffic starts a spec. With no knobs set, Serve runs a saturating
+// closed loop (the paper's ab/wrk/memtier drivers).
+func Traffic() *TrafficSpec { return &TrafficSpec{} }
+
+// Rate switches to open-loop arrivals at perSec requests per second
+// (Poisson gaps; see Paced for a perfectly spaced generator).
+func (t *TrafficSpec) Rate(perSec float64) *TrafficSpec {
+	t.rate = perSec
+	return t
+}
+
+// Paced makes open-loop gaps uniform instead of Poisson.
+func (t *TrafficSpec) Paced() *TrafficSpec {
+	t.paced = true
+	return t
+}
+
+// Burst replaces the smooth arrival process with an on/off one: bursts
+// at peakPerSec lasting onSeconds on average, separated by silences of
+// offSeconds on average. Mean offered rate is peak·on/(on+off).
+func (t *TrafficSpec) Burst(peakPerSec, onSeconds, offSeconds float64) *TrafficSpec {
+	t.burst = &workload.BurstSpec{PeakRate: peakPerSec, OnSeconds: onSeconds, OffSeconds: offSeconds}
+	return t
+}
+
+// Duration sets the simulated horizon in virtual seconds (0 = auto).
+func (t *TrafficSpec) Duration(seconds float64) *TrafficSpec {
+	t.duration = seconds
+	return t
+}
+
+// Seed selects the arrival randomness stream; a fixed seed makes the
+// whole run reproducible.
+func (t *TrafficSpec) Seed(n uint64) *TrafficSpec {
+	t.seed = n
+	return t
+}
+
+// Connections sets the closed-loop population (ignored in open loop).
+func (t *TrafficSpec) Connections(n int) *TrafficSpec {
+	t.conns = n
+	return t
+}
+
+// Workers sets worker processes per container (0 = the app's default).
+func (t *TrafficSpec) Workers(n int) *TrafficSpec {
+	t.workers = n
+	return t
+}
+
+// Cores sets physical cores per container (0 = 1).
+func (t *TrafficSpec) Cores(n int) *TrafficSpec {
+	t.cores = n
+	return t
+}
+
+// Containers spreads the load round-robin over n identical containers,
+// each with its own queue, workers, and cores (0 = 1).
+func (t *TrafficSpec) Containers(n int) *TrafficSpec {
+	t.containers = n
+	return t
+}
+
+// validate rejects specs the engine cannot give a meaningful answer
+// for, mirroring netsim.Pipeline.Simulate's input contract.
+func (t *TrafficSpec) validate() error {
+	if t.rate < 0 {
+		return fmt.Errorf("xc: traffic rate %v must not be negative", t.rate)
+	}
+	if t.duration < 0 {
+		return fmt.Errorf("xc: traffic duration %v must not be negative", t.duration)
+	}
+	if t.conns < 0 || t.workers < 0 || t.cores < 0 || t.containers < 0 {
+		return fmt.Errorf("xc: traffic connections/workers/cores/containers must not be negative")
+	}
+	if b := t.burst; b != nil && (b.PeakRate <= 0 || b.OnSeconds <= 0 || b.OffSeconds < 0) {
+		return fmt.Errorf("xc: burst needs a positive peak rate and on-duration (and a non-negative off-duration), got peak=%v on=%v off=%v",
+			b.PeakRate, b.OnSeconds, b.OffSeconds)
+	}
+	return nil
+}
+
+// Serve runs a traffic experiment of the workload's application model
+// under this platform's architecture and returns a Report extended
+// with latency percentiles and queue statistics. The workload must be
+// an App workload (request profiles drive the flow-level model);
+// Program and SyscallLoop texts have no request structure to serve.
+func (p *Platform) Serve(w *Workload, t *TrafficSpec) (*Report, error) {
+	if w == nil {
+		return nil, fmt.Errorf("xc: serve requires a workload")
+	}
+	app := w.Model()
+	if app == nil {
+		if w.err != nil {
+			return nil, w.err
+		}
+		return nil, fmt.Errorf("xc: serve requires an application workload (xc.App), not %q", w.Name())
+	}
+	if t == nil {
+		t = Traffic()
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	res := workload.TrafficLoad{
+		App: app, RT: p.Runtime(),
+		Workers: t.workers, Cores: t.cores, Concurrency: t.conns,
+		Rate: t.rate, Paced: t.paced, Burst: t.burst,
+		DurationSec: t.duration, Seed: t.seed, Replicas: t.containers,
+	}.Run()
+
+	horizon := cycles.FromSeconds(res.DurationSec)
+	rep := &Report{
+		App:     w.name,
+		Runtime: p.Runtime().Name(),
+		Kind:    KindName(p.cfg.Kind),
+		Cloud:   CloudName(p.cfg.Cloud),
+		Patched: p.cfg.MeltdownPatched,
+
+		RunCycles:      uint64(horizon),
+		TotalCycles:    uint64(horizon),
+		VirtualSeconds: res.DurationSec,
+
+		Latency: &LatencyStats{
+			MeanUS: res.LatencyUS,
+			P50US:  res.P50US,
+			P95US:  res.P95US,
+			P99US:  res.P99US,
+			MaxUS:  res.MaxUS,
+		},
+		Queue: &QueueStats{
+			MeanDepth:   res.MeanQueueDepth,
+			MaxDepth:    res.MaxQueueDepth,
+			Utilization: res.Utilization,
+		},
+	}
+	rep.Throughput.RequestsPerSec = res.Throughput
+	rep.Throughput.OfferedPerSec = res.OfferedRate
+	rep.Traffic = &TrafficStats{
+		Arrived:     res.Arrived,
+		Completed:   res.Completed,
+		Connections: res.Population,
+		Containers:  max(1, t.containers),
+		Seed:        t.seed,
+	}
+	return rep, nil
+}

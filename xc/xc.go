@@ -16,6 +16,11 @@
 //   - a Report (platform.Run(workload)): structured, JSON-marshalable
 //     per-run statistics — cycle breakdown, syscall conversion, throughput.
 //
+// For flow-level experiments, a TrafficSpec (xc.Traffic().Rate(50_000).
+// Duration(2).Seed(7)) into Platform.Serve drives open-loop or
+// closed-loop traffic through the discrete-event engine and extends the
+// Report with latency percentiles and queue statistics.
+//
 // Quickstart:
 //
 //	p, _ := xc.NewPlatform(xc.XContainer, xc.WithMeltdownPatched(true))
@@ -139,6 +144,13 @@ func Migrate(src *Platform, inst *Instance, dst *Platform) (*Instance, error) {
 		return nil, fmt.Errorf("xc: migrate requires source and destination platforms")
 	}
 	return core.Migrate(src.Platform, inst, dst.Platform)
+}
+
+// DecodeCheckpoint parses a checkpoint blob produced by
+// Checkpoint.Encode, for tooling that transports blobs itself instead
+// of calling Migrate.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return core.DecodeCheckpoint(data)
 }
 
 // Hierarchical reports whether the host scheduler sees one vCPU per
