@@ -12,27 +12,48 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"xcontainers/internal/bench"
 )
 
+// errUsage marks a flag-parse failure the FlagSet already reported.
+var errUsage = errors.New("usage")
+
 func main() {
-	list := flag.Bool("list", false, "list available experiments and exit")
-	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
-	csv := flag.Bool("csv", false, "emit CSV (for external plotting)")
-	jsonOut := flag.Bool("json", false, "emit one JSON array of report documents")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "xcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xcbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	csv := fs.Bool("csv", false, "emit CSV (for external plotting)")
+	jsonOut := fs.Bool("json", false, "emit one JSON array of report documents")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
 	var ids []string
@@ -44,41 +65,36 @@ func main() {
 		}
 	}
 
-	failed := false
+	var firstErr error
 	reports := []*bench.Report{} // marshals as [] even when every run fails
 	for _, id := range ids {
 		e, ok := bench.Lookup(strings.TrimSpace(id))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "xcbench: unknown experiment %q (try -list)\n", id)
-			failed = true
+			firstErr = errors.Join(firstErr, fmt.Errorf("unknown experiment %q (try -list)", id))
 			continue
 		}
 		rep, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xcbench: %s: %v\n", e.ID, err)
-			failed = true
+			firstErr = errors.Join(firstErr, fmt.Errorf("%s: %w", e.ID, err))
 			continue
 		}
 		switch {
 		case *jsonOut:
 			reports = append(reports, rep)
 		case *markdown:
-			fmt.Print(rep.Markdown())
+			fmt.Fprint(stdout, rep.Markdown())
 		case *csv:
-			fmt.Print(rep.CSV())
+			fmt.Fprint(stdout, rep.CSV())
 		default:
-			fmt.Print(rep)
+			fmt.Fprint(stdout, rep)
 		}
 	}
 	if *jsonOut {
 		blob, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xcbench:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(string(blob))
+		fmt.Fprintln(stdout, string(blob))
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return firstErr
 }

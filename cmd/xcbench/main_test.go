@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xcontainers/internal/bench"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig8", "fig9"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestJSONOutput is the acceptance check for `xcbench -exp ... -json`:
+// stdout must be one valid JSON array of bench.Report documents.
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1,fig9", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []*bench.Report
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("stdout is not a JSON array of reports: %v\n%s", err, out.Bytes())
+	}
+	if len(reports) != 2 || reports[0].ID != "table1" || reports[1].ID != "fig9" {
+		t.Errorf("reports = %+v, want table1 then fig9", reports)
+	}
+}
+
+func TestHumanAndMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Load balancer") {
+		t.Errorf("fig9 text output missing title:\n%s", out.String())
+	}
+	var md bytes.Buffer
+	if err := run([]string{"-exp", "fig9", "-markdown"}, &md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "|") {
+		t.Errorf("markdown output has no table:\n%s", md.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// A bad ID in a list still runs the good ones before erroring.
+	out.Reset()
+	err := run([]string{"-exp", "fig9,fig99"}, &out)
+	if err == nil {
+		t.Fatal("unknown experiment in list accepted")
+	}
+	if !strings.Contains(out.String(), "Load balancer") {
+		t.Errorf("good experiment skipped when a later one is unknown:\n%s", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

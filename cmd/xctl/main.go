@@ -1,105 +1,227 @@
 // Command xctl is the toolstack front-end — the xl analogue for the
 // simulated X-Containers platform. It drives a scripted sequence of
 // domain operations (create, balloon, migrate, destroy) against
-// in-process hosts, demonstrating the management API end to end.
+// in-process hosts, prints the isolation surfaces, and runs multi-node
+// cluster experiments with placement, autoscaling, and live-migration
+// rebalancing.
 //
 // Usage:
 //
 //	xctl demo                 run the full lifecycle demonstration
 //	xctl surfaces             print the isolation surfaces (xl info)
+//	xctl -cluster -nodes 2 -policy binpack -slo 0.5 -rate 1500000 -json
+//
+// Cluster mode sizes a fleet (-nodes, -node-cores, -max-nodes), arms
+// the autoscaler (-slo in milliseconds, -autoscale) and failure
+// injection (-fail-node), and drives open- or closed-loop traffic
+// through it; the resulting ClusterReport (per-node utilization,
+// migrations, scale events, fleet percentiles) prints human-readably or
+// as one JSON document with -json. Runs are deterministic per -seed.
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"xcontainers/internal/xkernel"
 	"xcontainers/xc"
 )
 
+// errUsage marks a usage error: returned bare when the FlagSet already
+// printed its own message, or wrapped (with %w at the end — its text is
+// empty, so messages stay clean) when the caller supplies one. Either
+// way main exits with the usage status.
+var errUsage = errors.New("")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != errUsage { // the bare sentinel means the FlagSet already reported
+			fmt.Fprintln(os.Stderr, "xctl:", err)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xctl", flag.ContinueOnError)
+	clusterMode := fs.Bool("cluster", false, "run a multi-node cluster experiment")
+	rtName := fs.String("runtime", "xcontainer", "cluster architecture: "+xc.KindUsage())
+	appName := fs.String("app", "memcached", "cluster application model (Table 1 name)")
+	nodes := fs.Int("nodes", 2, "cluster: initial node count")
+	maxNodes := fs.Int("max-nodes", 0, "cluster: autoscale node ceiling (0 = -nodes)")
+	nodeCores := fs.Int("node-cores", 4, "cluster: cores per node")
+	replicas := fs.Int("replicas", 0, "cluster: initial containers (0 = one per node)")
+	policy := fs.String("policy", "binpack", "cluster placement policy: "+xc.PolicyUsage())
+	slo := fs.Float64("slo", 0, "cluster: p99 latency SLO in milliseconds (0 = no latency signal)")
+	autoscale := fs.Bool("autoscale", true, "cluster: enable the autoscaler")
+	failNode := fs.Float64("fail-node", 0, "cluster: kill one seeded-random node at this virtual second")
+	rate := fs.Float64("rate", 0, "cluster traffic: offered requests/s (0 = saturating closed loop)")
+	duration := fs.Float64("duration", 1, "cluster traffic: horizon in virtual seconds")
+	seed := fs.Uint64("seed", 0, "cluster traffic: arrival randomness seed")
+	jsonOut := fs.Bool("json", false, "emit the cluster report as a JSON document")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	if *clusterMode {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("-cluster takes no command argument, got %q%w", fs.Arg(0), errUsage)
+		}
+		return runCluster(stdout, clusterOptions{
+			runtime: *rtName, app: *appName,
+			nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
+			policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
+			rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
+		})
+	}
+
 	cmd := "demo"
-	if len(os.Args) > 1 {
-		cmd = os.Args[1]
+	if fs.NArg() > 0 {
+		cmd = fs.Arg(0)
 	}
 	switch cmd {
 	case "demo":
-		demo()
+		return demo(stdout)
 	case "surfaces":
-		surfaces()
-	default:
-		fmt.Fprintf(os.Stderr, "xctl: unknown command %q (try: demo, surfaces)\n", cmd)
-		os.Exit(2)
+		surfaces(stdout)
+		return nil
 	}
+	return fmt.Errorf("unknown command %q (try: demo, surfaces, or -cluster)%w", cmd, errUsage)
 }
 
-func surfaces() {
+type clusterOptions struct {
+	runtime, app                         string
+	nodes, maxNodes, nodeCores, replicas int
+	policy                               string
+	sloMillis, failNode                  float64
+	autoscale                            bool
+	rate, duration                       float64
+	seed                                 uint64
+	jsonOut                              bool
+}
+
+func runCluster(stdout io.Writer, o clusterOptions) error {
+	kind, err := xc.ParseKind(o.runtime)
+	if err != nil {
+		return err
+	}
+	pol, err := xc.ParsePolicy(o.policy)
+	if err != nil {
+		return err
+	}
+	c, err := xc.NewCluster(kind)
+	if err != nil {
+		return err
+	}
+	spec := xc.ClusterSpec{
+		Nodes:     o.nodes,
+		MaxNodes:  o.maxNodes,
+		NodeCores: o.nodeCores,
+		Replicas:  o.replicas,
+		Policy:    pol,
+		SLOMillis: o.sloMillis,
+		Autoscale: o.autoscale,
+		FailNode:  o.failNode,
+	}
+	traffic := xc.Traffic().Rate(o.rate).Duration(o.duration).Seed(o.seed)
+	rep, err := c.Serve(xc.App(o.app), spec, traffic)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		blob, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(blob))
+		return nil
+	}
+	fmt.Fprint(stdout, rep)
+	return nil
+}
+
+func surfaces(stdout io.Writer) {
 	x := xkernel.XKernelSurface()
 	l := xkernel.LinuxSurface()
-	fmt.Printf("%-16s %-14s %-12s %s\n", "boundary", "entry points", "TCB (KLoC)", "shared")
-	fmt.Printf("%-16s %-14d %-12d %v\n", x.Name, x.Interfaces, x.TCBKLoC, x.SharedState)
-	fmt.Printf("%-16s %-14d %-12d %v\n", l.Name, l.Interfaces, l.TCBKLoC, l.SharedState)
+	fmt.Fprintf(stdout, "%-16s %-14s %-12s %s\n", "boundary", "entry points", "TCB (KLoC)", "shared")
+	fmt.Fprintf(stdout, "%-16s %-14d %-12d %v\n", x.Name, x.Interfaces, x.TCBKLoC, x.SharedState)
+	fmt.Fprintf(stdout, "%-16s %-14d %-12d %v\n", l.Name, l.Interfaces, l.TCBKLoC, l.SharedState)
 }
 
-func demo() {
+func demo(stdout io.Writer) error {
 	program, err := xc.SyscallLoop("getpid", 1000).Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	newHost := func(name string, memMB int) *xc.Platform {
+	newHost := func(name string, memMB int) (*xc.Platform, error) {
 		// The demo models an unpatched host, as the original did.
 		p, err := xc.NewPlatform(xc.XContainer,
 			xc.WithMachineMB(memMB), xc.WithMeltdownPatched(false))
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("xctl: host %s up (%d MB)\n", name, memMB)
-		return p
+		fmt.Fprintf(stdout, "xctl: host %s up (%d MB)\n", name, memMB)
+		return p, nil
 	}
 
-	hostA := newHost("host-a", 1024)
-	hostB := newHost("host-b", 1024)
+	hostA, err := newHost("host-a", 1024)
+	if err != nil {
+		return err
+	}
+	hostB, err := newHost("host-b", 1024)
+	if err != nil {
+		return err
+	}
 
-	fmt.Println("\nxctl create worker (128 MB, 1 vCPU)")
+	fmt.Fprintln(stdout, "\nxctl create worker (128 MB, 1 vCPU)")
 	inst, err := hostA.Boot(xc.Image{Name: "worker", Program: program})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  booted in %v, domain id %d\n", inst.BootTime, inst.Container.Dom.ID)
+	fmt.Fprintf(stdout, "  booted in %v, domain id %d\n", inst.BootTime, inst.Container.Dom.ID)
 
-	fmt.Println("\nxctl mem-set worker -32M (balloon down)")
+	fmt.Fprintln(stdout, "\nxctl mem-set worker -32M (balloon down)")
 	if err := hostA.Runtime().Hyper.BalloonAdjust(inst.Container.Dom, -32*256); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  reservation now %d MB\n", inst.Container.Dom.MemoryPages/256)
+	fmt.Fprintf(stdout, "  reservation now %d MB\n", inst.Container.Dom.MemoryPages/256)
 
-	fmt.Println("\nxctl run worker (partial)")
+	fmt.Fprintln(stdout, "\nxctl run worker (partial)")
 	_, _ = inst.Run(2000)
 	s := inst.Stats()
-	fmt.Printf("  %d instructions, %d trap, %d function calls (ABOM: %d sites)\n",
+	fmt.Fprintf(stdout, "  %d instructions, %d trap, %d function calls (ABOM: %d sites)\n",
 		s.Instructions, s.RawSyscalls, s.FunctionCalls, s.ABOMPatches)
 
-	fmt.Println("\nxctl migrate worker host-b")
+	fmt.Fprintln(stdout, "\nxctl migrate worker host-b")
 	moved, err := xc.Migrate(hostA, inst, hostB)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  host-a domains: %d, host-b domains: %d\n",
+	fmt.Fprintf(stdout, "  host-a domains: %d, host-b domains: %d\n",
 		hostA.Runtime().Hyper.Domains(), hostB.Runtime().Hyper.Domains())
 
-	fmt.Println("\nxctl run worker (to completion on host-b)")
+	fmt.Fprintln(stdout, "\nxctl run worker (to completion on host-b)")
 	if _, err := moved.Run(100_000_000); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	s = moved.Stats()
-	fmt.Printf("  finished: %d function calls, destination traps: %d\n",
+	fmt.Fprintf(stdout, "  finished: %d function calls, destination traps: %d\n",
 		s.FunctionCalls, hostB.Runtime().Hyper.Stats.SyscallsForwarded)
 
-	fmt.Println("\nxctl destroy worker")
+	fmt.Fprintln(stdout, "\nxctl destroy worker")
 	if err := hostB.Destroy(moved); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  host-b domains: %d\n", hostB.Runtime().Hyper.Domains())
+	fmt.Fprintf(stdout, "  host-b domains: %d\n", hostB.Runtime().Hyper.Domains())
+	return nil
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xcontainers/xc"
+)
+
+// TestClusterJSONOutput is the acceptance check for `xctl -cluster
+// -json`: stdout must be one valid xc.ClusterReport document, and a
+// fixed seed must reproduce it byte for byte.
+func TestClusterJSONOutput(t *testing.T) {
+	args := []string{"-cluster", "-runtime", "xcontainer", "-app", "memcached",
+		"-nodes", "1", "-max-nodes", "3", "-policy", "binpack",
+		"-slo", "0.5", "-rate", "1500000", "-duration", "0.5", "-seed", "7", "-json"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.ClusterReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a valid xc.ClusterReport document: %v\n%s", err, out.Bytes())
+	}
+	if rep.App != "memcached" || rep.Kind != "xcontainer" || rep.Policy != "binpack" {
+		t.Errorf("report identity = %q/%q/%q", rep.App, rep.Kind, rep.Policy)
+	}
+	if rep.SLOBreaches == 0 || len(rep.Migrations) == 0 {
+		t.Errorf("SLO-breach scenario recorded %d breaches, %d migrations; want both > 0",
+			rep.SLOBreaches, len(rep.Migrations))
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Error("fixed-seed cluster runs must be byte-identical")
+	}
+}
+
+// TestClusterHumanOutput covers the default rendering.
+func TestClusterHumanOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-cluster", "-runtime", "docker", "-app", "Redis",
+		"-nodes", "2", "-policy", "spread", "-rate", "40000", "-duration", "0.2", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cluster:", "policy spread", "served:", "latency:", "node 1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSurfaces(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"surfaces"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"boundary", "TCB"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("surfaces output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"demo"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"xctl create worker", "xctl migrate worker host-b", "xctl destroy worker"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("demo output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run([]string{"reboot"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"-cluster", "-runtime", "runc"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown runtime accepted")
+	}
+	if err := run([]string{"-cluster", "-policy", "chaos"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-cluster", "-app", "no-such-app"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-cluster", "surfaces"}, &bytes.Buffer{}); err == nil {
+		t.Error("-cluster with a positional command accepted")
+	}
+}

@@ -2,18 +2,17 @@
 // Optimization Module (§4.4, Fig. 2). It assembles the three wrapper
 // shapes, shows the bytes before and after each patch phase, triggers
 // the jump-into-the-middle invalid-opcode repair, and prints the
-// resulting ABOM statistics.
+// resulting ABOM statistics — all through xc's low-level binary
+// surface.
 package main
 
 import (
 	"fmt"
 
-	"xcontainers/internal/abom"
-	"xcontainers/internal/arch"
-	"xcontainers/internal/syscalls"
+	"xcontainers/xc"
 )
 
-func dump(label string, text *arch.Text, from, n uint64) {
+func dump(label string, text *xc.Text, from, n uint64) {
 	fmt.Printf("%-28s", label)
 	for _, b := range text.Fetch(from, int(n)) {
 		fmt.Printf(" %02x", b)
@@ -22,42 +21,45 @@ func dump(label string, text *arch.Text, from, n uint64) {
 }
 
 func main() {
-	ab := abom.New()
+	ab := xc.NewABOM()
+	read := xc.MustSyscallNumber("read")
+	sigreturn := xc.MustSyscallNumber("rt_sigreturn")
+	write := xc.MustSyscallNumber("write")
 
 	fmt.Println("-- 7-byte Case 1: mov $0,eax ; syscall  (glibc __read) --")
-	t1 := arch.NewAssembler(arch.UserTextBase).
-		SyscallN(uint32(syscalls.Read)).Hlt().MustAssemble()
-	dump("before:", t1, arch.UserTextBase, 7)
-	ab.OnSyscall(t1, arch.UserTextBase+5, uint64(syscalls.Read))
-	dump("after (one cmpxchg):", t1, arch.UserTextBase, 7)
+	t1 := xc.NewAssembler(xc.UserTextBase).
+		SyscallN(uint32(read)).Hlt().MustAssemble()
+	dump("before:", t1, xc.UserTextBase, 7)
+	ab.OnSyscall(t1, xc.UserTextBase+5, uint64(read))
+	dump("after (one cmpxchg):", t1, xc.UserTextBase, 7)
 	fmt.Printf("%-28s callq *%#x = vsyscall entry for %v\n\n",
-		"decodes as:", uint64(arch.Decode(t1.Fetch(arch.UserTextBase, 7)).Imm), syscalls.Read)
+		"decodes as:", uint64(xc.Decode(t1.Fetch(xc.UserTextBase, 7)).Imm), read)
 
 	fmt.Println("-- 9-byte two-phase: mov $0xf,rax ; syscall  (__restore_rt) --")
-	t2 := arch.NewAssembler(arch.UserTextBase).
-		SyscallN64(uint32(syscalls.RtSigreturn)).Hlt().MustAssemble()
-	dump("before:", t2, arch.UserTextBase, 9)
-	ab.OnSyscall(t2, arch.UserTextBase+7, uint64(syscalls.RtSigreturn))
-	dump("phase 1 (call, syscall kept):", t2, arch.UserTextBase, 9)
-	ab.OnSyscall(t2, arch.UserTextBase+7, uint64(syscalls.RtSigreturn))
-	dump("phase 2 (syscall -> jmp -9):", t2, arch.UserTextBase, 9)
+	t2 := xc.NewAssembler(xc.UserTextBase).
+		SyscallN64(uint32(sigreturn)).Hlt().MustAssemble()
+	dump("before:", t2, xc.UserTextBase, 9)
+	ab.OnSyscall(t2, xc.UserTextBase+7, uint64(sigreturn))
+	dump("phase 1 (call, syscall kept):", t2, xc.UserTextBase, 9)
+	ab.OnSyscall(t2, xc.UserTextBase+7, uint64(sigreturn))
+	dump("phase 2 (syscall -> jmp -9):", t2, xc.UserTextBase, 9)
 	fmt.Println()
 
 	fmt.Println("-- 7-byte Case 2: mov 0x8(rsp),rax ; syscall  (Go syscall.Syscall) --")
-	a := arch.NewAssembler(arch.UserTextBase)
+	a := xc.NewAssembler(xc.UserTextBase)
 	a.MovRaxRsp8(8)
 	a.Syscall()
 	a.Hlt()
 	t3 := a.MustAssemble()
-	dump("before:", t3, arch.UserTextBase, 7)
-	ab.OnSyscall(t3, arch.UserTextBase+5, uint64(syscalls.Write))
-	dump("after (stack dispatcher):", t3, arch.UserTextBase, 7)
+	dump("before:", t3, xc.UserTextBase, 7)
+	ab.OnSyscall(t3, xc.UserTextBase+5, uint64(write))
+	dump("after (stack dispatcher):", t3, xc.UserTextBase, 7)
 	fmt.Println()
 
 	fmt.Println("-- jump into the middle of a patched call --")
 	// The patched Case-1 site's old syscall address now holds the call's
 	// last two bytes: always 0x60 0xff, and 0x60 is an invalid opcode.
-	sysAddr := arch.UserTextBase + 5
+	sysAddr := xc.UserTextBase + 5
 	dump("bytes at old syscall addr:", t1, sysAddr, 2)
 	fixed, ok := ab.FixupInvalidOpcode(t1, sysAddr)
 	fmt.Printf("%-28s repaired=%v, resume at %#x (start of the call)\n\n",

@@ -1,45 +1,81 @@
-// Loadbalancer: the §5.7 kernel-customization case study. An
-// X-Container can load the IPVS kernel module into its own X-LibOS and
-// rewrite its own iptables/ARP rules — operations Docker forbids
+// Loadbalancer: the §5.7 kernel-customization case study, scaled out.
+// An X-Container can load the IPVS kernel module into its own X-LibOS
+// and rewrite its own iptables/ARP rules — operations Docker forbids
 // without host root — switching from user-level HAProxy to kernel-level
-// NAT or direct-routing load balancing.
+// NAT or direct-routing load balancing. Behind that balancer sits a
+// fleet: here a real cluster of NGINX backends with spread placement
+// and seeded node-failure injection, so the balanced tier's tail
+// latency and failover behavior come from the orchestrator, not a loop.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/bench"
-	"xcontainers/internal/libos"
 	"xcontainers/xc"
 )
 
 func main() {
 	// Boot the load-balancer X-Container with IPVS preloaded in its
-	// dedicated kernel.
+	// dedicated kernel — a single-purpose LibOS build (§3.2): no SMP
+	// needed for one vCPU of packet forwarding.
 	platform, err := xc.NewPlatform(xc.XContainer)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := platform.Runtime()
-	lb, err := rt.NewContainer("lb", 1, false)
+	program, err := xc.App("HAProxy").Iterations(1).Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	lb.LibOS.LoadModule("ipvs")
-	lb.LibOS.LoadModule("ip_vs_rr")
-	fmt.Printf("load balancer X-LibOS: ipvs=%v ip_vs_rr=%v (loaded into the container's own kernel)\n\n",
-		lb.LibOS.HasModule("ipvs"), lb.LibOS.HasModule("ip_vs_rr"))
+	lb, err := platform.Boot(xc.Image{
+		Name:        "lb",
+		Program:     program,
+		VCPUs:       1,
+		LibOSConfig: &xc.LibOSConfig{SMP: false, Modules: []string{"ipvs", "ip_vs_rr"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load balancer X-LibOS: ipvs=%v ip_vs_rr=%v SMP=%v (modules in the container's own kernel)\n\n",
+		lb.Container.LibOS.HasModule("ipvs"), lb.Container.LibOS.HasModule("ip_vs_rr"),
+		lb.Container.LibOS.Config.SMP)
 
-	// Configure a single-purpose LibOS for the balancer: no SMP needed
-	// for one vCPU of packet forwarding (§3.2 customization).
-	tuned := libos.Config{SMP: false, Modules: []string{"ipvs"}}
-	fmt.Printf("single-vCPU balancer kernel config: SMP=%v (locking elided)\n\n", tuned.SMP)
-
-	// Reproduce the Fig. 9 comparison.
-	rep, err := bench.RunFig9()
+	// Reproduce the Fig. 9 comparison: HAProxy vs kernel IPVS.
+	rep, err := xc.RunBench("fig9")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(rep)
+
+	// The balanced tier as a real cluster: NGINX backends spread over
+	// three nodes, one of which dies mid-run and fails over.
+	cluster, err := xc.NewCluster(xc.XContainer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := xc.ClusterSpec{
+		Nodes:    3,
+		Policy:   xc.Spread,
+		FailNode: 0.25,
+	}
+	crep, err := cluster.Serve(xc.App("Nginx"), spec,
+		xc.Traffic().Rate(120_000).Duration(1).Seed(11).Containers(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNGINX backend tier (3 nodes, spread placement, node failure at 0.25s):\n")
+	fmt.Printf("  served %.0f req/s, p50 %.0fus, p99 %.0fus\n",
+		crep.Throughput.RequestsPerSec, crep.Latency.P50US, crep.Latency.P99US)
+	for _, n := range crep.Nodes {
+		state := "ok"
+		if n.Failed {
+			state = "FAILED"
+		}
+		fmt.Printf("  node %d: %d containers, %.1f%% utilized, %d migrations in (%s)\n",
+			n.ID, n.Containers, 100*n.Utilization, n.MigrationsIn, state)
+	}
+	for _, m := range crep.Migrations {
+		fmt.Printf("  %.3fs: %s rescheduled node %d -> node %d (%.0fus blackout, %s)\n",
+			m.AtSec, m.Container, m.FromNode, m.ToNode, m.DowntimeUS, m.Reason)
+	}
 }

@@ -9,12 +9,10 @@ import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/arch"
-	"xcontainers/internal/libos"
 	"xcontainers/xc"
 )
 
-func binary(name string) *arch.Text {
+func binary(name string) *xc.Text {
 	text, err := xc.App(name).Iterations(10).Build()
 	if err != nil {
 		log.Fatal(err)
@@ -33,7 +31,7 @@ func main() {
 		Name:    "php+mysql-merged",
 		Program: binary("PHP"),
 		VCPUs:   1,
-		LibOSConfig: &libos.Config{
+		LibOSConfig: &xc.LibOSConfig{
 			SMP:     true,
 			Modules: []string{"unix-sockets"},
 		},

@@ -1,21 +1,21 @@
 // Webserver: serve the NGINX workload under five container
 // architectures and compare throughput and latency — a miniature of the
-// paper's Figure 3 macrobenchmark, runnable in milliseconds.
+// paper's Figure 3 macrobenchmark, runnable in milliseconds. Each row
+// is a saturating closed-loop traffic experiment (the paper's ab
+// driver) on the discrete-event engine via Platform.Serve.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"xcontainers/internal/workload"
 	"xcontainers/xc"
 )
 
 func main() {
-	app := xc.App("Nginx").Model()
-	fmt.Printf("NGINX (%d syscalls/request, %d packets) on Google GCE, patched kernels:\n\n",
-		len(app.ReqSyscalls), app.ReqPackets)
-	fmt.Printf("%-18s %12s %12s %10s\n", "runtime", "requests/s", "latency(us)", "rel tput")
+	app := xc.App("Nginx")
+	fmt.Println("NGINX on Google GCE, patched kernels, 50-connection closed loop:")
+	fmt.Printf("\n%-18s %12s %12s %10s\n", "runtime", "requests/s", "p50 (us)", "rel tput")
 
 	var base float64
 	for _, kind := range []xc.Kind{
@@ -25,15 +25,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := workload.ServerLoad{
-			Driver: workload.DriverAB, App: app, RT: p.Runtime(),
-			Cores: 8, Concurrency: 50,
-		}.Run()
-		if base == 0 {
-			base = res.Throughput
+		rep, err := p.Serve(app, xc.Traffic().Connections(50).Cores(8).Duration(0.2))
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%-18s %12.0f %12.1f %9.2fx\n",
-			p.Name(), res.Throughput, res.LatencyUS, res.Throughput/base)
+		tput := rep.Throughput.RequestsPerSec
+		if base == 0 {
+			base = tput
+		}
+		fmt.Printf("%-18s %12.0f %12.1f %9.2fx\n", p.Name(), tput, rep.Latency.P50US, tput/base)
 	}
 	fmt.Println("\nThe X-Container wins on the syscall-dense request path;")
 	fmt.Println("gVisor pays ptrace interception, Clear Containers nested-virt exits.")

@@ -1,0 +1,464 @@
+// Package cluster is the multi-node orchestrator of the simulation: a
+// fleet of Nodes — each one booted core.Platform of the same container
+// architecture — serving one application's traffic through per-container
+// queues on the shared discrete-event engine (internal/sim).
+//
+// The paper's §5.7 scale-out study stops at three backends behind one
+// load balancer; this package models the layer a cloud operator grows
+// next: a pluggable placement policy (bin-pack, spread, latency-aware),
+// an autoscaler driven by utilization and p99-latency SLO signals, a
+// rebalancer that live-migrates containers between nodes over the
+// existing core.Migrate checkpoint path (charging the blackout window
+// in virtual cycles), and seeded node-failure injection with
+// rescheduling. Everything runs in virtual time: same Config and seed,
+// byte-identical Result.
+package cluster
+
+import (
+	"fmt"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/arch"
+	"xcontainers/internal/core"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/sim"
+	"xcontainers/internal/workload"
+)
+
+// Policy selects how new containers are placed onto nodes.
+type Policy uint8
+
+const (
+	// BinPack fills the most-loaded node that still fits, minimizing
+	// the number of nodes in use (consolidation).
+	BinPack Policy = iota
+	// Spread places on the least-loaded fitting node, maximizing
+	// headroom per node (failure blast-radius control).
+	Spread
+	// LatencyAware places on the fitting node with the smallest
+	// current request backlog per core — the signal closest to what a
+	// latency SLO cares about.
+	LatencyAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case BinPack:
+		return "binpack"
+	case Spread:
+		return "spread"
+	case LatencyAware:
+		return "latency"
+	}
+	return fmt.Sprintf("policy-%d", uint8(p))
+}
+
+// ParsePolicy resolves a policy name ("binpack", "spread", "latency").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "binpack", "bin-pack", "pack":
+		return BinPack, nil
+	case "spread":
+		return Spread, nil
+	case "latency", "latency-aware":
+		return LatencyAware, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown placement policy %q (known: binpack|spread|latency)", s)
+}
+
+// Autoscaler thresholds and cadence. The control loop runs every
+// IntervalSec of virtual time; scale-up fires on an SLO breach or
+// utilization above ScaleUpUtil, scale-down on utilization below
+// ScaleDownUtil, and the rebalancer moves one container whenever
+// per-core node utilizations diverge by more than RebalanceGap.
+const (
+	defaultIntervalSec = 0.05
+	scaleUpUtil        = 0.85
+	scaleDownUtil      = 0.20
+	rebalanceGap       = 0.30
+)
+
+// Config describes one cluster experiment.
+type Config struct {
+	// Platform configures every node's host (kind, Meltdown patch,
+	// cloud profile, cost table). MachineMB/MachineFrames are ignored:
+	// node capacity is the cluster's to manage.
+	Platform core.PlatformConfig
+
+	// App is the served application model.
+	App *apps.App
+	// Workers is worker processes per container (0 = the app default).
+	Workers int
+
+	// Nodes is the initial node count (default 1). MaxNodes bounds
+	// autoscaling node growth (0 = Nodes: replicas may still be added
+	// on existing capacity, but no new nodes).
+	Nodes    int
+	MaxNodes int
+	// NodeCores and NodeMemMB size each node (defaults 4 cores, 1024 MB).
+	NodeCores int
+	NodeMemMB int
+
+	// Replicas is the initial container count (default = Nodes).
+	Replicas int
+	// ReplicaCores is physical cores reserved per container (default 1).
+	ReplicaCores int
+
+	// Policy places containers onto nodes.
+	Policy Policy
+
+	// SLOp99US, when > 0, arms the latency signal: a control window
+	// whose p99 sojourn exceeds it counts as a breach and (with
+	// Autoscale) triggers scale-up.
+	SLOp99US float64
+	// Autoscale enables the scale-up/scale-down control loop.
+	// Rebalancing migrations run regardless.
+	Autoscale bool
+
+	// FailNodeAtSec, when > 0, kills one seeded-randomly chosen node at
+	// that virtual time; its containers are rescheduled (cold restart on
+	// surviving nodes, charged as migration downtime).
+	FailNodeAtSec float64
+
+	// IntervalSec is the control-loop period (default 0.05 s).
+	IntervalSec float64
+}
+
+// Traffic describes the offered load, mirroring workload.TrafficLoad's
+// arrival modes: open loop (Rate or Burst) or a closed-loop population.
+type Traffic struct {
+	Rate        float64
+	Paced       bool
+	Burst       *workload.BurstSpec
+	Concurrency int // closed-loop population (0 = 2× fleet parallelism)
+	DurationSec float64
+	Seed        uint64
+}
+
+// node is one booted host in the fleet.
+type node struct {
+	id       int
+	platform *core.Platform
+
+	cores     int
+	memMB     int
+	usedCores int
+	usedMB    int
+
+	live    int // containers currently assigned
+	busy    cycles.Cycles
+	winBusy cycles.Cycles
+
+	addedAt   cycles.Cycles
+	removedAt cycles.Cycles
+	failed    bool
+	removed   bool
+
+	migrIn, migrOut int
+}
+
+// container is one placed replica: a real booted instance (the
+// migration payload) plus the queue its share of traffic flows through.
+type container struct {
+	id       int
+	name     string
+	node     *node
+	inst     *core.Instance
+	q        *sim.Queue
+	cores    int
+	memMB    int
+	draining bool // scale-down: serving its backlog, no new routing
+	gone     bool // drained/stranded: no longer part of the fleet
+	// freezeGen invalidates scheduled Resume callbacks: each new
+	// blackout (or stranding) bumps it, so the Resume of an earlier,
+	// superseded migration cannot prematurely unfreeze the queue.
+	freezeGen int
+}
+
+// Cluster is one running fleet. Build with New, execute with Run.
+type Cluster struct {
+	cfg Config
+	rt  *runtimes.Runtime // nodes all share one architecture
+
+	per     cycles.Cycles // CPU demand per request
+	servers int           // queue servers per container
+	memPer  int           // MB per container
+
+	eng *sim.Engine
+	rng *sim.Rand // failure-injection stream, distinct from arrivals
+
+	nodes      []*node
+	containers []*container
+	nextNode   int
+	nextCont   int
+
+	horizon    cycles.Cycles
+	interval   cycles.Cycles
+	closedLoop bool
+	ran        bool
+
+	saturationNoted bool // "at-capacity" recorded once per saturation
+
+	fleet   sim.Histogram  // all completions
+	win     *sim.Histogram // completions since the last control tick
+	winBusy cycles.Cycles
+	lastOff cycles.Cycles // start of the current control window
+
+	dispatched uint64
+	completed  uint64
+	dropped    uint64
+
+	res Result
+}
+
+// New validates the configuration, boots the initial nodes, and places
+// the initial replicas.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("cluster: config needs an application model")
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.MaxNodes < cfg.Nodes {
+		cfg.MaxNodes = cfg.Nodes
+	}
+	if cfg.NodeCores <= 0 {
+		cfg.NodeCores = 4
+	}
+	if cfg.NodeMemMB <= 0 {
+		cfg.NodeMemMB = 1024
+	}
+	if cfg.ReplicaCores <= 0 {
+		cfg.ReplicaCores = 1
+	}
+	if cfg.ReplicaCores > cfg.NodeCores {
+		return nil, fmt.Errorf("cluster: replica cores %d exceed node cores %d", cfg.ReplicaCores, cfg.NodeCores)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = cfg.Nodes
+	}
+	if cfg.IntervalSec <= 0 {
+		cfg.IntervalSec = defaultIntervalSec
+	}
+	cfg.Platform.MachineMB = 0
+	cfg.Platform.MachineFrames = 0
+
+	c := &Cluster{cfg: cfg, eng: sim.NewEngine()}
+	for i := 0; i < cfg.Nodes; i++ {
+		if _, err := c.addNode(); err != nil {
+			return nil, err
+		}
+	}
+	c.rt = c.nodes[0].platform.Runtime()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = cfg.App.Processes
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	c.per = workload.RequestCostN(c.rt, cfg.App, workers)
+	c.servers = min(workers*max(1, cfg.App.ThreadsPer), cfg.ReplicaCores)
+	c.memPer = c.rt.MemoryPagesPerInstance(false) / 256 // 4 KiB pages -> MB
+	if c.memPer > cfg.NodeMemMB {
+		return nil, fmt.Errorf("cluster: container footprint %d MB exceeds node memory %d MB", c.memPer, cfg.NodeMemMB)
+	}
+
+	for i := 0; i < cfg.Replicas; i++ {
+		n := c.pickNode()
+		if n == nil && len(c.nodes) < cfg.MaxNodes {
+			// The requested replicas outgrow the initial nodes but fit
+			// the autoscale ceiling — boot the extra nodes up front
+			// rather than erroring on capacity the fleet is allowed.
+			var err error
+			if n, err = c.addNode(); err != nil {
+				return nil, err
+			}
+		}
+		if n == nil {
+			return nil, fmt.Errorf("cluster: no capacity for initial replica %d (%d nodes × %d cores / %d MB, MaxNodes %d)",
+				i+1, len(c.nodes), cfg.NodeCores, cfg.NodeMemMB, cfg.MaxNodes)
+		}
+		if _, err := c.addContainer(n); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// addNode boots one fresh host and appends it to the fleet.
+func (c *Cluster) addNode() (*node, error) {
+	p, err := core.NewPlatform(c.cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	c.nextNode++
+	c.saturationNoted = false // fresh capacity ends a saturation episode
+	n := &node{
+		id:       c.nextNode,
+		platform: p,
+		cores:    c.cfg.NodeCores,
+		memMB:    c.cfg.NodeMemMB,
+		addedAt:  c.eng.Now(),
+	}
+	c.nodes = append(c.nodes, n)
+	return n, nil
+}
+
+// addContainer boots a real instance of the app's binary on the node
+// and opens its traffic queue.
+func (c *Cluster) addContainer(n *node) (*container, error) {
+	text, err := c.binary()
+	if err != nil {
+		return nil, err
+	}
+	c.nextCont++
+	name := fmt.Sprintf("%s-%d", c.cfg.App.Name, c.nextCont)
+	inst, err := n.platform.Boot(core.Image{Name: name, Program: text, MemoryMB: c.memPer})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: place %s on node %d: %w", name, n.id, err)
+	}
+	ct := &container{
+		id:    c.nextCont,
+		name:  name,
+		node:  n,
+		inst:  inst,
+		q:     sim.NewQueue(c.eng, name, c.servers),
+		cores: c.cfg.ReplicaCores,
+		memMB: c.memPer,
+	}
+	ct.q.OnStart = func(j sim.Job) { c.onStart(ct, j) }
+	ct.q.OnDone = func(j sim.Job) { c.onDone(ct, j) }
+	n.usedCores += ct.cores
+	n.usedMB += ct.memMB
+	n.live++
+	c.containers = append(c.containers, ct)
+	return ct, nil
+}
+
+// binary assembles one private copy of the app's binary model — the
+// payload a live migration checkpoints and restores (ABOM patches
+// travel inside it).
+func (c *Cluster) binary() (*arch.Text, error) {
+	return c.cfg.App.BuildBinary(1, 16)
+}
+
+// fits reports whether the node can host one more standard container.
+func (c *Cluster) fits(n *node) bool {
+	return !n.failed && !n.removed &&
+		n.cores-n.usedCores >= c.cfg.ReplicaCores &&
+		n.memMB-n.usedMB >= c.memPer
+}
+
+// pickNode applies the placement policy over fitting nodes; ties break
+// on the lower node id, so placement is deterministic.
+func (c *Cluster) pickNode() *node {
+	var best *node
+	for _, n := range c.nodes {
+		if !c.fits(n) {
+			continue
+		}
+		if best == nil || c.better(n, best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// better reports whether a should be preferred over b under the policy.
+func (c *Cluster) better(a, b *node) bool {
+	switch c.cfg.Policy {
+	case BinPack:
+		if a.usedCores != b.usedCores {
+			return a.usedCores > b.usedCores
+		}
+	case Spread:
+		if a.usedCores != b.usedCores {
+			return a.usedCores < b.usedCores
+		}
+	case LatencyAware:
+		da, db := c.backlog(a), c.backlog(b)
+		if da != db {
+			return da < db
+		}
+		// Equal backlogs (e.g. an idle fleet): prefer headroom.
+		if a.usedCores != b.usedCores {
+			return a.usedCores < b.usedCores
+		}
+	}
+	return a.id < b.id
+}
+
+// backlog is the node's current jobs-in-system count — the
+// latency-aware placement signal.
+func (c *Cluster) backlog(n *node) int {
+	total := 0
+	for _, ct := range c.containers {
+		if ct.node == n && !ct.gone {
+			total += ct.q.Depth()
+		}
+	}
+	return total
+}
+
+// routable lists containers accepting new requests, in id order.
+func (c *Cluster) routable() []*container {
+	out := c.containers[:0:0]
+	for _, ct := range c.containers {
+		if !ct.gone && !ct.draining && !ct.node.failed {
+			out = append(out, ct)
+		}
+	}
+	return out
+}
+
+// dispatch routes one request to the shortest queue (ties to the lowest
+// container id) — deterministic join-shortest-queue, the front door a
+// cluster load balancer gives every policy. This is the per-request hot
+// path, so it filters inline rather than materializing routable().
+func (c *Cluster) dispatch(id uint64) {
+	var best *container
+	for _, ct := range c.containers {
+		if ct.gone || ct.draining || ct.node.failed {
+			continue
+		}
+		if best == nil || ct.q.Depth() < best.q.Depth() {
+			best = ct
+		}
+	}
+	if best == nil {
+		c.dropped++
+		return
+	}
+	c.dispatched++
+	best.q.Arrive(sim.Job{ID: id, Cost: c.per, Born: c.eng.Now()})
+}
+
+// onStart attributes a job's busy cycles at the instant service begins,
+// to whichever node hosts the container right then — a migrating
+// container's jobs split correctly between source and destination.
+func (c *Cluster) onStart(ct *container, j sim.Job) {
+	c.winBusy += j.Cost
+	ct.node.busy += j.Cost
+	ct.node.winBusy += j.Cost
+}
+
+// onDone observes one completion: fleet and window statistics,
+// closed-loop re-issue, and drain completion.
+func (c *Cluster) onDone(ct *container, j sim.Job) {
+	lat := c.eng.Now() - j.Born
+	c.fleet.Observe(lat)
+	if c.win != nil {
+		c.win.Observe(lat)
+	}
+	c.completed++
+	if c.closedLoop && c.eng.Now() < c.horizon {
+		c.dispatch(j.ID)
+	}
+	if ct.draining && ct.q.Depth() == 0 {
+		c.retire(ct)
+	}
+}

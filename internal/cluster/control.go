@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/core"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/sim"
+)
+
+// tick is the control loop: one virtual-time heartbeat that reads the
+// window's utilization and p99, decides scale actions, and checks node
+// balance. It reschedules itself until the horizon.
+func (c *Cluster) tick() {
+	now := c.eng.Now()
+	window := now - c.lastOff
+	if window > 0 {
+		util := c.windowUtil(window)
+		p99 := c.win.Quantile(0.99).Micros()
+		breach := c.cfg.SLOp99US > 0 && c.win.Count() > 0 && p99 > c.cfg.SLOp99US
+		if breach {
+			c.res.SLOBreaches++
+		}
+		if c.cfg.Autoscale {
+			switch {
+			case breach:
+				c.scaleUp(now, fmt.Sprintf("p99 %.0fus over SLO %.0fus", p99, c.cfg.SLOp99US))
+			case util > scaleUpUtil:
+				c.scaleUp(now, fmt.Sprintf("utilization %.0f%%", 100*util))
+			case util < scaleDownUtil && !c.backlogged():
+				c.scaleDown(now)
+			}
+		}
+		c.rebalance(now, window)
+	}
+	c.notePeaks()
+
+	c.win = &sim.Histogram{}
+	c.winBusy = 0
+	for _, n := range c.nodes {
+		n.winBusy = 0
+	}
+	c.lastOff = now
+	// Reschedule at the next interval, clamped to the horizon so the
+	// final partial window is still evaluated; at the horizon, stop.
+	next := min(now+c.interval, c.horizon)
+	if next > now {
+		c.eng.At(next, c.tick)
+	}
+}
+
+// windowUtil is the busy fraction of the routable containers' server
+// capacity over the window — the autoscaler's utilization signal.
+func (c *Cluster) windowUtil(window cycles.Cycles) float64 {
+	servers := len(c.routable()) * c.servers
+	if servers == 0 {
+		return 0
+	}
+	return min(float64(c.winBusy)/(float64(servers)*float64(window)), 1)
+}
+
+// backlogged reports whether the fleet holds more than one job per
+// routable server. It guards scale-down: a window with zero
+// completions (every container mid-blackout after a failover burst)
+// measures zero utilization, and without this check a jammed fleet
+// would read as an idle one and shrink under peak pressure.
+func (c *Cluster) backlogged() bool {
+	depth, servers := 0, 0
+	for _, ct := range c.containers {
+		if ct.gone || ct.draining || ct.node.failed {
+			continue
+		}
+		depth += ct.q.Depth()
+		servers += c.servers
+	}
+	return depth > servers
+}
+
+// scaleUp adds one replica, booting a fresh node first when no existing
+// node has room and the ceiling allows it.
+func (c *Cluster) scaleUp(now cycles.Cycles, why string) {
+	n := c.pickNode()
+	if n == nil {
+		if c.aliveNodes() >= c.cfg.MaxNodes {
+			if !c.saturationNoted {
+				c.saturationNoted = true
+				c.event(now, "at-capacity", fmt.Sprintf("%d nodes at MaxNodes, cannot scale (%s)", c.cfg.MaxNodes, why))
+			}
+			return
+		}
+		nn, err := c.addNode()
+		if err != nil {
+			c.event(now, "error", fmt.Sprintf("add node: %v", err))
+			return
+		}
+		c.event(now, "add-node", fmt.Sprintf("node %d: %s", nn.id, why))
+		n = nn
+	}
+	ct, err := c.addContainer(n)
+	if err != nil {
+		c.event(now, "error", err.Error())
+		return
+	}
+	c.event(now, "add-replica", fmt.Sprintf("%s on node %d: %s", ct.name, n.id, why))
+}
+
+// scaleDown drains one replica — the shallowest queue, newest first on
+// ties — keeping at least one container routable.
+func (c *Cluster) scaleDown(now cycles.Cycles) {
+	routable := c.routable()
+	if len(routable) <= 1 {
+		return
+	}
+	var victim *container
+	for _, ct := range routable {
+		if ct.q.Suspended() {
+			continue
+		}
+		if victim == nil || ct.q.Depth() < victim.q.Depth() ||
+			(ct.q.Depth() == victim.q.Depth() && ct.id > victim.id) {
+			victim = ct
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.draining = true
+	c.event(now, "remove-replica", fmt.Sprintf("%s draining on node %d", victim.name, victim.node.id))
+	if victim.q.Depth() == 0 {
+		c.retire(victim)
+	}
+}
+
+// retire destroys a fully drained container and frees its reservation;
+// an emptied surplus node is released with it. Idempotent: a container
+// already gone (e.g. stranded by a node failure while draining) must
+// not give back its reservation twice.
+func (c *Cluster) retire(ct *container) {
+	if ct.gone {
+		return
+	}
+	ct.gone = true
+	c.saturationNoted = false // freed capacity ends a saturation episode
+	n := ct.node
+	if !n.failed {
+		_ = n.platform.Destroy(ct.inst)
+	}
+	n.usedCores -= ct.cores
+	n.usedMB -= ct.memMB
+	n.live--
+	if c.cfg.Autoscale && n.live == 0 && !n.failed && !n.removed && c.aliveNodes() > c.cfg.Nodes {
+		n.removed = true
+		n.removedAt = c.eng.Now()
+		c.event(c.eng.Now(), "remove-node", fmt.Sprintf("node %d drained", n.id))
+	}
+}
+
+// rebalance migrates one container whenever per-core window
+// utilizations diverge past the gap — including right after a scale-up
+// booted an empty node. The donor is the hottest node that actually has
+// a movable container to give (and more than one, so it stays in
+// service); the receiver is the coldest node with room. Filtering
+// during selection, not after, keeps one unusable extreme node from
+// blocking an otherwise-viable pair.
+func (c *Cluster) rebalance(now, window cycles.Cycles) {
+	var hot, cold *node
+	var hotU, coldU float64
+	for _, n := range c.nodes {
+		if n.failed || n.removed {
+			continue
+		}
+		u := float64(n.winBusy) / (float64(n.cores) * float64(window))
+		if n.live > 1 && c.movable(n) != nil && (hot == nil || u > hotU) {
+			hot, hotU = n, u
+		}
+		if c.fits(n) && (cold == nil || u < coldU) {
+			cold, coldU = n, u
+		}
+	}
+	if hot == nil || cold == nil || hot == cold || hotU-coldU <= rebalanceGap {
+		return
+	}
+	c.migrate(c.movable(hot), cold, "rebalance")
+}
+
+// movable returns the node's shallowest migratable container (cheapest
+// blackout; its share of load re-routes to the migrated copy), or nil.
+func (c *Cluster) movable(n *node) *container {
+	var ct *container
+	for _, cand := range c.containers {
+		if cand.node != n || cand.gone || cand.draining || cand.q.Suspended() {
+			continue
+		}
+		if ct == nil || cand.q.Depth() < ct.q.Depth() {
+			ct = cand
+		}
+	}
+	return ct
+}
+
+// failNode kills one seeded-randomly chosen live node and reschedules
+// its containers onto survivors (cold restarts — the dead node's state
+// is gone, so the checkpoint path is unavailable).
+func (c *Cluster) failNode() {
+	now := c.eng.Now()
+	var alive []*node
+	for _, n := range c.nodes {
+		if !n.failed && !n.removed {
+			alive = append(alive, n)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	victim := alive[int(c.rng.Uint64()%uint64(len(alive)))]
+	victim.failed = true
+	victim.removedAt = now
+	c.event(now, "node-failure", fmt.Sprintf("node %d down, %d containers to reschedule", victim.id, victim.live))
+	for _, ct := range append([]*container(nil), c.containers...) {
+		if ct.node != victim || ct.gone {
+			continue
+		}
+		dst := c.pickNode()
+		if dst == nil && c.cfg.Autoscale && c.aliveNodes() < c.cfg.MaxNodes {
+			nn, err := c.addNode()
+			if err == nil {
+				c.event(now, "add-node", fmt.Sprintf("node %d: failover capacity", nn.id))
+				dst = nn
+			}
+		}
+		if dst == nil {
+			ct.gone = true
+			ct.q.Suspend()
+			ct.freezeGen++ // cancel any in-flight migration's Resume
+			c.dropBacklog(ct)
+			victim.live--
+			victim.usedCores -= ct.cores
+			victim.usedMB -= ct.memMB
+			c.event(now, "stranded", fmt.Sprintf("%s: no capacity to reschedule", ct.name))
+			continue
+		}
+		c.migrate(ct, dst, "failover")
+	}
+}
+
+// migrate moves a container to dst, charging the blackout window: the
+// queue freezes, the instance travels (checkpoint/restore when the
+// source is alive and the architecture supports it, cold restart
+// otherwise), and dispatch resumes after the downtime.
+func (c *Cluster) migrate(ct *container, dst *node, reason string) {
+	src := ct.node
+	now := c.eng.Now()
+	ct.q.Suspend()
+	if reason == "failover" {
+		// The source node crashed: its waiting backlog is gone, like the
+		// checkpoint. Only in-service requests drain to completion.
+		c.dropBacklog(ct)
+	}
+	downtime := c.moveInstance(ct, dst, reason == "failover")
+	src.usedCores -= ct.cores
+	src.usedMB -= ct.memMB
+	src.live--
+	dst.usedCores += ct.cores
+	dst.usedMB += ct.memMB
+	dst.live++
+	src.migrOut++
+	dst.migrIn++
+	ct.node = dst
+	ct.freezeGen++
+	gen := ct.freezeGen
+	c.eng.After(downtime, func() {
+		// A failover (or stranding) that interrupted this blackout
+		// supersedes it; only the latest freeze may thaw the queue.
+		if ct.freezeGen == gen && !ct.gone {
+			ct.q.Resume()
+		}
+	})
+	c.res.Migrations = append(c.res.Migrations, Migration{
+		AtSec:      now.Seconds(),
+		Container:  ct.name,
+		FromNode:   src.id,
+		ToNode:     dst.id,
+		DowntimeUS: downtime.Micros(),
+		Reason:     reason,
+	})
+}
+
+// moveInstance transports the container's instance and returns the
+// downtime in virtual cycles. X-Containers take the real
+// checkpoint/encode/restore path of core.Migrate — the restored clock
+// is exactly the LibOS re-boot plus the page-copy pass, and ABOM
+// patches travel inside the text. Every other architecture (and any
+// failover, where the source is dead) restarts cold: a fresh boot plus
+// the runtime's fork/exec charge for the image.
+func (c *Cluster) moveInstance(ct *container, dst *node, cold bool) cycles.Cycles {
+	if !cold && c.cfg.Platform.Kind == runtimes.XContainer {
+		moved, err := core.Migrate(ct.node.platform, ct.inst, dst.platform)
+		if err == nil {
+			ct.inst = moved
+			return moved.Clock.Now()
+		}
+		c.event(c.eng.Now(), "error", fmt.Sprintf("live migration of %s: %v; restarting cold", ct.name, err))
+	}
+	text, err := c.binary()
+	if err != nil {
+		c.event(c.eng.Now(), "error", err.Error())
+		return 0
+	}
+	if !ct.node.failed {
+		_ = ct.node.platform.Destroy(ct.inst)
+	}
+	inst, err := dst.platform.Boot(core.Image{Name: ct.name, Program: text, MemoryMB: ct.memMB})
+	if err != nil {
+		c.event(c.eng.Now(), "error", fmt.Sprintf("cold restart of %s: %v", ct.name, err))
+		return 0
+	}
+	ct.inst = inst
+	pages := text.Size()/arch.PageSize + 1
+	return inst.Clock.Now() + c.rt.ForkExecCost(pages)
+}
+
+// dropBacklog empties a dead container's waiting queue. Open-loop
+// requests are lost with the node and counted as Dropped; closed-loop
+// connections reconnect and re-send elsewhere, conserving the
+// population.
+func (c *Cluster) dropBacklog(ct *container) {
+	jobs := ct.q.TakeWaiting()
+	if !c.closedLoop {
+		c.dropped += uint64(len(jobs))
+		return
+	}
+	for _, j := range jobs {
+		c.dispatch(j.ID)
+	}
+}
+
+// aliveNodes counts nodes that are neither failed nor removed.
+func (c *Cluster) aliveNodes() int {
+	n := 0
+	for _, nd := range c.nodes {
+		if !nd.failed && !nd.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// notePeaks tracks the high-water marks the report exposes.
+func (c *Cluster) notePeaks() {
+	if a := c.aliveNodes(); a > c.res.PeakNodes {
+		c.res.PeakNodes = a
+	}
+	live := 0
+	for _, ct := range c.containers {
+		if !ct.gone {
+			live++
+		}
+	}
+	if live > c.res.PeakContainers {
+		c.res.PeakContainers = live
+	}
+}
+
+// event appends one scale-event record.
+func (c *Cluster) event(at cycles.Cycles, action, detail string) {
+	c.res.ScaleEvents = append(c.res.ScaleEvents, ScaleEvent{AtSec: at.Seconds(), Action: action, Detail: detail})
+}

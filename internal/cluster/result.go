@@ -1,0 +1,75 @@
+package cluster
+
+import "xcontainers/internal/cycles"
+
+// Migration records one container move, live or cold.
+type Migration struct {
+	AtSec      float64 // virtual time the blackout began
+	Container  string
+	FromNode   int
+	ToNode     int
+	DowntimeUS float64 // blackout window: checkpoint transport + restore
+	Reason     string  // "rebalance" or "failover"
+}
+
+// ScaleEvent records one control-loop action.
+type ScaleEvent struct {
+	AtSec  float64
+	Action string // add-node, add-replica, remove-replica, remove-node, node-failure, stranded, at-capacity, error
+	Detail string
+}
+
+// NodeStats is one node's lifetime summary.
+type NodeStats struct {
+	ID            int
+	Containers    int // live containers at the end of the run
+	CoresUsed     int
+	Utilization   float64 // busy core-cycles / provisioned core-cycles while alive
+	MigrationsIn  int
+	MigrationsOut int
+	Failed        bool
+	Removed       bool
+	AddedSec      float64
+	RemovedSec    float64 // failure or drain time (0 when alive at the end)
+}
+
+// Result is one cluster experiment's outcome. Same Config, Traffic and
+// seed produce an identical Result — the property the façade's JSON
+// golden tests pin down.
+type Result struct {
+	Policy      string
+	Seed        uint64
+	DurationSec float64
+
+	OfferedRate float64 // mean open-loop arrival rate (0 closed loop)
+	Population  int     // resolved closed-loop population (0 open loop)
+
+	Arrived   uint64 // requests admitted to some container's queue
+	Completed uint64
+	// Dropped counts requests lost: arrivals with no routable container,
+	// plus waiting backlogs that died with a failed node (failover and
+	// stranded containers alike; in-service requests drain).
+	Dropped uint64
+
+	Throughput float64 // completed requests per virtual second
+	LatencyUS  float64 // mean sojourn across the fleet, µs
+	P50US      float64
+	P95US      float64
+	P99US      float64
+	MaxUS      float64
+
+	MeanQueueDepth float64 // time-weighted jobs in system, fleet-wide
+	MaxQueueDepth  int     // peak backlog of any one container
+	Utilization    float64 // fleet busy / provisioned core-cycles
+	PerRequest     cycles.Cycles
+
+	Nodes          []NodeStats
+	PeakNodes      int
+	PeakContainers int
+
+	SLOp99US    float64
+	SLOBreaches int // control windows whose p99 exceeded the SLO
+
+	Migrations  []Migration
+	ScaleEvents []ScaleEvent
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
+)
+
+// Run executes one traffic experiment over the fleet and returns its
+// statistics. A Cluster is single-shot: build a fresh one per run.
+func (c *Cluster) Run(t Traffic) (*Result, error) {
+	if t.Rate < 0 || t.DurationSec < 0 || t.Concurrency < 0 {
+		return nil, fmt.Errorf("cluster: traffic rate/duration/concurrency must not be negative")
+	}
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run may be called once per Cluster")
+	}
+	c.ran = true
+
+	dur := t.DurationSec
+	if dur <= 0 {
+		dur = 1
+	}
+	c.horizon = cycles.FromSeconds(dur)
+	c.interval = cycles.FromSeconds(c.cfg.IntervalSec)
+	if c.interval == 0 {
+		c.interval = 1
+	}
+	c.rng = sim.NewRand(t.Seed ^ 0xfa17ed0de) // failure stream, distinct from arrivals
+	c.win = &sim.Histogram{}
+	c.notePeaks()
+
+	open := t.Rate > 0 || t.Burst != nil
+	c.closedLoop = !open
+
+	// The first tick fires at the interval, or at the horizon when the
+	// run is shorter — every run gets at least one control evaluation.
+	c.eng.At(min(c.interval, c.horizon), c.tick)
+	if at := cycles.FromSeconds(c.cfg.FailNodeAtSec); c.cfg.FailNodeAtSec > 0 && at <= c.horizon {
+		c.eng.At(at, c.failNode)
+	}
+
+	conc := 0
+	if open {
+		var arr sim.Arrivals
+		switch {
+		case t.Burst != nil:
+			arr = sim.NewBursty(t.Burst.PeakRate, t.Burst.OnSeconds, t.Burst.OffSeconds)
+		case t.Paced:
+			arr = sim.FixedRate(t.Rate)
+		default:
+			arr = sim.PoissonRate(t.Rate)
+		}
+		c.eng.DriveArrivals(arr, sim.NewRand(t.Seed), c.horizon, c.dispatch)
+	} else {
+		conc = t.Concurrency
+		if conc <= 0 {
+			conc = 2 * c.servers * len(c.containers)
+		}
+		for i := 0; i < conc; i++ {
+			id := uint64(i + 1)
+			c.eng.At(0, func() { c.dispatch(id) })
+		}
+	}
+
+	c.eng.Run(c.horizon)
+	return c.assemble(t, dur, open, conc), nil
+}
+
+// assemble reads the fleet's statistics into a Result.
+func (c *Cluster) assemble(t Traffic, dur float64, open bool, conc int) *Result {
+	res := &c.res
+	res.Policy = c.cfg.Policy.String()
+	res.Seed = t.Seed
+	res.DurationSec = dur
+	res.PerRequest = c.per
+	res.SLOp99US = c.cfg.SLOp99US
+
+	if open {
+		res.OfferedRate = t.Rate
+		if t.Burst != nil {
+			res.OfferedRate = t.Burst.PeakRate * t.Burst.OnSeconds / (t.Burst.OnSeconds + t.Burst.OffSeconds)
+		}
+	} else {
+		res.Population = conc
+	}
+
+	res.Arrived = c.dispatched
+	res.Completed = c.completed
+	res.Dropped = c.dropped
+	res.Throughput = float64(c.completed) / dur
+	res.LatencyUS = c.fleet.MeanMicros()
+	res.P50US = c.fleet.Quantile(0.50).Micros()
+	res.P95US = c.fleet.Quantile(0.95).Micros()
+	res.P99US = c.fleet.Quantile(0.99).Micros()
+	res.MaxUS = c.fleet.Max().Micros()
+
+	for _, ct := range c.containers {
+		res.MeanQueueDepth += ct.q.MeanDepth(c.horizon)
+		res.MaxQueueDepth = max(res.MaxQueueDepth, ct.q.MaxDepth())
+	}
+
+	var busyTotal, capTotal float64
+	for _, n := range c.nodes {
+		end := c.horizon
+		if n.failed || n.removed {
+			end = n.removedAt
+		}
+		aliveCycles := float64(end - n.addedAt)
+		capacity := float64(n.cores) * aliveCycles
+		util := 0.0
+		if capacity > 0 {
+			util = min(float64(n.busy)/capacity, 1)
+		}
+		busyTotal += float64(n.busy)
+		capTotal += capacity
+		res.Nodes = append(res.Nodes, NodeStats{
+			ID:            n.id,
+			Containers:    n.live,
+			CoresUsed:     n.usedCores,
+			Utilization:   util,
+			MigrationsIn:  n.migrIn,
+			MigrationsOut: n.migrOut,
+			Failed:        n.failed,
+			Removed:       n.removed,
+			AddedSec:      n.addedAt.Seconds(),
+			RemovedSec:    n.removedAt.Seconds(),
+		})
+	}
+	if capTotal > 0 {
+		res.Utilization = min(busyTotal/capTotal, 1)
+	}
+	return res
+}

@@ -29,10 +29,17 @@ type Queue struct {
 	// pipelines use to route to the next station.
 	OnDone func(Job)
 
-	eng     *Engine
-	busy    int
-	waiting []Job
-	head    int
+	// OnStart, when set, receives each job at the instant it enters
+	// service — the hook consumers use to attribute busy time to
+	// whichever resource is serving right then (a migrating container's
+	// host changes between arrival and completion).
+	OnStart func(Job)
+
+	eng       *Engine
+	busy      int
+	waiting   []Job
+	head      int
+	suspended bool
 
 	// Sojourn is the per-queue latency histogram: time from arrival to
 	// service completion.
@@ -62,16 +69,73 @@ func (q *Queue) Arrive(j Job) {
 	j.arrived = q.eng.Now()
 	q.Arrived++
 	q.setDepth(q.depth + 1)
-	if q.busy < q.Servers {
+	if q.busy < q.Servers && !q.suspended {
 		q.start(j)
 		return
 	}
 	q.waiting = append(q.waiting, j)
 }
 
+// Suspend freezes dispatch: jobs already in service run to completion,
+// but no waiting or newly arriving job starts service until Resume.
+// This is the blackout window of a live migration — connections drain,
+// the backlog holds, and the held time shows up in sojourn latency.
+func (q *Queue) Suspend() { q.suspended = true }
+
+// Suspended reports whether dispatch is currently frozen.
+func (q *Queue) Suspended() bool { return q.suspended }
+
+// Resume reopens dispatch and starts as many held jobs as servers
+// allow, in FIFO order.
+func (q *Queue) Resume() {
+	q.suspended = false
+	for q.busy < q.Servers {
+		j, ok := q.popWaiting()
+		if !ok {
+			return
+		}
+		q.start(j)
+	}
+}
+
+// TakeWaiting removes and returns every job still waiting for service —
+// the backlog a crashed node loses (or a caller re-routes). Jobs
+// already in service are unaffected; depth accounting updates at the
+// current instant.
+func (q *Queue) TakeWaiting() []Job {
+	n := len(q.waiting) - q.head
+	if n == 0 {
+		return nil
+	}
+	out := make([]Job, n)
+	copy(out, q.waiting[q.head:])
+	q.waiting = q.waiting[:0]
+	q.head = 0
+	q.setDepth(q.depth - n)
+	return out
+}
+
+// popWaiting dequeues the oldest held job, if any.
+func (q *Queue) popWaiting() (Job, bool) {
+	if q.head >= len(q.waiting) {
+		return Job{}, false
+	}
+	j := q.waiting[q.head]
+	q.waiting[q.head] = Job{}
+	q.head++
+	if q.head == len(q.waiting) {
+		q.waiting = q.waiting[:0]
+		q.head = 0
+	}
+	return j, true
+}
+
 func (q *Queue) start(j Job) {
 	q.busy++
 	q.BusyCycles += j.Cost
+	if q.OnStart != nil {
+		q.OnStart(j)
+	}
 	q.eng.After(j.Cost, func() { q.finish(j) })
 }
 
@@ -80,15 +144,10 @@ func (q *Queue) finish(j Job) {
 	q.Sojourn.Observe(q.eng.Now() - j.arrived)
 	q.setDepth(q.depth - 1)
 	q.busy--
-	if q.head < len(q.waiting) {
-		next := q.waiting[q.head]
-		q.waiting[q.head] = Job{}
-		q.head++
-		if q.head == len(q.waiting) {
-			q.waiting = q.waiting[:0]
-			q.head = 0
+	if !q.suspended {
+		if next, ok := q.popWaiting(); ok {
+			q.start(next)
 		}
-		q.start(next)
 	}
 	if q.OnDone != nil {
 		q.OnDone(j)

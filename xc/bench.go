@@ -1,0 +1,38 @@
+package xc
+
+import (
+	"fmt"
+
+	"xcontainers/internal/bench"
+	"xcontainers/internal/libos"
+)
+
+// LibOSConfig tunes an X-Container's dedicated kernel (§3.2): SMP
+// support and preloaded modules. Pass it through Image.LibOSConfig.
+type LibOSConfig = libos.Config
+
+// BenchReport is one regenerated table or figure of the paper's §5
+// evaluation, with text/markdown/CSV rendering.
+type BenchReport = bench.Report
+
+// BenchIDs lists the available experiments ("table1", "fig3", ...,
+// "fig9") in registration order.
+func BenchIDs() []string {
+	exps := bench.Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunBench regenerates one experiment by ID — the façade route to the
+// paper's evaluation for examples and external tooling (cmd/xcbench
+// keeps its richer multi-experiment driver).
+func RunBench(id string) (*BenchReport, error) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("xc: unknown experiment %q (known: %v)", id, BenchIDs())
+	}
+	return e.Run()
+}

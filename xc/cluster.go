@@ -1,0 +1,335 @@
+package xc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"xcontainers/internal/cluster"
+	"xcontainers/internal/core"
+)
+
+// PlacementPolicy selects how a cluster places containers onto nodes.
+type PlacementPolicy = cluster.Policy
+
+const (
+	// BinPack consolidates: fill the most-loaded node that still fits.
+	BinPack = cluster.BinPack
+	// Spread maximizes headroom: place on the least-loaded node.
+	Spread = cluster.Spread
+	// LatencyAware places where the current request backlog is smallest.
+	LatencyAware = cluster.LatencyAware
+)
+
+// ParsePolicy resolves a placement policy name, case-insensitively.
+func ParsePolicy(s string) (PlacementPolicy, error) {
+	return cluster.ParsePolicy(strings.ToLower(strings.TrimSpace(s)))
+}
+
+// PolicyUsage renders the known policy names for flag help strings.
+func PolicyUsage() string { return "binpack|spread|latency" }
+
+// ClusterSpec sizes and arms a cluster experiment. The zero value is a
+// one-node fleet with no SLO, no autoscaling, and no failure injection.
+type ClusterSpec struct {
+	// Nodes is the initial node count (default 1); MaxNodes bounds
+	// autoscaling node growth (default Nodes).
+	Nodes    int
+	MaxNodes int
+	// NodeCores and NodeMemMB size each node (defaults 4 cores, 1024 MB).
+	NodeCores int
+	NodeMemMB int
+	// Replicas is the initial container count (default: the traffic
+	// spec's Containers, else one per node).
+	Replicas int
+	// Policy places containers onto nodes (default BinPack).
+	Policy PlacementPolicy
+	// SLOMillis arms the latency signal: control windows whose p99
+	// sojourn exceeds it count as SLO breaches and, with Autoscale,
+	// trigger scale-up (0 = no latency signal).
+	SLOMillis float64
+	// Autoscale enables the scale-up/scale-down control loop;
+	// rebalancing live migrations run regardless.
+	Autoscale bool
+	// FailNode, when > 0, kills one seeded-randomly chosen node at that
+	// virtual second; its containers are rescheduled onto survivors.
+	FailNode float64
+}
+
+// Cluster is a fleet factory: one container architecture plus platform
+// options, ready to serve traffic experiments over many nodes.
+type Cluster struct {
+	cfg  Config
+	name string // the runtime's display name, resolved at construction
+}
+
+// NewCluster prepares a multi-node fleet of the given architecture.
+// Options are the platform options NewPlatform takes, and every node
+// boots with them — except the machine-memory bounds (WithMachineMB,
+// WithMachineFrames), which are rejected here: node capacity belongs to
+// ClusterSpec (NodeCores, NodeMemMB).
+func NewCluster(kind Kind, opts ...Option) (*Cluster, error) {
+	cfg := Config{
+		Kind:            kind,
+		MeltdownPatched: true,
+		Cloud:           LocalCluster,
+		FastToolstack:   true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.MachineMB != 0 || cfg.MachineFrames != 0 {
+		return nil, fmt.Errorf("xc: cluster nodes are sized by ClusterSpec.NodeMemMB, not WithMachineMB/WithMachineFrames")
+	}
+	// Boot one throwaway platform so bad configurations (unknown kind,
+	// cloud without nested virt, ...) fail here rather than in Serve.
+	probe, err := core.NewPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, name: probe.Runtime().Name()}, nil
+}
+
+// MustNewCluster is NewCluster for static configurations.
+func MustNewCluster(kind Kind, opts ...Option) *Cluster {
+	c, err := NewCluster(kind, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Kind returns the fleet's container architecture.
+func (c *Cluster) Kind() Kind { return c.cfg.Kind }
+
+// Name renders the architecture like the paper's legends.
+func (c *Cluster) Name() string { return c.name }
+
+// Serve runs one traffic experiment of the workload's application model
+// over a fleet sized by spec, driven by the same TrafficSpec
+// Platform.Serve takes: Rate/Paced/Burst/Duration/Seed for the arrival
+// process, Connections for closed loops, Cores for per-container core
+// reservations, Workers for worker processes, and Containers for the
+// initial replica count. Runs are byte-deterministic per seed.
+func (c *Cluster) Serve(w *Workload, spec ClusterSpec, t *TrafficSpec) (*ClusterReport, error) {
+	app, t, err := serveInputs(w, t)
+	if err != nil {
+		return nil, err
+	}
+	replicas := spec.Replicas
+	if replicas == 0 {
+		replicas = t.containers
+	}
+	cl, err := cluster.New(cluster.Config{
+		Platform:      c.cfg,
+		App:           app,
+		Workers:       t.workers,
+		Nodes:         spec.Nodes,
+		MaxNodes:      spec.MaxNodes,
+		NodeCores:     spec.NodeCores,
+		NodeMemMB:     spec.NodeMemMB,
+		Replicas:      replicas,
+		ReplicaCores:  t.cores,
+		Policy:        spec.Policy,
+		SLOp99US:      spec.SLOMillis * 1000,
+		Autoscale:     spec.Autoscale,
+		FailNodeAtSec: spec.FailNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Run(cluster.Traffic{
+		Rate:        t.rate,
+		Paced:       t.paced,
+		Burst:       t.burst,
+		Concurrency: t.conns,
+		DurationSec: t.duration,
+		Seed:        t.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.report(w, spec, res), nil
+}
+
+// NodeReport is one node's lifetime summary in a ClusterReport.
+type NodeReport struct {
+	ID            int     `json:"id"`
+	Containers    int     `json:"containers"`
+	Utilization   float64 `json:"utilization"`
+	MigrationsIn  int     `json:"migrations_in"`
+	MigrationsOut int     `json:"migrations_out"`
+	Failed        bool    `json:"failed,omitempty"`
+	Removed       bool    `json:"removed,omitempty"`
+	AddedSec      float64 `json:"added_sec"`
+	RemovedSec    float64 `json:"removed_sec,omitempty"`
+}
+
+// MigrationReport records one container move between nodes.
+type MigrationReport struct {
+	AtSec      float64 `json:"at_sec"`
+	Container  string  `json:"container"`
+	FromNode   int     `json:"from_node"`
+	ToNode     int     `json:"to_node"`
+	DowntimeUS float64 `json:"downtime_us"`
+	Reason     string  `json:"reason"`
+}
+
+// ScaleEventReport records one autoscaler action.
+type ScaleEventReport struct {
+	AtSec  float64 `json:"at_sec"`
+	Action string  `json:"action"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// ClusterReport is the structured outcome of one Cluster.Serve: fleet
+// identity, per-node utilization, migrations, scale events, and the
+// fleet-wide latency distribution. It marshals to stable JSON and is
+// byte-deterministic for a fixed spec and seed.
+type ClusterReport struct {
+	App     string `json:"app"`
+	Runtime string `json:"runtime"`
+	Kind    string `json:"kind"`
+	Cloud   string `json:"cloud"`
+	Patched bool   `json:"meltdown_patched"`
+
+	Policy         string  `json:"policy"`
+	Seed           uint64  `json:"seed"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+
+	Throughput Throughput   `json:"throughput"`
+	Latency    LatencyStats `json:"latency"`
+	Queue      QueueStats   `json:"queue"`
+
+	Arrived     uint64 `json:"arrived"`
+	Completed   uint64 `json:"completed"`
+	Dropped     uint64 `json:"dropped,omitempty"`
+	Connections int    `json:"connections,omitempty"`
+
+	Nodes          []NodeReport `json:"nodes"`
+	PeakNodes      int          `json:"peak_nodes"`
+	PeakContainers int          `json:"peak_containers"`
+
+	SLOMillis   float64            `json:"slo_ms,omitempty"`
+	SLOBreaches int                `json:"slo_breaches"`
+	Autoscale   bool               `json:"autoscale"`
+	ScaleEvents []ScaleEventReport `json:"scale_events"`
+	Migrations  []MigrationReport  `json:"migrations"`
+}
+
+func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *ClusterReport {
+	rep := &ClusterReport{
+		App:     w.name,
+		Runtime: c.name,
+		Kind:    KindName(c.cfg.Kind),
+		Cloud:   CloudName(c.cfg.Cloud),
+		Patched: c.cfg.MeltdownPatched,
+
+		Policy:         res.Policy,
+		Seed:           res.Seed,
+		VirtualSeconds: res.DurationSec,
+
+		Latency: LatencyStats{
+			MeanUS: res.LatencyUS,
+			P50US:  res.P50US,
+			P95US:  res.P95US,
+			P99US:  res.P99US,
+			MaxUS:  res.MaxUS,
+		},
+		Queue: QueueStats{
+			MeanDepth:   res.MeanQueueDepth,
+			MaxDepth:    res.MaxQueueDepth,
+			Utilization: res.Utilization,
+		},
+
+		Arrived:     res.Arrived,
+		Completed:   res.Completed,
+		Dropped:     res.Dropped,
+		Connections: res.Population,
+
+		PeakNodes:      res.PeakNodes,
+		PeakContainers: res.PeakContainers,
+
+		SLOMillis:   spec.SLOMillis,
+		SLOBreaches: res.SLOBreaches,
+		Autoscale:   spec.Autoscale,
+
+		ScaleEvents: []ScaleEventReport{},
+		Migrations:  []MigrationReport{},
+	}
+	rep.Throughput.RequestsPerSec = res.Throughput
+	rep.Throughput.OfferedPerSec = res.OfferedRate
+	for _, n := range res.Nodes {
+		rep.Nodes = append(rep.Nodes, NodeReport{
+			ID:            n.ID,
+			Containers:    n.Containers,
+			Utilization:   n.Utilization,
+			MigrationsIn:  n.MigrationsIn,
+			MigrationsOut: n.MigrationsOut,
+			Failed:        n.Failed,
+			Removed:       n.Removed,
+			AddedSec:      n.AddedSec,
+			RemovedSec:    n.RemovedSec,
+		})
+	}
+	for _, e := range res.ScaleEvents {
+		rep.ScaleEvents = append(rep.ScaleEvents, ScaleEventReport(e))
+	}
+	for _, m := range res.Migrations {
+		rep.Migrations = append(rep.Migrations, MigrationReport{
+			AtSec:      m.AtSec,
+			Container:  m.Container,
+			FromNode:   m.FromNode,
+			ToNode:     m.ToNode,
+			DowntimeUS: m.DowntimeUS,
+			Reason:     m.Reason,
+		})
+	}
+	return rep
+}
+
+// JSON marshals the report as an indented JSON document.
+func (r *ClusterReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the report for terminals.
+func (r *ClusterReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app:            %s\n", r.App)
+	fmt.Fprintf(&b, "runtime:        %s (cloud %s)\n", r.Runtime, r.Cloud)
+	fmt.Fprintf(&b, "cluster:        policy %s, peak %d nodes / %d containers, seed %d\n",
+		r.Policy, r.PeakNodes, r.PeakContainers, r.Seed)
+	fmt.Fprintf(&b, "served:         %.0f requests/s", r.Throughput.RequestsPerSec)
+	if r.Throughput.OfferedPerSec > 0 {
+		fmt.Fprintf(&b, " (offered %.0f/s)", r.Throughput.OfferedPerSec)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "latency:        mean %.1fus, p50 %.1fus, p95 %.1fus, p99 %.1fus\n",
+		r.Latency.MeanUS, r.Latency.P50US, r.Latency.P95US, r.Latency.P99US)
+	if r.SLOMillis > 0 {
+		fmt.Fprintf(&b, "SLO:            p99 < %.1fms, %d window breaches\n", r.SLOMillis, r.SLOBreaches)
+	}
+	for _, n := range r.Nodes {
+		state := ""
+		if n.Failed {
+			state = " FAILED"
+		} else if n.Removed {
+			state = " drained"
+		}
+		fmt.Fprintf(&b, "node %-2d:        %d containers, %5.1f%% utilized, migrations %d in / %d out%s\n",
+			n.ID, n.Containers, 100*n.Utilization, n.MigrationsIn, n.MigrationsOut, state)
+	}
+	fmt.Fprintf(&b, "migrations:     %d", len(r.Migrations))
+	for _, m := range r.Migrations {
+		fmt.Fprintf(&b, "\n  %7.3fs %s node %d -> node %d, %.0fus blackout (%s)",
+			m.AtSec, m.Container, m.FromNode, m.ToNode, m.DowntimeUS, m.Reason)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "scale events:   %d", len(r.ScaleEvents))
+	for _, e := range r.ScaleEvents {
+		fmt.Fprintf(&b, "\n  %7.3fs %-14s %s", e.AtSec, e.Action, e.Detail)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -3,6 +3,7 @@ package xc
 import (
 	"fmt"
 
+	"xcontainers/internal/apps"
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/workload"
 )
@@ -111,26 +112,36 @@ func (t *TrafficSpec) validate() error {
 	return nil
 }
 
-// Serve runs a traffic experiment of the workload's application model
-// under this platform's architecture and returns a Report extended
-// with latency percentiles and queue statistics. The workload must be
-// an App workload (request profiles drive the flow-level model);
-// Program and SyscallLoop texts have no request structure to serve.
-func (p *Platform) Serve(w *Workload, t *TrafficSpec) (*Report, error) {
+// serveInputs is the prologue Platform.Serve and Cluster.Serve share:
+// the workload must be an App workload (request profiles drive the
+// flow-level model — Program and SyscallLoop texts have no request
+// structure to serve), and the traffic spec is defaulted and validated.
+func serveInputs(w *Workload, t *TrafficSpec) (*apps.App, *TrafficSpec, error) {
 	if w == nil {
-		return nil, fmt.Errorf("xc: serve requires a workload")
+		return nil, nil, fmt.Errorf("xc: serve requires a workload")
 	}
 	app := w.Model()
 	if app == nil {
 		if w.err != nil {
-			return nil, w.err
+			return nil, nil, w.err
 		}
-		return nil, fmt.Errorf("xc: serve requires an application workload (xc.App), not %q", w.Name())
+		return nil, nil, fmt.Errorf("xc: serve requires an application workload (xc.App), not %q", w.Name())
 	}
 	if t == nil {
 		t = Traffic()
 	}
 	if err := t.validate(); err != nil {
+		return nil, nil, err
+	}
+	return app, t, nil
+}
+
+// Serve runs a traffic experiment of the workload's application model
+// under this platform's architecture and returns a Report extended
+// with latency percentiles and queue statistics.
+func (p *Platform) Serve(w *Workload, t *TrafficSpec) (*Report, error) {
+	app, t, err := serveInputs(w, t)
+	if err != nil {
 		return nil, err
 	}
 	res := workload.TrafficLoad{

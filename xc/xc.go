@@ -21,6 +21,12 @@
 // closed-loop traffic through the discrete-event engine and extends the
 // Report with latency percentiles and queue statistics.
 //
+// For fleet-level experiments, a Cluster (xc.NewCluster(kind, options...))
+// serves the same TrafficSpec over many nodes under a ClusterSpec —
+// placement policy, p99-SLO autoscaling, live-migration rebalancing,
+// seeded node-failure injection — returning a ClusterReport with
+// per-node utilization, migrations, and scale events.
+//
 // Quickstart:
 //
 //	p, _ := xc.NewPlatform(xc.XContainer, xc.WithMeltdownPatched(true))
