@@ -18,6 +18,7 @@ import (
 	"xcontainers/internal/runtimes"
 	"xcontainers/internal/syscalls"
 	"xcontainers/internal/workload"
+	"xcontainers/xc"
 )
 
 // BenchmarkTable1ABOM regenerates Table 1 (ABOM efficacy): it runs the
@@ -337,4 +338,32 @@ func TestEvaluationHeadlines(t *testing.T) {
 	if r := xMerged / uDed; r < 2.5 || r > 4 {
 		t.Errorf("merged PHP+MySQL vs Unikernel = %.2fx, paper ≈3x", r)
 	}
+}
+
+// BenchmarkClusterSweep measures the parallel sweep layer end to end:
+// a rate×seed grid of independent cluster replications on the worker
+// pool, merged deterministically. The requests/sec metric is simulated
+// fleet traffic processed per wall-clock second — the sweep throughput
+// the ROADMAP's "millions of users" scenarios are built from.
+func BenchmarkClusterSweep(b *testing.B) {
+	var served uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := xc.Sweep(xc.SweepSpec{
+			Kind:     xc.XContainer,
+			Workload: xc.App("nginx"),
+			Traffic:  xc.Traffic().Duration(0.1),
+			Rates:    []float64{300_000, 600_000},
+			Seeds:    []uint64{1, 2},
+			Cluster:  &xc.ClusterSpec{Nodes: 2, Replicas: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range rep.Points {
+			served += uint64(p.Throughput.Mean * rep.DurationSec * float64(p.Runs))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "sim-requests/sec")
 }

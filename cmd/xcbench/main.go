@@ -1,6 +1,9 @@
 // Command xcbench regenerates the paper's evaluation: every table and
 // figure of §5 plus the §4.5 spawn-cost observation and the ablation
-// studies. Without arguments it runs everything.
+// studies. Without arguments it runs everything. It is also the perf
+// front door: parallel scenario sweeps over rates and seeds, pprof
+// profiles of the run, and dated JSON snapshots of the event kernel's
+// throughput.
 //
 // Usage:
 //
@@ -8,6 +11,9 @@
 //	xcbench -exp table1
 //	xcbench -exp fig3,fig8 -markdown
 //	xcbench -exp table1 -json
+//	xcbench -sweep 100000,400000 -seeds 5 -parallel 8 -app memcached
+//	xcbench -bench-json
+//	xcbench -exp fig8 -cpuprofile fig8.pprof
 package main
 
 import (
@@ -17,9 +23,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"xcontainers/internal/bench"
+	"xcontainers/xc"
 )
 
 // errUsage marks a flag-parse failure the FlagSet already reported.
@@ -42,6 +52,18 @@ func run(args []string, stdout io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	csv := fs.Bool("csv", false, "emit CSV (for external plotting)")
 	jsonOut := fs.Bool("json", false, "emit one JSON array of report documents")
+
+	sweep := fs.String("sweep", "", "comma-separated offered rates (req/s) for a parallel traffic sweep")
+	seeds := fs.Int("seeds", 3, "sweep: replications per point (seeds 1..n)")
+	parallel := fs.Int("parallel", 0, "sweep: worker pool size (0 = all cores)")
+	app := fs.String("app", "memcached", "sweep: application model (Table 1 name)")
+	rtName := fs.String("runtime", "xcontainer", "sweep: architecture: "+xc.KindUsage())
+	duration := fs.Float64("duration", 0.5, "sweep: horizon per replication in virtual seconds")
+
+	benchJSON := fs.Bool("bench-json", false, "measure the event kernel and write a BENCH_<date>.json snapshot")
+	benchOut := fs.String("bench-out", "", "bench-json: output path (default BENCH_<date>.json)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -49,11 +71,45 @@ func run(args []string, stdout io.Writer) error {
 		return errUsage
 	}
 
-	if *list {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "xcbench: memprofile:", err)
+			}
+		}()
+	}
+
+	switch {
+	case *list:
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
 		return nil
+	case *benchJSON:
+		return writeBenchJSON(stdout, *benchOut)
+	case *sweep != "":
+		return runSweep(stdout, sweepOptions{
+			rates: *sweep, seeds: *seeds, parallel: *parallel,
+			app: *app, runtime: *rtName, duration: *duration, jsonOut: *jsonOut,
+		})
 	}
 
 	var ids []string
@@ -97,4 +153,86 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, string(blob))
 	}
 	return firstErr
+}
+
+type sweepOptions struct {
+	rates           string
+	seeds, parallel int
+	app, runtime    string
+	duration        float64
+	jsonOut         bool
+}
+
+// runSweep drives xc.Sweep from the flag surface: rates × seeds on a
+// bounded worker pool.
+func runSweep(stdout io.Writer, o sweepOptions) error {
+	kind, err := xc.ParseKind(o.runtime)
+	if err != nil {
+		return err
+	}
+	rates, err := xc.ParseRates(o.rates)
+	if err != nil {
+		return err
+	}
+	seedList, err := xc.SeedRange(o.seeds)
+	if err != nil {
+		return err
+	}
+	rep, err := xc.Sweep(xc.SweepSpec{
+		Kind:     kind,
+		Workload: xc.App(o.app),
+		Traffic:  xc.Traffic().Duration(o.duration),
+		Rates:    rates,
+		Seeds:    seedList,
+		Parallel: o.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		blob, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(blob))
+		return nil
+	}
+	fmt.Fprint(stdout, rep)
+	return nil
+}
+
+// benchSnapshot is the BENCH_<date>.json document shape.
+type benchSnapshot struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []bench.PerfResult `json:"benchmarks"`
+}
+
+// writeBenchJSON measures the kernel and writes the dated snapshot.
+func writeBenchJSON(stdout io.Writer, path string) error {
+	snap := benchSnapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: bench.KernelPerf(0),
+	}
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, b := range snap.Benchmarks {
+		fmt.Fprintf(stdout, "%-18s %12.0f events/sec %8.1f ns/event %7.4f allocs/event\n",
+			b.Name, b.EventsPerSec, b.NsPerEvent, b.AllocsPerEvent)
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
 }

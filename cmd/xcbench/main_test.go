@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"xcontainers/internal/bench"
+	"xcontainers/xc"
 )
 
 func TestList(t *testing.T) {
@@ -73,5 +76,98 @@ func TestUnknownExperiment(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestSweepOutput drives the parallel sweep mode end to end and checks
+// that -json yields a machine-readable SweepReport in point order.
+func TestSweepOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "100000,200000", "-seeds", "2", "-duration", "0.02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"rate 100000/s", "rate 200000/s", "p99 us"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-sweep", "100000", "-seeds", "2", "-duration", "0.02", "-parallel", "2", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("sweep -json is not a SweepReport: %v\n%s", err, out.Bytes())
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Runs != 2 || rep.Mode != "platform" {
+		t.Errorf("sweep report = %+v, want 1 point × 2 runs", rep)
+	}
+}
+
+// TestSweepBadInputs rejects malformed sweep flags.
+func TestSweepBadInputs(t *testing.T) {
+	if err := run([]string{"-sweep", "abc"}, &bytes.Buffer{}); err == nil {
+		t.Error("non-numeric sweep rate accepted")
+	}
+	if err := run([]string{"-sweep", "1000", "-seeds", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("zero seeds accepted")
+	}
+	if err := run([]string{"-sweep", "1000", "-runtime", "no-such-runtime"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown runtime accepted")
+	}
+}
+
+// TestBenchJSONSnapshot checks the perf-snapshot mode writes a valid
+// dated document with the kernel probes.
+func TestBenchJSONSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-bench-json", "-bench-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Date       string             `json:"date"`
+		Benchmarks []bench.PerfResult `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, blob)
+	}
+	if snap.Date == "" || len(snap.Benchmarks) < 2 {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+	for _, b := range snap.Benchmarks {
+		if b.EventsPerSec <= 0 || b.Events == 0 {
+			t.Errorf("probe %s measured nothing: %+v", b.Name, b)
+		}
+	}
+	if !strings.Contains(out.String(), "events/sec") {
+		t.Errorf("bench-json printed no summary:\n%s", out.String())
+	}
+}
+
+// TestProfileFlags checks -cpuprofile/-memprofile produce non-empty
+// pprof files around a run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig9", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

@@ -65,6 +65,9 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs.Float64("duration", 1, "cluster traffic: horizon in virtual seconds")
 	seed := fs.Uint64("seed", 0, "cluster traffic: arrival randomness seed")
 	jsonOut := fs.Bool("json", false, "emit the cluster report as a JSON document")
+	sweepRates := fs.String("sweep-rates", "", "cluster: comma-separated offered rates; runs a parallel sweep instead of one experiment")
+	sweepSeeds := fs.Int("seeds", 1, "cluster sweep: replications per rate (seeds 1..n)")
+	parallel := fs.Int("parallel", 0, "cluster sweep: worker pool size (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -81,6 +84,7 @@ func run(args []string, stdout io.Writer) error {
 			nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
 			policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
 			rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
+			sweepRates: *sweepRates, sweepSeeds: *sweepSeeds, parallel: *parallel,
 		})
 	}
 
@@ -107,6 +111,8 @@ type clusterOptions struct {
 	rate, duration                       float64
 	seed                                 uint64
 	jsonOut                              bool
+	sweepRates                           string
+	sweepSeeds, parallel                 int
 }
 
 func runCluster(stdout io.Writer, o clusterOptions) error {
@@ -132,8 +138,46 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 		Autoscale: o.autoscale,
 		FailNode:  o.failNode,
 	}
+	if o.sweepRates != "" {
+		return runClusterSweep(stdout, o, kind, spec)
+	}
 	traffic := xc.Traffic().Rate(o.rate).Duration(o.duration).Seed(o.seed)
 	rep, err := c.Serve(xc.App(o.app), spec, traffic)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		blob, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(blob))
+		return nil
+	}
+	fmt.Fprint(stdout, rep)
+	return nil
+}
+
+// runClusterSweep replicates the cluster experiment across -sweep-rates
+// × -seeds on a bounded worker pool and prints the merged SweepReport.
+func runClusterSweep(stdout io.Writer, o clusterOptions, kind xc.Kind, spec xc.ClusterSpec) error {
+	rates, err := xc.ParseRates(o.sweepRates)
+	if err != nil {
+		return err
+	}
+	seeds, err := xc.SeedRange(o.sweepSeeds)
+	if err != nil {
+		return err
+	}
+	rep, err := xc.Sweep(xc.SweepSpec{
+		Kind:     kind,
+		Workload: xc.App(o.app),
+		Traffic:  xc.Traffic().Duration(o.duration),
+		Rates:    rates,
+		Seeds:    seeds,
+		Cluster:  &spec,
+		Parallel: o.parallel,
+	})
 	if err != nil {
 		return err
 	}

@@ -99,3 +99,58 @@ func TestBadInputs(t *testing.T) {
 		t.Error("-cluster with a positional command accepted")
 	}
 }
+
+// TestClusterSweep drives -sweep-rates end to end: points in rate
+// order, seeds replicated, JSON parseable as a SweepReport.
+func TestClusterSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-cluster", "-nodes", "2", "-sweep-rates", "200000,400000",
+		"-seeds", "2", "-duration", "0.05", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("cluster sweep -json is not a SweepReport: %v\n%s", err, out.Bytes())
+	}
+	if rep.Mode != "cluster" || len(rep.Points) != 2 {
+		t.Fatalf("mode %q with %d points, want cluster/2", rep.Mode, len(rep.Points))
+	}
+	if rep.Points[0].Rate != 200000 || rep.Points[1].Rate != 400000 {
+		t.Errorf("points out of rate order: %+v", rep.Points)
+	}
+	for _, p := range rep.Points {
+		if p.Runs != 2 || p.Policy == "" {
+			t.Errorf("point %q: runs=%d policy=%q, want 2 runs with a policy", p.Label, p.Runs, p.Policy)
+		}
+	}
+}
+
+// TestClusterSweepDeterministicAcrossWorkers replays the same sweep
+// with different -parallel values and requires identical bytes.
+func TestClusterSweepDeterministicAcrossWorkers(t *testing.T) {
+	args := func(par string) []string {
+		return []string{"-cluster", "-nodes", "2", "-sweep-rates", "300000",
+			"-seeds", "3", "-duration", "0.05", "-parallel", par, "-json"}
+	}
+	var a, b bytes.Buffer
+	if err := run(args("1"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("4"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("cluster sweep output depends on -parallel")
+	}
+}
+
+// TestClusterSweepBadInputs rejects malformed sweep flags.
+func TestClusterSweepBadInputs(t *testing.T) {
+	if err := run([]string{"-cluster", "-sweep-rates", "x"}, &bytes.Buffer{}); err == nil {
+		t.Error("non-numeric -sweep-rates accepted")
+	}
+	if err := run([]string{"-cluster", "-sweep-rates", "1000", "-seeds", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("zero -seeds accepted")
+	}
+}

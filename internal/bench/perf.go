@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
+)
+
+// PerfResult is one kernel perf probe: the event kernel's throughput
+// and allocation budget on a canonical workload shape. These numbers
+// seed the repository's performance trajectory — xcbench -bench-json
+// snapshots them to a dated JSON file, and CI uploads it per commit.
+type PerfResult struct {
+	Name           string  `json:"name"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// measure runs fn once for warm-up, then loops it for roughly the
+// budget and reports per-event wall time and allocations. fn returns
+// how many kernel events it dispatched.
+func measure(name string, budget time.Duration, fn func(seed uint64) uint64) PerfResult {
+	fn(1) // warm-up: page in code, size steady-state pools
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var events uint64
+	start := time.Now()
+	seed := uint64(2)
+	for time.Since(start) < budget {
+		events += fn(seed)
+		seed++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	res := PerfResult{Name: name, Events: events}
+	if events > 0 {
+		res.EventsPerSec = float64(events) / elapsed.Seconds()
+		res.NsPerEvent = float64(elapsed.Nanoseconds()) / float64(events)
+		res.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		res.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	return res
+}
+
+// KernelPerf measures the simulation kernel's hot paths: open-loop
+// traffic (the workload/netsim/cluster arrival shape) and a saturating
+// closed loop (the paper's load-generator shape). budget is wall time
+// per probe; 0 means a CI-friendly quarter second.
+func KernelPerf(budget time.Duration) []PerfResult {
+	if budget <= 0 {
+		budget = 250 * time.Millisecond
+	}
+	const service = cycles.Cycles(29_000) // 10 µs per request
+	horizon := cycles.FromSeconds(0.25)
+
+	openLoop := func(seed uint64) uint64 {
+		e := sim.NewEngine()
+		q := sim.NewQueue(e, "perf", 4)
+		var latency sim.Histogram
+		q.OnDone = func(j sim.Job) { latency.Observe(e.Now() - j.Born) }
+		rate := 0.8 * 4 * float64(cycles.Hz) / float64(service)
+		e.DriveArrivals(sim.PoissonRate(rate), sim.NewRand(seed), horizon, func(id uint64) {
+			q.Arrive(sim.Job{ID: id, Cost: service, Born: e.Now()})
+		})
+		e.Run(horizon)
+		return e.Fired()
+	}
+
+	closedLoop := func(uint64) uint64 {
+		e := sim.NewEngine()
+		q := sim.NewQueue(e, "perf", 4)
+		q.OnDone = func(j sim.Job) {
+			if e.Now() < horizon {
+				q.Arrive(sim.Job{ID: j.ID, Cost: service, Born: e.Now()})
+			}
+		}
+		for c := 0; c < 8; c++ {
+			q.Arrive(sim.Job{ID: uint64(c + 1), Cost: service})
+		}
+		e.Run(horizon)
+		return e.Fired()
+	}
+
+	return []PerfResult{
+		measure("sim-open-loop", budget, openLoop),
+		measure("sim-closed-loop", budget, closedLoop),
+	}
+}

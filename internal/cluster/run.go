@@ -58,9 +58,11 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 		if conc <= 0 {
 			conc = 2 * c.servers * len(c.containers)
 		}
+		// Seed the population directly at time zero: dispatches before
+		// the first Step see the same empty-fleet state as zero-time
+		// events did, without a closure per connection.
 		for i := 0; i < conc; i++ {
-			id := uint64(i + 1)
-			c.eng.At(0, func() { c.dispatch(id) })
+			c.dispatch(uint64(i + 1))
 		}
 	}
 

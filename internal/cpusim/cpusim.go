@@ -164,11 +164,49 @@ func (m *Machine) AddHierarchical(tasks []*Task, containerID int) {
 }
 
 // pcpu is one physical CPU's scheduling state between dispatch events.
+// It is a typed sim.Handler: each dispatch event runs one host
+// timeslice and reschedules itself, so the per-timeslice hot path
+// allocates nothing.
 type pcpu struct {
+	m          *Machine
+	res        *Result
+	duration   cycles.Cycles
+	contention float64
+	ref        sim.HandlerRef
+
 	queue []*VCPU
 	slice cycles.Cycles
 	idx   int
 	prev  int // index of previously running entity
+}
+
+// HandleEvent is one dispatch: pick the next host entity, charge the
+// switch, run one host timeslice, and schedule the following dispatch
+// at the consumed-time mark.
+func (p *pcpu) HandleEvent(eng *sim.Engine, _ sim.Job) {
+	if eng.Now() >= p.duration {
+		return
+	}
+	var adv cycles.Cycles
+	e := p.queue[p.idx]
+	if p.prev != p.idx {
+		same := p.prev >= 0 && p.queue[p.prev].ContainerID == e.ContainerID
+		c := p.m.cfg.HostSwitch(same)
+		adv += c
+		p.res.SwitchCycles += c
+		p.res.HostSwitches++
+		p.prev = p.idx
+	}
+	consumed := p.m.runEntity(e, p.slice, p.contention, p.res)
+	adv += consumed
+	p.res.BusyCycles += consumed
+	if consumed == 0 {
+		// Nothing runnable in this entity (cannot happen with
+		// closed-loop tasks, but guard against empty vCPUs).
+		adv += p.slice
+	}
+	p.idx = (p.idx + 1) % len(p.queue)
+	eng.Schedule(adv, p.ref, sim.Job{})
 }
 
 // Run simulates the machine for a virtual duration and returns
@@ -194,34 +232,12 @@ func (m *Machine) Run(duration cycles.Cycles) Result {
 		if len(queue) == 0 {
 			continue
 		}
-		p := &pcpu{queue: queue, slice: m.cfg.Host.Slice(len(queue)), prev: -1}
-		var dispatch func()
-		dispatch = func() {
-			if eng.Now() >= duration {
-				return
-			}
-			var adv cycles.Cycles
-			e := p.queue[p.idx]
-			if p.prev != p.idx {
-				same := p.prev >= 0 && p.queue[p.prev].ContainerID == e.ContainerID
-				c := m.cfg.HostSwitch(same)
-				adv += c
-				res.SwitchCycles += c
-				res.HostSwitches++
-				p.prev = p.idx
-			}
-			consumed := m.runEntity(e, p.slice, contention, &res)
-			adv += consumed
-			res.BusyCycles += consumed
-			if consumed == 0 {
-				// Nothing runnable in this entity (cannot happen with
-				// closed-loop tasks, but guard against empty vCPUs).
-				adv += p.slice
-			}
-			p.idx = (p.idx + 1) % len(p.queue)
-			eng.After(adv, dispatch)
+		p := &pcpu{
+			m: m, res: &res, duration: duration, contention: contention,
+			queue: queue, slice: m.cfg.Host.Slice(len(queue)), prev: -1,
 		}
-		eng.At(0, dispatch)
+		p.ref = eng.Register(p)
+		eng.ScheduleAt(0, p.ref, sim.Job{})
 	}
 	eng.Run(duration)
 

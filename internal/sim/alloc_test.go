@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// The zero-alloc budget is a hard property of the kernel, not a
+// nice-to-have: per-event allocations were the old kernel's dominant
+// cost, and a regression here silently taxes every tier-2 experiment.
+// Each test warms the engine until its arenas (heap keys, payload
+// slots, waiting rings) reach steady-state capacity, then requires
+// exactly zero allocations per run.
+
+func requireZeroAllocs(t *testing.T, name string, runs int, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc budget not measurable")
+	}
+	if avg := testing.AllocsPerRun(runs, fn); avg != 0 {
+		t.Errorf("%s: %v allocs/run in steady state, want 0", name, avg)
+	}
+}
+
+// TestOpenLoopSteadyStateAllocFree drives Poisson arrivals through a
+// queue — the exact hot path of workload.TrafficLoad — and requires
+// allocation-free steady state across Engine.Run chunks.
+func TestOpenLoopSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, "s", 2)
+	var latency Histogram
+	q.OnDone = func(j Job) { latency.Observe(e.Now() - j.Born) }
+	const service = cycles.Cycles(25_000)
+	rate := 0.9 * 2 * float64(cycles.Hz) / float64(service)
+	horizon := cycles.FromSeconds(3600) // effectively unbounded
+	e.DriveArrivals(PoissonRate(rate), NewRand(7), horizon, func(id uint64) {
+		q.Arrive(Job{ID: id, Cost: service, Born: e.Now()})
+	})
+
+	until := cycles.FromSeconds(0.01)
+	e.Run(until) // warm-up: grow heap, arena, and ring to capacity
+	requireZeroAllocs(t, "open loop", 50, func() {
+		until += cycles.FromSeconds(0.002)
+		e.Run(until)
+	})
+	if q.Completed == 0 {
+		t.Fatal("steady-state run completed no jobs")
+	}
+}
+
+// TestClosedLoopSteadyStateAllocFree exercises the waiting-ring reuse
+// path: a population larger than the server count keeps the backlog
+// non-empty, so every completion pops and every re-issue pushes.
+func TestClosedLoopSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, "s", 2)
+	const service = cycles.Cycles(10_000)
+	q.OnDone = func(j Job) { q.Arrive(Job{ID: j.ID, Cost: service, Born: e.Now()}) }
+	for i := 0; i < 64; i++ {
+		q.Arrive(Job{ID: uint64(i + 1), Cost: service})
+	}
+
+	until := cycles.FromSeconds(0.01)
+	e.Run(until)
+	requireZeroAllocs(t, "closed loop", 50, func() {
+		until += cycles.FromSeconds(0.002)
+		e.Run(until)
+	})
+}
+
+// TestAfterSteadyStateAllocFree pins the cold-path form too: a
+// preallocated callback scheduled through After reuses the func()
+// arena, so control loops (autoscaler ticks) do not allocate per tick
+// either — only their closures, once, at set-up.
+func TestAfterSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	fn := func() { ticks++ }
+	e.After(10, fn)
+	if !e.Step() {
+		t.Fatal("warm-up tick did not fire")
+	}
+	requireZeroAllocs(t, "After+Step", 100, func() {
+		e.After(10, fn)
+		e.Step()
+	})
+}
+
+// countHandler is a minimal typed-event consumer.
+type countHandler struct{ n int }
+
+func (c *countHandler) HandleEvent(*Engine, Job) { c.n++ }
+
+// TestScheduleSteadyStateAllocFree pins the typed path in isolation:
+// schedule and fire one event per run against a registered handler.
+func TestScheduleSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	h := &countHandler{}
+	ref := e.Register(h)
+	e.Schedule(10, ref, Job{Cost: 1})
+	e.Step()
+	requireZeroAllocs(t, "Schedule+Step", 100, func() {
+		e.Schedule(10, ref, Job{Cost: 1})
+		e.Step()
+	})
+	if h.n == 0 {
+		t.Fatal("handler never fired")
+	}
+}

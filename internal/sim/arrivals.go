@@ -108,20 +108,34 @@ func gapFor(perSec float64) cycles.Cycles {
 	return g
 }
 
+// pump is the self-rescheduling arrival source: one typed event per
+// arrival, so an open-loop run allocates exactly one pump regardless
+// of how many requests it admits.
+type pump struct {
+	arr     Arrivals
+	rng     *Rand
+	horizon cycles.Cycles
+	admit   func(id uint64)
+	id      uint64
+	ref     HandlerRef
+}
+
+// HandleEvent admits the next arrival and reschedules itself.
+func (p *pump) HandleEvent(e *Engine, _ Job) {
+	if e.Now() >= p.horizon {
+		return
+	}
+	p.id++
+	p.admit(p.id)
+	e.scheduleTickAt(e.now+p.arr.Next(p.rng), p.ref)
+}
+
 // DriveArrivals pumps an open-loop source into admit: one call per
 // arrival with a 1-based id, self-rescheduling until the horizon. It is
 // the shared front end of every open-loop experiment (workload traffic,
-// netsim pipelines).
+// netsim pipelines, cluster fleets).
 func (e *Engine) DriveArrivals(arr Arrivals, rng *Rand, horizon cycles.Cycles, admit func(id uint64)) {
-	var id uint64
-	var pump func()
-	pump = func() {
-		if e.Now() >= horizon {
-			return
-		}
-		id++
-		admit(id)
-		e.After(arr.Next(rng), pump)
-	}
-	e.At(arr.Next(rng), pump)
+	p := &pump{arr: arr, rng: rng, horizon: horizon, admit: admit}
+	p.ref = e.Register(p)
+	e.ScheduleAt(arr.Next(rng), p.ref, Job{})
 }

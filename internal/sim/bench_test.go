@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// service is the benchmark request cost: 10 µs of CPU per request.
+const benchService = cycles.Cycles(29_000)
+
+// benchClosed runs the repository's canonical traffic benchmark — the
+// paper's own load-generator shape (ab/wrk/memtier): a saturating
+// closed loop of 8 connections over an M/D/4 station for one virtual
+// second, with the end-to-end latency histogram every consumer keeps.
+// Returns the number of kernel events dispatched.
+func benchClosed() uint64 {
+	e := NewEngine()
+	q := NewQueue(e, "bench", 4)
+	var latency Histogram
+	horizon := cycles.FromSeconds(1)
+	q.OnDone = func(j Job) {
+		latency.Observe(e.Now() - j.Born)
+		if e.Now() < horizon {
+			q.Arrive(Job{ID: j.ID, Cost: benchService, Born: e.Now()})
+		}
+	}
+	for c := 0; c < 8; c++ {
+		q.Arrive(Job{ID: uint64(c + 1), Cost: benchService})
+	}
+	e.Run(horizon)
+	return e.Fired()
+}
+
+// benchOpen runs the open-loop shape: Poisson arrivals at 80% load
+// into the same station. Note the arrival sampling itself (one
+// math.Log per request, bit-locked — byte-identical statistics forbid
+// a faster approximation) is a large fixed cost shared by any kernel.
+func benchOpen(seed uint64) uint64 {
+	e := NewEngine()
+	q := NewQueue(e, "bench", 4)
+	var latency Histogram
+	q.OnDone = func(j Job) { latency.Observe(e.Now() - j.Born) }
+	rate := 0.8 * 4 * float64(cycles.Hz) / float64(benchService)
+	horizon := cycles.FromSeconds(1)
+	e.DriveArrivals(PoissonRate(rate), NewRand(seed), horizon, func(id uint64) {
+		q.Arrive(Job{ID: id, Cost: benchService, Born: e.Now()})
+	})
+	e.Run(horizon)
+	return e.Fired()
+}
+
+// reportEvents converts a benchmark's event total into the two kernel
+// throughput metrics.
+func reportEvents(b *testing.B, events uint64) {
+	b.Helper()
+	if events == 0 {
+		b.Fatal("benchmark processed no events")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+// BenchmarkSimEngine measures the event kernel's hot path end to end —
+// schedule, heap ops, queue dispatch, ring reuse, histogram observe —
+// on the saturating closed-loop driver. The events/sec metric is the
+// multiplier on every tier-2 experiment in the repository.
+func BenchmarkSimEngine(b *testing.B) {
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += benchClosed()
+	}
+	b.StopTimer()
+	reportEvents(b, events)
+}
+
+// BenchmarkSimEngineOpen measures the open-loop shape, including the
+// (bit-locked) Poisson arrival sampling.
+func BenchmarkSimEngineOpen(b *testing.B) {
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += benchOpen(uint64(i + 1))
+	}
+	b.StopTimer()
+	reportEvents(b, events)
+}
+
+// BenchmarkHistogramQuantile measures the quantile read path (hot in
+// the cluster control loop, which reads p99 every window).
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 1; i <= 10_000; i++ {
+		h.Observe(cycles.Cycles(i * 37))
+	}
+	b.ResetTimer()
+	var sink cycles.Cycles
+	for i := 0; i < b.N; i++ {
+		sink += h.Quantile(0.99)
+	}
+	_ = sink
+}

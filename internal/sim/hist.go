@@ -20,6 +20,7 @@ type Histogram struct {
 	n      uint64
 	sum    float64
 	max    cycles.Cycles
+	hi     int // highest non-empty bucket; quantile scans stop here
 }
 
 func bucketOf(v cycles.Cycles) int {
@@ -46,7 +47,11 @@ func bucketCeil(b int) cycles.Cycles {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v cycles.Cycles) {
-	h.counts[bucketOf(v)]++
+	b := bucketOf(v)
+	h.counts[b]++
+	if b > h.hi {
+		h.hi = b
+	}
 	h.n++
 	h.sum += float64(v)
 	if v > h.max {
@@ -85,7 +90,7 @@ func (h *Histogram) Quantile(q float64) cycles.Cycles {
 		target = 1
 	}
 	var cum uint64
-	for b, c := range h.counts {
+	for b, c := range h.counts[:h.hi+1] {
 		cum += c
 		if cum >= target {
 			ceil := bucketCeil(b)

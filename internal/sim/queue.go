@@ -36,23 +36,43 @@ type Queue struct {
 	OnStart func(Job)
 
 	eng       *Engine
+	ref       HandlerRef
 	busy      int
-	waiting   []Job
-	head      int
 	suspended bool
 
-	// Sojourn is the per-queue latency histogram: time from arrival to
-	// service completion.
-	Sojourn Histogram
+	// waiting is a power-of-two ring buffer reused for the queue's
+	// lifetime: the backlog grows it once to its high-water mark and
+	// every later wait costs zero allocations.
+	waiting []Job
+	head    int
+	count   int
 
-	Arrived    uint64
-	Completed  uint64
+	// Sojourn is the per-queue latency histogram: time from arrival to
+	// service completion. It fills only while TrackSojourn is set —
+	// every current consumer aggregates latency in its own end-to-end
+	// histogram (via OnDone), so the per-queue observation is opt-in
+	// rather than a tax on every completion.
+	Sojourn      Histogram
+	TrackSojourn bool
+
+	Arrived   uint64
+	Completed uint64
+	// BusyCycles is total service demand charged in full when service
+	// starts — the per-job accounting consumers aggregate. For the
+	// busy fraction of a bounded window use Utilization, which clips
+	// jobs straddling the horizon to their in-window portion.
 	BusyCycles cycles.Cycles
 
 	depth      int // jobs in system (waiting + in service)
 	maxDepth   int
 	depthArea  float64 // ∫ depth dt, cycle-weighted
 	lastChange cycles.Cycles
+
+	// busyArea is ∫ busy-servers dt in exact integer cycle-units; it
+	// is bounded by Servers×horizon, far from int64 overflow for any
+	// simulation this repository runs.
+	busyArea int64
+	busyLast cycles.Cycles
 }
 
 // NewQueue creates a station with the given number of servers (≥ 1).
@@ -60,20 +80,26 @@ func NewQueue(eng *Engine, name string, servers int) *Queue {
 	if servers < 1 {
 		servers = 1
 	}
-	return &Queue{Name: name, Servers: servers, eng: eng}
+	q := &Queue{Name: name, Servers: servers, eng: eng}
+	q.ref = eng.Register(q)
+	return q
 }
 
 // Arrive admits a job: it enters service if a server is free, otherwise
 // waits FIFO.
 func (q *Queue) Arrive(j Job) {
-	j.arrived = q.eng.Now()
+	j.arrived = q.eng.now
 	q.Arrived++
-	q.setDepth(q.depth + 1)
+	q.noteDepth()
+	q.depth++
+	if q.depth > q.maxDepth {
+		q.maxDepth = q.depth
+	}
 	if q.busy < q.Servers && !q.suspended {
-		q.start(j)
+		q.start(&j)
 		return
 	}
-	q.waiting = append(q.waiting, j)
+	q.pushWaiting(&j)
 }
 
 // Suspend freezes dispatch: jobs already in service run to completion,
@@ -94,7 +120,7 @@ func (q *Queue) Resume() {
 		if !ok {
 			return
 		}
-		q.start(j)
+		q.start(&j)
 	}
 }
 
@@ -103,50 +129,71 @@ func (q *Queue) Resume() {
 // already in service are unaffected; depth accounting updates at the
 // current instant.
 func (q *Queue) TakeWaiting() []Job {
-	n := len(q.waiting) - q.head
-	if n == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	out := make([]Job, n)
-	copy(out, q.waiting[q.head:])
-	q.waiting = q.waiting[:0]
+	out := make([]Job, q.count)
+	for i := range out {
+		out[i] = q.waiting[(q.head+i)&(len(q.waiting)-1)]
+	}
+	clear(q.waiting)
 	q.head = 0
-	q.setDepth(q.depth - n)
+	q.setDepth(q.depth - q.count)
+	q.count = 0
 	return out
+}
+
+// pushWaiting appends to the ring, doubling it when full.
+func (q *Queue) pushWaiting(j *Job) {
+	if q.count == len(q.waiting) {
+		grown := make([]Job, max(2*len(q.waiting), 16))
+		for i := 0; i < q.count; i++ {
+			grown[i] = q.waiting[(q.head+i)&(len(q.waiting)-1)]
+		}
+		q.waiting = grown
+		q.head = 0
+	}
+	q.waiting[(q.head+q.count)&(len(q.waiting)-1)] = *j
+	q.count++
 }
 
 // popWaiting dequeues the oldest held job, if any.
 func (q *Queue) popWaiting() (Job, bool) {
-	if q.head >= len(q.waiting) {
+	if q.count == 0 {
 		return Job{}, false
 	}
 	j := q.waiting[q.head]
 	q.waiting[q.head] = Job{}
-	q.head++
-	if q.head == len(q.waiting) {
-		q.waiting = q.waiting[:0]
-		q.head = 0
-	}
+	q.head = (q.head + 1) & (len(q.waiting) - 1)
+	q.count--
 	return j, true
 }
 
-func (q *Queue) start(j Job) {
+func (q *Queue) start(j *Job) {
+	q.noteBusy()
 	q.busy++
 	q.BusyCycles += j.Cost
 	if q.OnStart != nil {
-		q.OnStart(j)
+		q.OnStart(*j)
 	}
-	q.eng.After(j.Cost, func() { q.finish(j) })
+	q.eng.scheduleJobAt(q.eng.now+j.Cost, q.ref, j)
 }
 
-func (q *Queue) finish(j Job) {
+// HandleEvent completes the job whose service the queue scheduled — it
+// is the engine's typed completion callback, not an API for admitting
+// work (use Arrive).
+func (q *Queue) HandleEvent(e *Engine, j Job) {
 	q.Completed++
-	q.Sojourn.Observe(q.eng.Now() - j.arrived)
-	q.setDepth(q.depth - 1)
+	if q.TrackSojourn {
+		q.Sojourn.Observe(e.now - j.arrived)
+	}
+	q.noteDepth()
+	q.depth--
+	q.noteBusy()
 	q.busy--
 	if !q.suspended {
 		if next, ok := q.popWaiting(); ok {
-			q.start(next)
+			q.start(&next)
 		}
 	}
 	if q.OnDone != nil {
@@ -155,13 +202,33 @@ func (q *Queue) finish(j Job) {
 }
 
 func (q *Queue) setDepth(d int) {
-	now := q.eng.Now()
-	q.depthArea += float64(q.depth) * float64(now-q.lastChange)
-	q.lastChange = now
+	q.noteDepth()
 	q.depth = d
 	if d > q.maxDepth {
 		q.maxDepth = d
 	}
+}
+
+// noteDepth closes the jobs-in-system integral up to now; call it
+// before every change to q.depth. The accumulator stays float64 — its
+// rounding behaviour is part of the golden-pinned statistics.
+func (q *Queue) noteDepth() {
+	now := q.eng.now
+	q.depthArea += float64(q.depth) * float64(now-q.lastChange)
+	q.lastChange = now
+}
+
+// noteBusy closes the busy-servers integral up to now; call it before
+// every change to q.busy. A completion that immediately starts the
+// next waiting job changes busy twice at one instant — the zero-width
+// second interval is skipped.
+func (q *Queue) noteBusy() {
+	now := q.eng.now
+	if now == q.busyLast {
+		return
+	}
+	q.busyArea += int64(q.busy) * int64(now-q.busyLast)
+	q.busyLast = now
 }
 
 // Depth returns the current jobs-in-system count.
@@ -184,12 +251,18 @@ func (q *Queue) MeanDepth(horizon cycles.Cycles) float64 {
 	return area / float64(horizon)
 }
 
-// Utilization returns the fraction of server capacity consumed by work
-// started within the window.
+// Utilization returns the fraction of server capacity consumed within
+// the window [0, horizon]. It integrates busy servers over time, so a
+// job straddling the horizon contributes only its in-window portion —
+// charging whole jobs at service start would overcount the boundary.
 func (q *Queue) Utilization(horizon cycles.Cycles) float64 {
 	if horizon == 0 {
 		return 0
 	}
-	u := float64(q.BusyCycles) / (float64(q.Servers) * float64(horizon))
+	area := q.busyArea
+	if horizon > q.busyLast {
+		area += int64(q.busy) * int64(horizon-q.busyLast)
+	}
+	u := float64(area) / (float64(q.Servers) * float64(horizon))
 	return min(u, 1)
 }

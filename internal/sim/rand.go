@@ -29,9 +29,11 @@ func (r *Rand) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Float64 returns a uniform sample in [0, 1).
+// Float64 returns a uniform sample in [0, 1). Scaling by the exact
+// reciprocal of 2^53 is bit-identical to dividing by 2^53 (both are
+// powers of two), and a multiply retires faster than a divide.
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * 0x1p-53
 }
 
 // Exp returns a unit-mean exponential sample — the building block of

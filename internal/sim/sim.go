@@ -7,88 +7,297 @@
 // The engine exists so that bursty open-loop arrivals, queueing delay,
 // tail latency, and multi-tenant contention — phenomena closed-form
 // models (Little's law ratios, capacity minima) cannot express — emerge
-// from the same event kernel across workload, netsim, and cpusim.
-// Determinism is a hard requirement: for a fixed seed, two runs of the
-// same configuration produce byte-identical statistics, which is what
-// lets reports be golden-tested.
+// from the same event kernel across workload, netsim, cpusim, and
+// cluster. Determinism is a hard requirement: for a fixed seed, two
+// runs of the same configuration produce byte-identical statistics,
+// which is what lets reports be golden-tested.
+//
+// The event kernel is allocation-free in steady state and built for
+// the cache, not the garbage collector. The heap orders 16-byte value
+// keys (timestamp plus a packed sequence/slot word) in a hand-rolled
+// 4-ary min-heap; payloads — a Job value plus a reference to a
+// registered Handler, replacing the old per-event closure — live in a
+// pointer-free slot arena the keys index, so scheduling stores no
+// pointers (no GC write barriers) and the collector never scans the
+// arena. The func() form (At, After) remains as the escape hatch for
+// cold-path control events (autoscaler ticks, migration resumes, run
+// seeding), where one closure per run is noise.
 package sim
 
-import (
-	"container/heap"
+import "xcontainers/internal/cycles"
 
-	"xcontainers/internal/cycles"
+// Handler receives a typed event: the engine calls HandleEvent with
+// the Job scheduled alongside it, at the scheduled virtual time. Hot
+// paths implement Handler once (a queue completing jobs, an arrival
+// pump, a CPU dispatcher), register it, and schedule by reference —
+// zero allocations and zero pointer stores per event.
+type Handler interface {
+	HandleEvent(e *Engine, j Job)
+}
+
+// HandlerRef names a Handler registered with an engine. Refs are only
+// meaningful on the engine that issued them.
+type HandlerRef int32
+
+// key is one heap entry: the firing time plus a packed word whose high
+// bits are the schedule-order sequence number and low bits the payload
+// slot. Events fire in (at, seq) order — a total order, since seq is
+// unique — so heap-sibling order never leaks into results, and the
+// tie-break is a single uint64 compare.
+type key struct {
+	at cycles.Cycles
+	ss uint64
+}
+
+const (
+	// slotBits is the arena-index width inside key.ss, leaving 40 bits
+	// of sequence above it: 8M simultaneously pending events and 1T
+	// events per engine lifetime, both far beyond any simulation here.
+	slotBits = 24
+	fnFlag   = 1 << 23 // the slot indexes the func() arena, not payloads
+	slotMask = 1<<slotBits - 1
 )
 
-// event is one scheduled callback. The sequence number breaks ties so
-// that events scheduled earlier fire earlier at equal timestamps —
-// map-iteration or heap-sibling order never leaks into results.
-type event struct {
-	at  cycles.Cycles
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// payload is what a typed event fires. It is deliberately pointer-free
+// (Job is all scalars, the handler is a table index): the garbage
+// collector neither scans the arena nor interposes write barriers on
+// the schedule path.
+type payload struct {
+	job Job
+	h   HandlerRef
 }
 
 // Engine is one virtual-time event loop. It is single-threaded by
 // design: handlers run to completion in timestamp order, and all model
-// state they touch needs no synchronization.
+// state they touch needs no synchronization. Concurrency lives one
+// layer up — independent replications, each on its own engine (see
+// xc.Sweep).
 type Engine struct {
-	now    cycles.Cycles
-	seq    uint64
-	events eventHeap
+	now   cycles.Cycles
+	seq   uint64
+	fired uint64
+
+	// keys is a 4-ary min-heap of values: children of slot i live at
+	// 4i+1..4i+4. Arity 4 halves the tree depth of a binary heap and
+	// packs four 16-byte siblings into one cache line, which is where
+	// a value heap spends its time. All storage below is reused across
+	// push and pop, so steady state never allocates.
+	keys []key
+	pays []payload // typed-event arena
+	// freeHead threads the arena's free list through the payloads
+	// themselves (a freed slot's h field holds the next free index),
+	// so recycling a slot touches no separate free slice. -1 = empty.
+	freeHead int32
+
+	fns      []func() // cold-path func() arena, its own free list
+	fnFree   []uint32
+	handlers []Handler
 }
 
 // NewEngine creates an engine at virtual time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{freeHead: -1} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() cycles.Cycles { return e.now }
 
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.keys) }
 
-// At schedules fn at absolute virtual time t. Scheduling into the past
-// clamps to now (the event fires this instant, after already-queued
-// events with the same timestamp).
-func (e *Engine) At(t cycles.Cycles, fn func()) {
+// Fired returns the number of events dispatched so far — the
+// denominator of the kernel's events/sec throughput metric.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Register adds h to the engine's handler table and returns its
+// reference. Register once per long-lived handler, at construction —
+// the table is append-only for the engine's lifetime.
+func (e *Engine) Register(h Handler) HandlerRef {
+	e.handlers = append(e.handlers, h)
+	return HandlerRef(len(e.handlers) - 1)
+}
+
+// ScheduleAt schedules a typed event: at virtual time t, the handler h
+// names runs with j. Scheduling into the past clamps to now (the event
+// fires this instant, after already-queued events with the same
+// timestamp).
+func (e *Engine) ScheduleAt(t cycles.Cycles, h HandlerRef, j Job) {
+	e.scheduleJobAt(t, h, &j)
+}
+
+// Schedule schedules a typed event d cycles from now.
+func (e *Engine) Schedule(d cycles.Cycles, h HandlerRef, j Job) {
+	e.scheduleJobAt(e.now+d, h, &j)
+}
+
+// scheduleJobAt is the allocation-free hot path shared by every typed
+// schedule: claim an arena slot, copy the job in, push a 16-byte key.
+func (e *Engine) scheduleJobAt(t cycles.Cycles, h HandlerRef, j *Job) {
+	slot := e.claim()
+	p := &e.pays[slot]
+	p.job = *j
+	p.h = h
+	e.pushSlot(t, slot)
+}
+
+// scheduleTickAt schedules a job-less typed event: self-rescheduling
+// sources (arrival pumps, CPU dispatchers) carry their state in the
+// handler, so the arena slot's job field is left stale and the handler
+// must ignore its Job argument.
+func (e *Engine) scheduleTickAt(t cycles.Cycles, h HandlerRef) {
+	slot := e.claim()
+	e.pays[slot].h = h
+	e.pushSlot(t, slot)
+}
+
+// claim takes the free list's head slot or grows the arena by one.
+func (e *Engine) claim() uint32 {
+	if e.freeHead >= 0 {
+		slot := uint32(e.freeHead)
+		e.freeHead = int32(e.pays[slot].h)
+		return slot
+	}
+	if len(e.pays) >= fnFlag {
+		// Bit 23 discriminates the func() arena; an index reaching it
+		// would silently misdispatch. Fail loudly instead.
+		panic("sim: more than 2^23 pending typed events")
+	}
+	e.pays = append(e.pays, payload{})
+	return uint32(len(e.pays) - 1)
+}
+
+// pushSlot stamps the sequence number and pushes the slot's key.
+func (e *Engine) pushSlot(t cycles.Cycles, slot uint32) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(key{at: t, ss: e.seq<<slotBits | uint64(slot)})
+}
+
+// At schedules fn at absolute virtual time t — the cold-path form; the
+// closure is the caller's allocation. Past times clamp to now.
+func (e *Engine) At(t cycles.Cycles, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	var idx uint32
+	if n := len(e.fnFree); n > 0 {
+		idx = e.fnFree[n-1]
+		e.fnFree = e.fnFree[:n-1]
+	} else {
+		if len(e.fns) >= fnFlag {
+			// Indices at or above the flag bit would corrupt the
+			// packed sequence word and the arena discriminator.
+			panic("sim: more than 2^23 pending func() events")
+		}
+		e.fns = append(e.fns, nil)
+		idx = uint32(len(e.fns) - 1)
+	}
+	e.fns[idx] = fn
+	e.seq++
+	e.push(key{at: t, ss: e.seq<<slotBits | uint64(idx) | fnFlag})
 }
 
 // After schedules fn d cycles from now.
 func (e *Engine) After(d cycles.Cycles, fn func()) { e.At(e.now+d, fn) }
 
+// push inserts k, sifting a hole up from the tail: parents move down
+// until k's level is found, so each step is one 16-byte copy. A pushed
+// key is freshly stamped, so its packed sequence word is the largest
+// in the heap — at equal timestamps the (older) parent always stays
+// above, and the level test is a single compare.
+func (e *Engine) push(k key) {
+	e.keys = append(e.keys, k)
+	h := e.keys
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].at <= k.at {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = k
+}
+
+// popRoot removes the heap minimum, sifting the tail element down into
+// the hole: the smallest child is promoted until the tail fits.
+func (e *Engine) popRoot() {
+	h := e.keys
+	n := len(h) - 1
+	last := h[n]
+	e.keys = h[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if h[k].at < h[m].at || (h[k].at == h[m].at && h[k].ss < h[m].ss) {
+				m = k
+			}
+		}
+		if h[m].at > last.at || (h[m].at == last.at && h[m].ss > last.ss) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
+}
+
+// dispatch fires the already-popped event k: advance the clock, free
+// the slot, run the handler.
+func (e *Engine) dispatch(k key) {
+	e.now = k.at
+	e.fired++
+	slot := uint32(k.ss) & slotMask
+	if slot&fnFlag != 0 {
+		idx := slot &^ uint32(fnFlag)
+		fn := e.fns[idx]
+		e.fns[idx] = nil // a recycled slot must not pin its closure
+		e.fnFree = append(e.fnFree, idx)
+		fn()
+		return
+	}
+	p := &e.pays[slot]
+	href := p.h
+	p.h = HandlerRef(e.freeHead) // slot becomes the free list's head
+	e.freeHead = int32(slot)
+	// p.job is copied into the call before the handler runs, so the
+	// handler rescheduling into this slot (or growing the arena) is
+	// safe; nothing else in the slot needs clearing — it holds no
+	// pointers. The two in-package handler types that dominate every
+	// simulation (queue completions, arrival pumps) dispatch directly;
+	// everything else goes through the interface.
+	switch h := e.handlers[href].(type) {
+	case *Queue:
+		h.HandleEvent(e, p.job)
+	case *pump:
+		h.HandleEvent(e, p.job)
+	default:
+		h.HandleEvent(e, p.job)
+	}
+}
+
 // Step fires the earliest event, advancing the clock to it. It reports
 // whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.keys) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
-	ev.fn()
+	k := e.keys[0]
+	e.popRoot()
+	e.dispatch(k)
 	return true
 }
 
@@ -97,8 +306,13 @@ func (e *Engine) Step() bool {
 // Events beyond the horizon stay queued; statistics read after Run
 // therefore cover exactly the window [0, until].
 func (e *Engine) Run(until cycles.Cycles) {
-	for len(e.events) > 0 && e.events[0].at <= until {
-		e.Step()
+	for len(e.keys) > 0 {
+		k := e.keys[0]
+		if k.at > until {
+			break
+		}
+		e.popRoot()
+		e.dispatch(k)
 	}
 	if e.now < until {
 		e.now = until

@@ -162,10 +162,11 @@ func (l TrafficLoad) Run() TrafficResult {
 				}
 			}
 		}
+		// Seed the population directly at time zero: admissions before
+		// the first Step are indistinguishable from zero-time events,
+		// and skip one closure per connection.
 		for i := 0; i < conc; i++ {
-			i := i
-			q := queues[i%replicas]
-			eng.At(0, func() { q.Arrive(sim.Job{ID: uint64(i + 1), Cost: per, Born: 0}) })
+			queues[i%replicas].Arrive(sim.Job{ID: uint64(i + 1), Cost: per, Born: 0})
 		}
 	}
 

@@ -1,0 +1,91 @@
+package xc
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the kernel golden files. Run it ONLY to bless an
+// intentional statistics change; the whole point of these goldens is
+// that engine refactors (heap layout, event representation, queue
+// storage) must not move a single byte of any report.
+var updateGolden = flag.Bool("update", false, "rewrite kernel golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden (engine statistics changed).\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestServeReportKernelGolden pins the full JSON of open-loop, bursty,
+// and closed-loop traffic reports across engine rewrites: same spec and
+// seed must stay byte-identical.
+func TestServeReportKernelGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *TrafficSpec
+	}{
+		{"serve_open.json", Traffic().Rate(200_000).Duration(0.1).Seed(42)},
+		{"serve_burst.json", Traffic().Burst(400_000, 0.01, 0.02).Duration(0.1).Seed(9).Containers(2)},
+		{"serve_closed.json", Traffic().Connections(8).Duration(0.05).Seed(7)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := MustNewPlatform(XContainer)
+			rep, err := p.Serve(App("memcached"), tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, blob)
+		})
+	}
+}
+
+// TestClusterReportKernelGolden pins a full orchestrator run — JSQ
+// routing, autoscaling, SLO windows, failover migrations — to the byte.
+func TestClusterReportKernelGolden(t *testing.T) {
+	c, err := NewCluster(XContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ClusterSpec{
+		Nodes:     2,
+		MaxNodes:  4,
+		NodeCores: 4,
+		Replicas:  3,
+		Policy:    Spread,
+		SLOMillis: 0.5,
+		Autoscale: true,
+		FailNode:  0.15,
+	}
+	rep, err := c.Serve(App("nginx"), spec, Traffic().Rate(900_000).Duration(0.3).Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cluster_golden.json", blob)
+}
