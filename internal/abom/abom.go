@@ -112,6 +112,16 @@ const (
 	Patched9Phase1
 )
 
+// IsReturnSkip reports whether the n valid bytes of a Peek8 window at
+// a vsyscall return address are the 9-byte pattern's leftover syscall
+// ("0f 05") or its phase-2 jmp-back ("eb f7") — the two shapes a
+// vsyscall handler must skip over on return (§4.4). Centralised here
+// so every handler (LibOS and the perf/test environments) stays in
+// lockstep with the patch encodings above.
+func IsReturnSkip(b [8]byte, n int) bool {
+	return n >= 2 && ((b[0] == 0x0f && b[1] == 0x05) || (b[0] == 0xeb && int8(b[1]) == -9))
+}
+
 // OnSyscall is invoked by the X-Kernel when forwarding a trapped
 // syscall. sysRIP is the address of the syscall instruction that
 // trapped (RIP has already advanced past it: sysRIP = RIP-2). The
@@ -131,9 +141,13 @@ func (a *ABOM) OnSyscall(text *arch.Text, sysRIP uint64, rax uint64) PatchResult
 	}
 
 	// Case 1: the five bytes before the syscall are "b8 imm32" with
-	// imm == rax. Replace mov+syscall (7 bytes) with one callq.
+	// imm == rax. Replace mov+syscall (7 bytes) with one callq. All
+	// probes below read through caller-owned buffers (FetchInto): a
+	// trap that matches no pattern — the common case after warm-up —
+	// allocates nothing.
 	if sysRIP >= text.Base+5 {
-		pre := text.Fetch(sysRIP-5, 7)
+		var buf7 [7]byte
+		pre := buf7[:text.FetchInto(sysRIP-5, buf7[:])]
 		if len(pre) == 7 && pre[0] == 0xb8 && pre[5] == 0x0f && pre[6] == 0x05 {
 			ins := arch.Decode(pre)
 			if ins.Op == arch.OpMovR32Imm && ins.Reg == arch.RAX && uint64(uint32(ins.Imm)) == rax {
@@ -168,7 +182,8 @@ func (a *ABOM) OnSyscall(text *arch.Text, sysRIP uint64, rax uint64) PatchResult
 	// straight to the syscall still works. (Phase 2 happens when that
 	// leftover syscall itself traps; see below.)
 	if sysRIP >= text.Base+7 {
-		pre := text.Fetch(sysRIP-7, 9)
+		var buf9 [9]byte
+		pre := buf9[:text.FetchInto(sysRIP-7, buf9[:])]
 		if len(pre) == 9 && pre[0] == 0x48 && pre[1] == 0xc7 && pre[2] == 0xc0 &&
 			pre[7] == 0x0f && pre[8] == 0x05 {
 			ins := arch.Decode(pre)
@@ -188,7 +203,8 @@ func (a *ABOM) OnSyscall(text *arch.Text, sysRIP uint64, rax uint64) PatchResult
 		// fell through the call into the leftover syscall, or jumped to
 		// it directly). Replace the syscall with "jmp -9", looping back
 		// into the call.
-		if pre := text.Fetch(sysRIP-7, 7); len(pre) == 7 {
+		var call7 [7]byte
+		if pre := call7[:text.FetchInto(sysRIP-7, call7[:])]; len(pre) == 7 {
 			if ins := arch.Decode(pre); ins.Op == arch.OpCallAbs {
 				if _, _, _, inVsyscall := DecodeEntry(uint64(ins.Imm)); inVsyscall {
 					oldSys := arch.EncSyscall()
@@ -222,8 +238,8 @@ func (a *ABOM) FixupInvalidOpcode(text *arch.Text, rip uint64) (uint64, bool) {
 	if a == nil {
 		return rip, false
 	}
-	b := text.Fetch(rip, 2)
-	if len(b) < 2 || b[0] != 0x60 || b[1] != 0xff {
+	b, n := text.Peek8(rip)
+	if n < 2 || b[0] != 0x60 || b[1] != 0xff {
 		return rip, false
 	}
 	// The call started 5 bytes earlier: ff 14 25 xx xx [60 ff].
@@ -231,7 +247,8 @@ func (a *ABOM) FixupInvalidOpcode(text *arch.Text, rip uint64) (uint64, bool) {
 		return rip, false
 	}
 	start := rip - 5
-	ins := arch.Decode(text.Fetch(start, 7))
+	var call7 [7]byte
+	ins := arch.Decode(call7[:text.FetchInto(start, call7[:])])
 	if ins.Op != arch.OpCallAbs {
 		return rip, false
 	}

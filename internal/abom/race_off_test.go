@@ -1,0 +1,5 @@
+//go:build !race
+
+package abom
+
+const raceEnabled = false

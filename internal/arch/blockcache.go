@@ -1,0 +1,373 @@
+package arch
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+)
+
+// This file implements the predecoded basic-block translation cache
+// behind CPU.Run. The interpreter's original hot path paid, per
+// simulated instruction, an RWMutex read-lock, a fresh 8-byte slice
+// allocation, and a full Decode. The cache pays those once per
+// straight-line run ("block") instead: blocks decode lazily into a
+// flat instruction arena, an offset-indexed table maps every text
+// offset that has ever been an entry point to its block, and executed
+// blocks chain their observed successors so hot loops re-enter the
+// next block without even the table lookup.
+//
+// Correctness under self-modifying code — ABOM cmpxchg-patches the
+// text the interpreter is executing (§4.4) — comes from Text's
+// generation counter: every store bumps it and records the dirtied
+// span, the CPU re-checks the counter with one atomic load at every
+// block boundary, and on a change invalidates exactly the blocks
+// overlapping the dirtied spans. Because every instruction that can
+// reach a patching handler (syscall, vsyscall call, invalid-opcode
+// trap) terminates its block, a patch can never be missed by the block
+// containing it: the block ends at the patching instruction and the
+// generation check runs before the next block starts.
+
+const (
+	// maxBlockInstrs caps instructions per block so a pathological
+	// straight-line text can't decode unboundedly ahead of execution.
+	maxBlockInstrs = 64
+
+	// maxArenaInstrs bounds the decoded-instruction arena. Invalidated
+	// blocks leak their arena slots until the next full flush; crossing
+	// this cap triggers that flush. ABOM warm-up on real wrapper
+	// populations stays far below it.
+	maxArenaInstrs = 1 << 16
+)
+
+// decoded is one predecoded instruction, packed to 16 bytes so four
+// fit in a cache line — the locality-first layout that makes block
+// execution a linear walk instead of a pointer chase.
+type decoded struct {
+	op   Op
+	len  uint8
+	reg  uint8
+	reg2 uint8
+	raw0 byte // first encoded byte, for the invalid-opcode fault text
+	_    [3]byte
+	imm  int64
+}
+
+// block is one decoded straight-line run: instructions
+// arena[first:first+n], covering text offsets [start, end). Only the
+// last instruction may be a terminator (control flow, trap, halt,
+// invalid); everything before it is straight-line by construction.
+type block struct {
+	start, end uint32
+	first, n   int32
+	live       bool
+
+	// Successor chain: the last observed (entry offset → block index)
+	// exits of this block. Two slots cover both arms of a conditional
+	// branch, or a call site's target and fall-through.
+	succOff [2]uint32
+	succBi  [2]int32
+}
+
+// blockCache is one CPU's private translation cache over its Text.
+type blockCache struct {
+	text   *Text
+	gen    uint64    // Text generation the live blocks are valid for
+	arena  []decoded // flat instruction storage, blocks are windows
+	blocks []block
+	byOff  []int32 // text offset → block index (-1 = not an entry point)
+}
+
+func newBlockCache(t *Text) *blockCache {
+	bc := &blockCache{
+		text:  t,
+		gen:   t.Generation(),
+		byOff: make([]int32, t.Size()),
+	}
+	for i := range bc.byOff {
+		bc.byOff[i] = -1
+	}
+	return bc
+}
+
+// terminates reports whether op must end a block: anything that moves
+// RIP non-sequentially, halts, or hands control to the environment
+// (which may patch text). Unknown ops terminate too, so the execution
+// loop's default-fault path stays the last instruction of a block.
+func terminates(op Op) bool {
+	switch op {
+	case OpNop, OpWork, OpMovR32Imm, OpMovR64Imm, OpMovRaxRsp8, OpMovRegReg,
+		OpDecRcx, OpPushImm32, OpPushRax, OpPopRax, OpPushRdi, OpPopRdi:
+		return false
+	}
+	return true
+}
+
+// sync catches the cache up to the text's current generation: blocks
+// overlapping any span dirtied since the cache's generation are
+// invalidated; if the dirty ring no longer covers the gap, everything
+// is flushed.
+func (bc *blockCache) sync() {
+	t := bc.text
+	t.mu.RLock()
+	now := t.gen.Load() // freshest consistent view under the lock
+	ok := t.dirtySince(bc.gen, now, func(sp textSpan) {
+		for i := range bc.blocks {
+			b := &bc.blocks[i]
+			if b.live && b.start < sp.Hi && sp.Lo < b.end {
+				b.live = false
+				bc.byOff[b.start] = -1
+			}
+		}
+	})
+	t.mu.RUnlock()
+	if !ok {
+		bc.flush()
+	}
+	bc.gen = now
+}
+
+func (bc *blockCache) flush() {
+	bc.arena = bc.arena[:0]
+	bc.blocks = bc.blocks[:0]
+	for i := range bc.byOff {
+		bc.byOff[i] = -1
+	}
+}
+
+// lookupIdx returns the block starting at text offset off, decoding it
+// if this offset has not been an entry point since the last flush or
+// an overlapping patch. The caller has already synced generations and
+// bounds-checked off.
+func (bc *blockCache) lookupIdx(off uint32) int32 {
+	if bi := bc.byOff[off]; bi >= 0 {
+		return bi
+	}
+	return bc.decode(off)
+}
+
+// decode builds the block starting at off. Reads the segment bytes
+// under the text lock, exactly like per-instruction Fetch would, so a
+// block is a consistent snapshot of one generation.
+func (bc *blockCache) decode(off uint32) int32 {
+	t := bc.text
+	t.mu.RLock()
+	code := t.bytes
+	first := int32(len(bc.arena))
+	o, hi := off, off
+	for n := 0; n < maxBlockInstrs && int(o) < len(code); n++ {
+		w := int(o) + 8
+		if w > len(code) {
+			w = len(code)
+		}
+		ins := Decode(code[o:w])
+		bc.arena = append(bc.arena, decoded{
+			op:   ins.Op,
+			len:  uint8(ins.Len),
+			reg:  uint8(ins.Reg),
+			reg2: uint8(ins.Reg2),
+			raw0: code[o],
+			imm:  ins.Imm,
+		})
+		// The block must be invalidated by any store to a byte that
+		// influenced decoding. A matched instruction examined exactly
+		// its Len bytes; a failed match (OpInvalid) depended on the
+		// whole fetch window — any byte of it could have completed a
+		// longer encoding.
+		dep := o + uint32(ins.Len)
+		if ins.Op == OpInvalid {
+			dep = uint32(w)
+		}
+		if dep > hi {
+			hi = dep
+		}
+		o += uint32(ins.Len)
+		if terminates(ins.Op) {
+			break
+		}
+	}
+	t.mu.RUnlock()
+	bi := int32(len(bc.blocks))
+	bc.blocks = append(bc.blocks, block{
+		start: off, end: hi,
+		first: first, n: int32(len(bc.arena)) - first,
+		live:   true,
+		succBi: [2]int32{-1, -1},
+	})
+	bc.byOff[off] = bi
+	return bi
+}
+
+// runCached is CPU.Run's block-at-a-time execution loop.
+//
+// INVARIANT: the per-instruction semantics below — counter order,
+// clock charges, TLB checks, RIP arithmetic, trap actions, fault
+// messages — are a verbatim mirror of CPU.Step. Any change there must
+// land here too; FuzzBlockCache holds the two paths equivalent under
+// random programs and random mid-run patches.
+func (c *CPU) runCached(maxInstr uint64) error {
+	bc := c.cache
+	t := c.Text
+	base, size := t.Base, uint64(len(bc.byOff))
+	startInstr := c.Counters.Instructions
+	prev := int32(-1)
+	for {
+		if c.Halted || c.Blocked || c.Fault != nil {
+			return c.Fault
+		}
+		executed := c.Counters.Instructions - startInstr
+		if executed >= maxInstr {
+			return ErrBudget
+		}
+		if g := t.gen.Load(); g != bc.gen {
+			bc.sync()
+			prev = -1 // block indexes survive, but chains may be stale
+		}
+		if len(bc.arena) > maxArenaInstrs {
+			// Reclaim slots leaked by invalidated blocks (or a huge
+			// straight-line text). The flush truncates bc.blocks, so
+			// every held index — prev included — is void. At most one
+			// block decodes per iteration, bounding the arena at
+			// maxArenaInstrs+maxBlockInstrs.
+			bc.flush()
+			prev = -1
+		}
+		rip := c.RIP
+		if rip < base || rip >= base+size {
+			c.fetchFault()
+			return c.Fault
+		}
+		off := uint32(rip - base)
+
+		// Successor chain first, indexed lookup (decoding on miss) after.
+		bi := int32(-1)
+		if prev >= 0 {
+			pb := &bc.blocks[prev]
+			if pb.succBi[0] >= 0 && pb.succOff[0] == off && bc.blocks[pb.succBi[0]].live {
+				bi = pb.succBi[0]
+			} else if pb.succBi[1] >= 0 && pb.succOff[1] == off && bc.blocks[pb.succBi[1]].live {
+				bi = pb.succBi[1]
+			}
+		}
+		if bi < 0 {
+			bi = bc.lookupIdx(off)
+			if prev >= 0 {
+				pb := &bc.blocks[prev] // re-take: decode may have grown blocks
+				switch {
+				case pb.succBi[0] < 0 || pb.succOff[0] == off:
+					pb.succOff[0], pb.succBi[0] = off, bi
+				default:
+					pb.succOff[1], pb.succBi[1] = off, bi
+				}
+			}
+		}
+		blk := &bc.blocks[bi]
+
+		n := uint64(blk.n)
+		if left := maxInstr - executed; left < n {
+			n = left // stop mid-block on the exact budget boundary
+		}
+		ins := bc.arena[blk.first : blk.first+blk.n]
+		checkTLB := c.TLB != nil && c.AS != nil
+		for i := uint64(0); i < n; i++ {
+			if checkTLB {
+				if pg := c.RIP / PageSize; pg != c.lastFetchPage {
+					_, ok, miss := c.TLB.Lookup(c.AS, pg)
+					if !ok {
+						c.Fault = fmt.Errorf("cpu: instruction fetch from unmapped page %#x", c.RIP)
+						return c.Fault
+					}
+					if miss {
+						c.Clock.Advance(c.Costs.TLBMissWalk)
+					}
+					c.lastFetchPage = pg
+				}
+			}
+			d := &ins[i]
+			c.Counters.Instructions++
+			c.Clock.Advance(1) // base cost per instruction
+
+			switch d.op {
+			case OpNop:
+				c.RIP += uint64(d.len)
+			case OpHlt:
+				c.RIP += uint64(d.len)
+				c.Halted = true
+			case OpWork:
+				c.RIP += uint64(d.len)
+				c.Clock.Advance(cycles.Cycles(d.imm))
+				c.Counters.WorkCycles += uint64(d.imm)
+			case OpMovR32Imm, OpMovR64Imm:
+				c.Regs[d.reg] = uint64(uint32(d.imm))
+				if d.op == OpMovR64Imm {
+					c.Regs[d.reg] = uint64(d.imm) // sign-extended by REX.W mov
+				}
+				c.RIP += uint64(d.len)
+			case OpMovRaxRsp8:
+				c.Regs[RAX] = c.ReadStack(uint64(d.imm))
+				c.RIP += uint64(d.len)
+			case OpMovRegReg:
+				c.Regs[d.reg] = c.Regs[d.reg2]
+				c.RIP += uint64(d.len)
+			case OpSyscall:
+				c.Counters.RawSyscalls++
+				c.RIP += uint64(d.len)
+				switch c.Env.Syscall(c) {
+				case ActionBlock:
+					c.Blocked = true
+				case ActionExit:
+					c.Halted = true
+				}
+			case OpCallAbs:
+				target := uint64(d.imm) // already sign-extended
+				c.Counters.VsyscallCalls++
+				c.Push8(c.RIP + uint64(d.len))
+				c.RIP = target
+				switch c.Env.VsyscallCall(c, target) {
+				case ActionBlock:
+					c.Blocked = true
+				case ActionExit:
+					c.Halted = true
+				}
+			case OpCallRel32:
+				c.Push8(c.RIP + uint64(d.len))
+				c.RIP = uint64(int64(c.RIP) + int64(d.len) + d.imm)
+			case OpRet:
+				c.RIP = c.Pop8()
+			case OpJmpRel8, OpJmpRel32:
+				c.RIP = uint64(int64(c.RIP) + int64(d.len) + d.imm)
+			case OpJnzRel8, OpJnzRel32:
+				c.RIP += uint64(d.len)
+				if c.Regs[RCX] != 0 {
+					c.RIP = uint64(int64(c.RIP) + d.imm)
+				}
+			case OpDecRcx:
+				c.Regs[RCX]--
+				c.RIP += uint64(d.len)
+			case OpPushImm32:
+				c.Push8(uint64(uint32(d.imm)))
+				c.RIP += uint64(d.len)
+			case OpPushRax:
+				c.Push8(c.Regs[RAX])
+				c.RIP += uint64(d.len)
+			case OpPopRax:
+				c.Regs[RAX] = c.Pop8()
+				c.RIP += uint64(d.len)
+			case OpPushRdi:
+				c.Push8(c.Regs[RDI])
+				c.RIP += uint64(d.len)
+			case OpPopRdi:
+				c.Regs[RDI] = c.Pop8()
+				c.RIP += uint64(d.len)
+			case OpInvalid:
+				c.Counters.InvalidTraps++
+				if c.Env != nil && c.Env.InvalidOpcode(c) {
+					break // RIP repaired by the trap handler
+				}
+				c.Fault = fmt.Errorf("cpu: invalid opcode %#02x at %#x", d.raw0, c.RIP)
+			default:
+				c.Fault = fmt.Errorf("cpu: unimplemented op %v at %#x", d.op, c.RIP)
+			}
+		}
+		prev = bi
+	}
+}

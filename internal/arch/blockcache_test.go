@@ -1,0 +1,278 @@
+package arch
+
+// Tests for the basic-block translation cache's self-modifying-code
+// semantics: a cached CPU must observe every Text mutation exactly as
+// the uncached reference interpreter does — same registers, counters,
+// clock, and faults — no matter when the patch lands relative to
+// decoded blocks, and whether the dirty ring covered it or overflowed.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// twin builds cached and uncached CPUs over two identical copies of
+// the same program and returns a step function that advances both by
+// the same instruction budget and compares all architectural state.
+type twin struct {
+	t        *testing.T
+	cached   *CPU
+	uncached *CPU
+}
+
+func newTwin(t *testing.T, code []byte) *twin {
+	t.Helper()
+	w := &twin{
+		t:        t,
+		cached:   NewCPU(NewText(UserTextBase, code), chaosEnv{}, &cycles.Clock{}, &cycles.Default),
+		uncached: NewCPU(NewText(UserTextBase, code), chaosEnv{}, &cycles.Clock{}, &cycles.Default),
+	}
+	w.uncached.DisableCache = true
+	return w
+}
+
+// run advances both CPUs by budget instructions and requires identical
+// outcomes. It reports whether both can still make progress.
+func (w *twin) run(budget uint64) bool {
+	w.t.Helper()
+	errC := w.cached.Run(budget)
+	errU := w.uncached.Run(budget)
+	if fmt.Sprint(errC) != fmt.Sprint(errU) {
+		w.t.Fatalf("diverged on error: cached %v, uncached %v", errC, errU)
+	}
+	w.compare()
+	return errC == ErrBudget
+}
+
+func (w *twin) compare() {
+	w.t.Helper()
+	c, u := w.cached, w.uncached
+	if c.Regs != u.Regs || c.RIP != u.RIP || c.Halted != u.Halted || c.Blocked != u.Blocked {
+		w.t.Fatalf("state diverged:\ncached   regs=%v rip=%#x halted=%v blocked=%v\nuncached regs=%v rip=%#x halted=%v blocked=%v",
+			c.Regs, c.RIP, c.Halted, c.Blocked, u.Regs, u.RIP, u.Halted, u.Blocked)
+	}
+	if c.Counters != u.Counters {
+		w.t.Fatalf("counters diverged: cached %+v, uncached %+v", c.Counters, u.Counters)
+	}
+	if c.Clock.Now() != u.Clock.Now() {
+		w.t.Fatalf("clock diverged: cached %d, uncached %d", c.Clock.Now(), u.Clock.Now())
+	}
+	if !bytes.Equal(c.Text.Bytes(), u.Text.Bytes()) {
+		w.t.Fatalf("text diverged")
+	}
+}
+
+// patch applies the same cmpxchg to both texts and requires both to
+// take it.
+func (w *twin) patch(addr uint64, old, new []byte) {
+	w.t.Helper()
+	for _, text := range []*Text{w.cached.Text, w.uncached.Text} {
+		ok, err := text.ForceWrite8(addr, old, new)
+		if err != nil || !ok {
+			w.t.Fatalf("patch at %#x: ok=%v err=%v", addr, ok, err)
+		}
+	}
+}
+
+// TestBlockCachePatchInExecutingLoop patches the body of the loop the
+// CPU is currently executing — the ABOM situation — between budget
+// slices, and requires the cached CPU to pick up the new instruction
+// on its very next pass, exactly like the uncached one.
+func TestBlockCachePatchInExecutingLoop(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(1000, func(a *Assembler) {
+		a.Nop() // will be patched to push/pop pairs mid-run
+		a.Nop()
+		a.Nop()
+		a.Nop()
+	})
+	a.Hlt()
+	text := a.MustAssemble()
+	w := newTwin(t, text.Bytes())
+
+	// Warm the cache, then swap two of the loop-body nops (90 90) for
+	// push %rax / pop %rax (50 58): same length, different effect.
+	if !w.run(123) {
+		t.Fatal("program finished before the patch")
+	}
+	bodyOff := uint64(7) // after the 7-byte mov $1000,%rcx
+	w.patch(UserTextBase+bodyOff, []byte{0x90, 0x90}, []byte{0x50, 0x58})
+	if !w.run(57) {
+		t.Fatal("program finished too early")
+	}
+	// Patch again: back to nops. The cache must invalidate twice.
+	w.patch(UserTextBase+bodyOff, []byte{0x50, 0x58}, []byte{0x90, 0x90})
+	for w.run(1009) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+// TestBlockCachePatchLengthensInstruction patches a one-byte nop into
+// the first byte of a longer encoding, so the instruction boundary
+// itself changes — the case where a stale block would decode garbage.
+func TestBlockCachePatchLengthensInstruction(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(100, func(a *Assembler) {
+		// 5 nops: room for "b8 imm32" (mov $imm,%eax) to be written
+		// over them mid-run.
+		for i := 0; i < 5; i++ {
+			a.Nop()
+		}
+	})
+	a.Hlt()
+	w := newTwin(t, a.MustAssemble().Bytes())
+
+	// 36 instructions = the rcx mov plus five full 7-instruction
+	// iterations: the CPUs are parked exactly at the loop label, where
+	// the patched mov will begin.
+	if !w.run(36) {
+		t.Fatal("finished early")
+	}
+	// 90 90 90 90 90 -> b8 2a 00 00 00 (mov $42,%eax)
+	w.patch(UserTextBase+7, []byte{0x90, 0x90, 0x90, 0x90, 0x90}, EncMovR32Imm(RAX, 42))
+	for w.run(997) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("did not halt")
+	}
+	if w.cached.Regs[RAX] != 42 {
+		t.Fatalf("rax = %d, want 42 from the patched mov", w.cached.Regs[RAX])
+	}
+}
+
+// TestBlockCacheDirtyRingOverflow applies far more patches than the
+// dirty ring remembers while the CPU is parked between slices; the
+// cache must fall back to a full flush and stay correct.
+func TestBlockCacheDirtyRingOverflow(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(50, func(a *Assembler) {
+		for i := 0; i < 4*dirtyRingCap; i++ {
+			a.Nop()
+		}
+	})
+	a.Hlt()
+	w := newTwin(t, a.MustAssemble().Bytes())
+
+	if !w.run(19) {
+		t.Fatal("finished early")
+	}
+	// 3×dirtyRingCap single-byte patches: nop -> push %rax -> the ring
+	// cannot cover them, forcing the overflow path. Patch pairs so the
+	// stack stays balanced.
+	for i := 0; i < 3*dirtyRingCap; i += 2 {
+		off := UserTextBase + 7 + uint64(i)
+		w.patch(off, []byte{0x90}, []byte{0x50})   // push %rax
+		w.patch(off+1, []byte{0x90}, []byte{0x58}) // pop %rax
+	}
+	for w.run(4999) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("did not halt")
+	}
+}
+
+// TestBlockCacheUnprotectedWrite covers the ordinary store path:
+// writes through Text.Write (write protection lifted) must invalidate
+// exactly like kernel-mode cmpxchg patches.
+func TestBlockCacheUnprotectedWrite(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(100, func(a *Assembler) { a.Nop().Nop() })
+	a.Hlt()
+	w := newTwin(t, a.MustAssemble().Bytes())
+
+	if !w.run(11) {
+		t.Fatal("finished early")
+	}
+	for _, text := range []*Text{w.cached.Text, w.uncached.Text} {
+		text.WriteProtected = false
+		if err := text.Write(UserTextBase+7, []byte{0x50, 0x58}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w.run(499) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("did not halt")
+	}
+}
+
+// TestBlockCacheInvalidDependsOnWindow pins the fetch-window
+// dependency rule: a byte sequence that decodes OpInvalid only because
+// a *later* byte is wrong must be re-decoded when that later byte is
+// patched, even though the invalid instruction itself is one byte.
+func TestBlockCacheInvalidDependsOnWindow(t *testing.T) {
+	// "0f 90": 0f needs 05/1f/85 next, so this is invalid at byte 0.
+	// Patching byte 1 to 05 turns the pair into a syscall.
+	code := append([]byte{0x0f, 0x90}, EncHlt()...)
+	w := newTwin(t, code)
+
+	// Both CPUs fault on the invalid opcode (chaosEnv refuses repair).
+	errC := w.cached.Run(10)
+	errU := w.uncached.Run(10)
+	if errC == nil || fmt.Sprint(errC) != fmt.Sprint(errU) {
+		t.Fatalf("invalid-opcode fault mismatch: %v vs %v", errC, errU)
+	}
+	w.compare()
+
+	// Patch byte 1 and rerun from scratch: now it must execute as one
+	// syscall then halt.
+	w.patch(UserTextBase+1, []byte{0x90}, []byte{0x05})
+	w.cached.Reset()
+	w.uncached.Reset()
+	w.cached.Clock.Reset()
+	w.uncached.Clock.Reset()
+	w.cached.Counters = Counters{}
+	w.uncached.Counters = Counters{}
+	if errC := w.cached.Run(10); errC != nil {
+		t.Fatalf("after patch: %v", errC)
+	}
+	if errU := w.uncached.Run(10); errU != nil {
+		t.Fatalf("after patch (uncached): %v", errU)
+	}
+	w.compare()
+	if w.cached.Counters.RawSyscalls != 1 {
+		t.Fatalf("RawSyscalls = %d, want 1 (patched 0f 05)", w.cached.Counters.RawSyscalls)
+	}
+}
+
+// TestBlockCacheArenaOverflow: a straight-line text bigger than the
+// decoded-instruction arena forces the mid-run flush; held block
+// indexes (the successor chain's prev) die with it, and execution must
+// carry on correctly rather than panic or chain into foreign blocks.
+func TestBlockCacheArenaOverflow(t *testing.T) {
+	code := make([]byte, maxArenaInstrs+200)
+	for i := range code {
+		code[i] = 0x90
+	}
+	code[len(code)-1] = 0xf4 // hlt
+	w := newTwin(t, code)
+	for w.run(99991) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("did not halt across the arena flush")
+	}
+	if got := w.cached.Counters.Instructions; got != uint64(len(code)) {
+		t.Fatalf("executed %d instructions, want %d", got, len(code))
+	}
+}
+
+// TestBlockCacheTextSwap: pointing the CPU at a different Text must
+// drop the old cache rather than execute stale blocks.
+func TestBlockCacheTextSwap(t *testing.T) {
+	t1 := NewAssembler(UserTextBase).MovR32(RAX, 1).Hlt().MustAssemble()
+	t2 := NewAssembler(UserTextBase).MovR32(RAX, 2).Hlt().MustAssemble()
+	cpu := NewCPU(t1, chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(10); err != nil || cpu.Regs[RAX] != 1 {
+		t.Fatalf("first text: err=%v rax=%d", err, cpu.Regs[RAX])
+	}
+	cpu.Text = t2
+	cpu.Reset()
+	if err := cpu.Run(10); err != nil || cpu.Regs[RAX] != 2 {
+		t.Fatalf("swapped text: err=%v rax=%d", err, cpu.Regs[RAX])
+	}
+}

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"errors"
 	"fmt"
 
 	"xcontainers/internal/cycles"
@@ -93,10 +94,10 @@ type CPU struct {
 	Clock *cycles.Clock
 	Costs *cycles.CostTable
 
-	// Stack is word-granular stack memory, keyed by address. Both the
-	// user and kernel stacks live here; RSP selects between them and
-	// the MSB of RSP is the mode signal.
-	Stack map[uint64]uint64
+	// Stack is word-granular stack memory. Both the user and kernel
+	// stacks live here; RSP selects between them and the MSB of RSP is
+	// the mode signal.
+	Stack StackMem
 
 	// AS and TLB, when set, put instruction fetch behind address
 	// translation: crossing into a new text page walks the TLB,
@@ -111,7 +112,22 @@ type CPU struct {
 	Halted  bool
 	Blocked bool
 	Fault   error
+
+	// DisableCache forces Run onto the uncached per-instruction Step
+	// path. It exists for the differential fuzz test (cached vs.
+	// uncached equivalence) and as a debugging escape hatch.
+	DisableCache bool
+
+	// cache is the lazily-built predecoded basic-block translation
+	// cache Run executes through (see blockcache.go).
+	cache *blockCache
 }
+
+// ErrBudget is returned by Run when the instruction budget runs out
+// before the program halts, blocks, or faults. It is a sentinel rather
+// than a formatted error so budget-bounded stepping — the scheduler
+// quantum pattern — allocates nothing on the exit path.
+var ErrBudget = errors.New("cpu: instruction budget exhausted")
 
 // NewCPU prepares a CPU to run text under env with the given cost table.
 func NewCPU(text *Text, env Env, clk *cycles.Clock, costs *cycles.CostTable) *CPU {
@@ -120,7 +136,6 @@ func NewCPU(text *Text, env Env, clk *cycles.Clock, costs *cycles.CostTable) *CP
 		Env:   env,
 		Clock: clk,
 		Costs: costs,
-		Stack: make(map[uint64]uint64),
 	}
 	c.Reset()
 	return c
@@ -138,9 +153,7 @@ func (c *CPU) Reset() {
 	c.Halted = false
 	c.Blocked = false
 	c.Fault = nil
-	for k := range c.Stack {
-		delete(c.Stack, k)
-	}
+	c.Stack.Reset()
 }
 
 // InGuestKernelMode applies the X-Kernel's mode test to the current RSP.
@@ -149,19 +162,23 @@ func (c *CPU) InGuestKernelMode() bool { return InKernelHalf(c.Regs[RSP]) }
 // Push8 pushes one 64-bit word.
 func (c *CPU) Push8(v uint64) {
 	c.Regs[RSP] -= 8
-	c.Stack[c.Regs[RSP]] = v
+	c.Stack.Store(c.Regs[RSP], v)
 }
 
 // Pop8 pops one 64-bit word.
 func (c *CPU) Pop8() uint64 {
-	v := c.Stack[c.Regs[RSP]]
-	delete(c.Stack, c.Regs[RSP])
+	v := c.Stack.LoadDelete(c.Regs[RSP])
 	c.Regs[RSP] += 8
 	return v
 }
 
 // ReadStack reads the word at disp(%rsp) without popping.
-func (c *CPU) ReadStack(disp uint64) uint64 { return c.Stack[c.Regs[RSP]+disp] }
+func (c *CPU) ReadStack(disp uint64) uint64 { return c.Stack.Load(c.Regs[RSP] + disp) }
+
+// PokeStack overwrites the word at disp(%rsp) in place — the
+// return-address fix-up primitive LibOS handlers use for the
+// 9-byte-patch skip.
+func (c *CPU) PokeStack(disp, v uint64) { c.Stack.Store(c.Regs[RSP]+disp, v) }
 
 // Ret pops the return address into RIP (the handler-side return used by
 // Env.VsyscallCall implementations).
@@ -184,12 +201,10 @@ func (c *CPU) SwitchToUserStack() {
 	c.Regs[RSP] = user
 }
 
-// Step executes a single instruction. It returns false when the program
-// halted, blocked, or faulted.
-func (c *CPU) Step() bool {
-	if c.Halted || c.Blocked || c.Fault != nil {
-		return false
-	}
+// fetchWalk performs the address-translation half of instruction
+// fetch: crossing into a new text page walks the TLB, charges misses,
+// and faults on unmapped pages. It reports whether fetch may proceed.
+func (c *CPU) fetchWalk() bool {
 	if c.TLB != nil && c.AS != nil {
 		if pg := c.RIP / PageSize; pg != c.lastFetchPage {
 			_, ok, miss := c.TLB.Lookup(c.AS, pg)
@@ -203,11 +218,38 @@ func (c *CPU) Step() bool {
 			c.lastFetchPage = pg
 		}
 	}
-	raw := c.Text.Fetch(c.RIP, 8)
-	if raw == nil {
+	return true
+}
+
+// fetchFault reproduces Step's fault sequence for a RIP outside the
+// text segment: the TLB walk happens first (it may fault or charge a
+// miss), then the out-of-text fetch fault — so the cached and uncached
+// paths fail identically.
+func (c *CPU) fetchFault() {
+	if !c.fetchWalk() {
+		return
+	}
+	c.Fault = fmt.Errorf("cpu: instruction fetch outside text at %#x", c.RIP)
+}
+
+// Step executes a single instruction. It returns false when the program
+// halted, blocked, or faulted.
+//
+// INVARIANT: runCached (blockcache.go) mirrors these semantics
+// instruction for instruction; changes here must land there too.
+func (c *CPU) Step() bool {
+	if c.Halted || c.Blocked || c.Fault != nil {
+		return false
+	}
+	if !c.fetchWalk() {
+		return false
+	}
+	buf, n := c.Text.Peek8(c.RIP)
+	if n == 0 {
 		c.Fault = fmt.Errorf("cpu: instruction fetch outside text at %#x", c.RIP)
 		return false
 	}
+	raw := buf[:n]
 	ins := Decode(raw)
 	c.Counters.Instructions++
 	c.Clock.Advance(1) // base cost per instruction
@@ -303,13 +345,33 @@ func (c *CPU) Step() bool {
 	return true
 }
 
-// Run executes until halt, block, fault, or maxInstr instructions.
+// Run executes until halt, block, fault, or exactly maxInstr
+// instructions — the budget is exact: no instruction past it executes,
+// and exhaustion returns the typed ErrBudget. Execution goes through
+// the predecoded basic-block cache unless DisableCache is set.
 func (c *CPU) Run(maxInstr uint64) error {
+	if c.DisableCache {
+		return c.runUncached(maxInstr)
+	}
+	if c.cache == nil || c.cache.text != c.Text {
+		c.cache = newBlockCache(c.Text)
+	}
+	return c.runCached(maxInstr)
+}
+
+// runUncached is the reference execution loop: one Step per
+// instruction, no translation cache.
+func (c *CPU) runUncached(maxInstr uint64) error {
 	start := c.Counters.Instructions
-	for c.Step() {
+	for {
+		if c.Halted || c.Blocked || c.Fault != nil {
+			return c.Fault
+		}
 		if c.Counters.Instructions-start >= maxInstr {
-			return fmt.Errorf("cpu: instruction budget %d exhausted at %#x", maxInstr, c.RIP)
+			return ErrBudget
+		}
+		if !c.Step() {
+			return c.Fault
 		}
 	}
-	return c.Fault
 }

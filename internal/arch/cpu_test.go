@@ -165,7 +165,7 @@ func TestCPUReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	cpu.Reset()
-	if cpu.Halted || cpu.RIP != text.Base || cpu.Regs[RSP] != UserStackTop || len(cpu.Stack) != 0 {
+	if cpu.Halted || cpu.RIP != text.Base || cpu.Regs[RSP] != UserStackTop || len(cpu.Stack.Snapshot()) != 0 {
 		t.Fatal("Reset did not restore entry state")
 	}
 	if err := cpu.Run(100); err != nil {

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -69,6 +70,86 @@ func TestInterpreterRandomValidProgramsTerminate(t *testing.T) {
 			t.Fatalf("trial %d: did not halt", trial)
 		}
 	}
+}
+
+// FuzzBlockCache is the differential oracle for the basic-block
+// translation cache: cached and uncached execution of the same random
+// program, interleaved with identical random cmpxchg patches (the
+// ABOM situation: the text mutates while the interpreter runs), must
+// produce identical registers, counters, clock, faults, and final
+// text. The budget slices are deliberately prime so block boundaries
+// and slice boundaries drift against each other.
+func FuzzBlockCache(f *testing.F) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(5, func(a *Assembler) { a.SyscallN(39).PushRax().PopRax() })
+	a.Hlt()
+	f.Add(a.MustAssemble().Bytes(), []byte{3, 0, 0x50, 9, 1, 0x58, 80, 2, 0x0f})
+	f.Add([]byte{0x90, 0x0f, 0x05, 0xf4}, []byte{1, 3, 0xeb, 0xfd})
+	f.Add([]byte{0xeb, 0x00, 0xf4}, []byte{})
+
+	f.Fuzz(func(t *testing.T, prog, patches []byte) {
+		if len(prog) == 0 || len(prog) > 2048 {
+			return
+		}
+		cached := NewCPU(NewText(UserTextBase, prog), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+		uncached := NewCPU(NewText(UserTextBase, prog), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+		uncached.DisableCache = true
+
+		compare := func(round int) {
+			t.Helper()
+			if cached.Regs != uncached.Regs || cached.RIP != uncached.RIP ||
+				cached.Halted != uncached.Halted || cached.Blocked != uncached.Blocked ||
+				cached.Counters != uncached.Counters ||
+				cached.Clock.Now() != uncached.Clock.Now() {
+				t.Fatalf("round %d: cached and uncached execution diverged:\ncached   rip=%#x regs=%v counters=%+v clock=%d halted=%v\nuncached rip=%#x regs=%v counters=%+v clock=%d halted=%v",
+					round,
+					cached.RIP, cached.Regs, cached.Counters, cached.Clock.Now(), cached.Halted,
+					uncached.RIP, uncached.Regs, uncached.Counters, uncached.Clock.Now(), uncached.Halted)
+			}
+		}
+
+		pi := 0
+		for round := 0; round < 40; round++ {
+			errC := cached.Run(97)
+			errU := uncached.Run(97)
+			if (errC == nil) != (errU == nil) || (errC != nil && errC.Error() != errU.Error()) {
+				t.Fatalf("round %d: errors diverged: cached %v, uncached %v", round, errC, errU)
+			}
+			compare(round)
+			if errC == nil || errC != ErrBudget {
+				break // halted, blocked, or faulted on both sides
+			}
+			// Derive one identical patch for both texts from the fuzz
+			// input: offset, length 1..8, replacement bytes. The "old"
+			// bytes are whatever is currently there, so the cmpxchg
+			// always takes on both.
+			if pi+2 >= len(patches) {
+				continue
+			}
+			n := 1 + int(patches[pi])%8
+			if n > len(prog) {
+				n = len(prog)
+			}
+			off := (int(patches[pi+1])<<8 | int(patches[pi+2])) % (len(prog) - n + 1)
+			pi += 3
+			repl := make([]byte, n)
+			for i := range repl {
+				if pi < len(patches) {
+					repl[i] = patches[pi]
+					pi++
+				}
+			}
+			old := cached.Text.Fetch(UserTextBase+uint64(off), n)
+			okC, errPC := cached.Text.ForceWrite8(UserTextBase+uint64(off), old, repl)
+			okU, errPU := uncached.Text.ForceWrite8(UserTextBase+uint64(off), old, repl)
+			if okC != okU || (errPC == nil) != (errPU == nil) {
+				t.Fatalf("round %d: patch application diverged", round)
+			}
+		}
+		if !bytes.Equal(cached.Text.Bytes(), uncached.Text.Bytes()) {
+			t.Fatal("final text diverged")
+		}
+	})
 }
 
 // TestDecodeLengthInvariantQuick: decode never claims more bytes than

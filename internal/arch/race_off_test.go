@@ -1,0 +1,5 @@
+//go:build !race
+
+package arch_test
+
+const raceEnabled = false

@@ -3,10 +3,20 @@ package arch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the simulated page size, matching x86-64.
 const PageSize = 4096
+
+// dirtyRingCap is how many recent mutations Text remembers precisely.
+// A reader (the CPU's block cache) that falls further behind than this
+// must treat the whole segment as dirty. ABOM patches each call site at
+// most twice, so real warm-ups never overflow the ring.
+const dirtyRingCap = 64
+
+// textSpan is a mutated byte range, as offsets from Text.Base: [Lo, Hi).
+type textSpan struct{ Lo, Hi uint32 }
 
 // Text is an executable text segment: a contiguous byte range mapped at
 // a base virtual address. In real deployments text pages are mapped
@@ -31,6 +41,20 @@ type Text struct {
 	// dirty bit becomes visible to X-LibOS (§4.4: "the page table dirty
 	// bit will be set for read-only pages").
 	DirtyHook func(page uint64)
+
+	// gen counts mutations of the segment. It is bumped (under mu) by
+	// every successful store and readable without the lock, so an
+	// interpreter can verify its predecoded blocks still match the text
+	// with one atomic load — the simulated equivalent of the i-cache
+	// coherency that makes ABOM's live cmpxchg patches (§4.4) safe on
+	// real hardware.
+	gen atomic.Uint64
+
+	// dirty remembers the byte range of the last dirtyRingCap mutations:
+	// mutation g (1-based) lives at dirty[(g-1)%dirtyRingCap]. Guarded
+	// by mu. Readers that are ≤ dirtyRingCap generations behind can
+	// invalidate precisely; older readers must flush everything.
+	dirty [dirtyRingCap]textSpan
 }
 
 // NewText maps code at the given base address, write-protected.
@@ -72,6 +96,33 @@ func (t *Text) Fetch(addr uint64, n int) []byte {
 	copy(out, t.bytes[off:off+n])
 	return out
 }
+
+// FetchInto copies up to len(dst) bytes starting at addr into dst and
+// returns how many were copied (0 if addr is outside the segment). It
+// is the zero-copy variant of Fetch: the caller owns the buffer, so
+// probing text — ABOM pattern checks, return-address peeks — allocates
+// nothing.
+func (t *Text) FetchInto(addr uint64, dst []byte) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if addr < t.Base || addr >= t.Base+uint64(len(t.bytes)) {
+		return 0
+	}
+	return copy(dst, t.bytes[addr-t.Base:])
+}
+
+// Peek8 returns up to eight bytes starting at addr by value — the
+// allocation-free instruction-fetch window (no instruction of the
+// subset is longer than seven bytes).
+func (t *Text) Peek8(addr uint64) (b [8]byte, n int) {
+	n = t.FetchInto(addr, b[:])
+	return b, n
+}
+
+// Generation returns the mutation counter. Any two calls returning the
+// same value bracket a window with no stores, so bytes read in between
+// are still current.
+func (t *Text) Generation() uint64 { return t.gen.Load() }
 
 // Bytes returns a copy of the whole segment (for offline tooling and
 // tests).
@@ -136,6 +187,28 @@ func (t *Text) storeLocked(addr uint64, p []byte) error {
 	if addr < t.Base || addr+uint64(len(p)) > t.Base+uint64(len(t.bytes)) {
 		return fmt.Errorf("text: store out of range at %#x", addr)
 	}
+	if len(p) == 0 {
+		return nil
+	}
 	copy(t.bytes[addr-t.Base:], p)
+	off := uint32(addr - t.Base)
+	g := t.gen.Add(1)
+	t.dirty[(g-1)%dirtyRingCap] = textSpan{Lo: off, Hi: off + uint32(len(p))}
 	return nil
+}
+
+// dirtySince reports the union of byte spans mutated after generation
+// since, up to the current generation now (both as returned by
+// Generation). ok is false when the ring no longer covers the window —
+// the reader fell more than dirtyRingCap mutations behind and must
+// assume everything changed. Caller must hold mu (either mode; the
+// ring is only written under full Lock).
+func (t *Text) dirtySince(since, now uint64, visit func(textSpan)) (ok bool) {
+	if now-since > dirtyRingCap {
+		return false
+	}
+	for g := since + 1; g <= now; g++ {
+		visit(t.dirty[(g-1)%dirtyRingCap])
+	}
+	return true
 }

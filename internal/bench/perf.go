@@ -4,13 +4,18 @@ import (
 	"runtime"
 	"time"
 
+	"xcontainers/internal/abom"
+	"xcontainers/internal/arch"
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/sim"
 )
 
-// PerfResult is one kernel perf probe: the event kernel's throughput
-// and allocation budget on a canonical workload shape. These numbers
-// seed the repository's performance trajectory — xcbench -bench-json
+// PerfResult is one kernel perf probe: a hot loop's throughput and
+// allocation budget on a canonical workload shape — tier-2 events
+// through the simulation kernel, or tier-1 instructions through the
+// interpreter (for those probes an "event" is one simulated
+// instruction, so NsPerEvent is ns/instruction). These numbers seed
+// the repository's performance trajectory — xcbench -bench-json
 // snapshots them to a dated JSON file, and CI uploads it per commit.
 type PerfResult struct {
 	Name           string  `json:"name"`
@@ -91,5 +96,75 @@ func KernelPerf(budget time.Duration) []PerfResult {
 	return []PerfResult{
 		measure("sim-open-loop", budget, openLoop),
 		measure("sim-closed-loop", budget, closedLoop),
+		measure("tier1-syscall-loop", budget, tier1SyscallLoop()),
+		measure("tier1-abom-warmup", budget, tier1ABOMWarmup),
 	}
+}
+
+// perfEnv absorbs traps at zero model cost, so the tier-1 probes time
+// the interpreter itself rather than a runtime's charging policy.
+type perfEnv struct{ ab *abom.ABOM }
+
+func (e perfEnv) Syscall(cpu *arch.CPU) arch.Action {
+	if e.ab != nil {
+		e.ab.OnSyscall(cpu.Text, cpu.RIP-2, cpu.Regs[arch.RAX])
+	}
+	return arch.ActionContinue
+}
+
+func (e perfEnv) VsyscallCall(cpu *arch.CPU, entry uint64) arch.Action {
+	ret := cpu.ReadStack(0)
+	if b, n := cpu.Text.Peek8(ret); abom.IsReturnSkip(b, n) {
+		cpu.PokeStack(0, ret+2)
+	}
+	cpu.Ret()
+	return arch.ActionContinue
+}
+
+func (e perfEnv) InvalidOpcode(cpu *arch.CPU) bool {
+	if e.ab == nil {
+		return false
+	}
+	fixed, ok := e.ab.FixupInvalidOpcode(cpu.Text, cpu.RIP)
+	if !ok {
+		return false
+	}
+	cpu.RIP = fixed
+	return true
+}
+
+// tier1SyscallLoop probes steady-state interpretation: the UnixBench
+// System Call loop shape on one CPU, reset and rerun — the block
+// cache and stack pages stay warm, so this is the 0-alloc fast path.
+func tier1SyscallLoop() func(uint64) uint64 {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(1000, func(a *arch.Assembler) { a.SyscallN(39) })
+	a.Hlt()
+	clk := &cycles.Clock{}
+	cpu := arch.NewCPU(a.MustAssemble(), perfEnv{}, clk, &cycles.Default)
+	return func(uint64) uint64 {
+		before := cpu.Counters.Instructions
+		cpu.Reset()
+		clk.Reset()
+		if err := cpu.Run(1 << 30); err != nil {
+			return 0
+		}
+		return cpu.Counters.Instructions - before
+	}
+}
+
+// tier1ABOMWarmup probes the warm-up regime: fresh text every run,
+// live ABOM patches invalidating the block cache mid-execution.
+func tier1ABOMWarmup(uint64) uint64 {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(200, func(a *arch.Assembler) {
+		a.SyscallN(39)   // 7-byte case 1
+		a.SyscallN64(39) // 9-byte two-phase
+	})
+	a.Hlt()
+	cpu := arch.NewCPU(a.MustAssemble(), perfEnv{ab: abom.New()}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(1 << 30); err != nil {
+		return 0
+	}
+	return cpu.Counters.Instructions
 }

@@ -63,7 +63,7 @@ func (p *Platform) Checkpoint(inst *Instance) (*Checkpoint, error) {
 		MemoryMB:      inst.Image.MemoryMB,
 		Regs:          cpu.Regs,
 		RIP:           cpu.RIP,
-		Stack:         make(map[uint64]uint64, len(cpu.Stack)),
+		Stack:         cpu.Stack.Snapshot(),
 		Halted:        cpu.Halted,
 		Blocked:       cpu.Blocked,
 		TextBase:      cpu.Text.Base,
@@ -76,9 +76,6 @@ func (p *Platform) Checkpoint(inst *Instance) (*Checkpoint, error) {
 		RawSyscalls:   cpu.Counters.RawSyscalls,
 		VsyscallCalls: cpu.Counters.VsyscallCalls,
 		LibOSConfig:   inst.Container.LibOS.Config,
-	}
-	for k, v := range cpu.Stack {
-		ck.Stack[k] = v
 	}
 	return ck, nil
 }
@@ -131,10 +128,7 @@ func (p *Platform) Restore(ck *Checkpoint) (*Instance, error) {
 	cpu := inst.Proc.CPU
 	cpu.Regs = ck.Regs
 	cpu.RIP = ck.RIP
-	cpu.Stack = make(map[uint64]uint64, len(ck.Stack))
-	for k, v := range ck.Stack {
-		cpu.Stack[k] = v
-	}
+	cpu.Stack.LoadSnapshot(ck.Stack)
 	cpu.Halted = ck.Halted
 	cpu.Blocked = ck.Blocked
 	cpu.Counters.Instructions = ck.Instructions

@@ -162,15 +162,14 @@ func (l *LibOS) HandleVsyscall(cpu *arch.CPU, entry uint64, proc *linuxsim.Proce
 	act := l.doSemantics(cpu, n, proc)
 	cpu.SwitchToUserStack()
 
-	// Return-address check for the 9-byte two-phase patch.
+	// Return-address check for the 9-byte two-phase patch. Peek8 keeps
+	// this per-call probe allocation-free.
 	ret := cpu.ReadStack(0)
-	if b := cpu.Text.Fetch(ret, 2); len(b) == 2 {
-		if (b[0] == 0x0f && b[1] == 0x05) || (b[0] == 0xeb && int8(b[1]) == -9) {
-			cpu.Stack[cpu.Regs[arch.RSP]] = ret + 2
-			l.mu.Lock()
-			l.Stats.ReturnSkips++
-			l.mu.Unlock()
-		}
+	if b, n := cpu.Text.Peek8(ret); abom.IsReturnSkip(b, n) {
+		cpu.PokeStack(0, ret+2)
+		l.mu.Lock()
+		l.Stats.ReturnSkips++
+		l.mu.Unlock()
 	}
 	cpu.Ret()
 	return act

@@ -1,0 +1,158 @@
+package runtimes
+
+// End-to-end differential check for the interpreter's basic-block
+// cache against the real X-Container stack: live ABOM patching
+// (including the 9-byte two-phase pattern and the jump-into-middle
+// fixup), LibOS stack switches, and TLB-backed instruction fetch must
+// all be byte-identical with and without the cache — the same guarantee
+// FuzzBlockCache gives for random programs, here for the paper's
+// actual control paths.
+
+import (
+	"testing"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/syscalls"
+)
+
+type tier1Snapshot struct {
+	regs     [arch.NumRegs]uint64
+	rip      uint64
+	counters arch.Counters
+	clock    cycles.Cycles
+	halted   bool
+}
+
+func runXContainer(t *testing.T, text *arch.Text, disableCache bool) (tier1Snapshot, *Runtime, *Container) {
+	t.Helper()
+	rt, c, p := bootProc(t, XContainer, true, text)
+	p.CPU.DisableCache = disableCache
+	if err := p.CPU.Run(1e7); err != nil {
+		t.Fatalf("disableCache=%v: %v", disableCache, err)
+	}
+	return tier1Snapshot{
+		regs:     p.CPU.Regs,
+		rip:      p.CPU.RIP,
+		counters: p.CPU.Counters,
+		clock:    p.CPU.Clock.Now(),
+		halted:   p.CPU.Halted,
+	}, rt, c
+}
+
+// abomMixProgram hits the 7-byte patterns and the unpatchable shape in
+// one loop: a glibc-style case-1 wrapper, a Go-runtime-style
+// stack-argument wrapper (case 2, via a shared stub), and a gapped
+// site that must keep trapping forever.
+func abomMixProgram(iters uint32) *arch.Text {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Jmp("main")
+	a.Label("stub") // mov 0x8(%rsp),%rax ; syscall ; ret
+	a.MovRaxRsp8(8)
+	a.Syscall()
+	a.Ret()
+	a.Label("main")
+	a.Loop(iters, func(a *arch.Assembler) {
+		a.SyscallN(uint32(syscalls.Getpid)) // case 1
+		a.PushImm(uint32(syscalls.Getpid))  // case 2 through the stub
+		a.Call("stub")
+		a.PopRax()
+		a.MovR32(arch.RAX, uint32(syscalls.Getpid))
+		a.Nop() // gap: unrecognized forever
+		a.Syscall()
+	})
+	a.Hlt()
+	return a.MustAssemble()
+}
+
+// nineByteProgram drives the 9-byte REX pattern through both phases:
+// the first trap patches the mov into a call (phase 1), the loop's
+// back-edge then jumps straight at the leftover syscall so its trap
+// applies phase 2 (syscall → jmp −9), and every later pass enters
+// through the jmp and returns via the LibOS's return-address skip.
+func nineByteProgram(iters uint32) *arch.Text {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.MovR64(arch.RCX, iters)
+	a.MovR64(arch.RAX, uint32(syscalls.Getuid)) // 9-byte site
+	a.Label("sys9")
+	a.Syscall()
+	a.MovR32(arch.RAX, uint32(syscalls.Getuid)) // keep RAX a valid number
+	a.DecRcx()
+	a.Jnz("sys9")
+	a.Hlt()
+	return a.MustAssemble()
+}
+
+func TestBlockCacheEquivalentUnderABOM(t *testing.T) {
+	// Fresh text per run: both CPUs patch their own copy live.
+	cached, rtC, cC := runXContainer(t, abomMixProgram(50), false)
+	uncached, rtU, cU := runXContainer(t, abomMixProgram(50), true)
+
+	if cached != uncached {
+		t.Fatalf("cached and uncached X-Container runs diverged:\ncached   %+v\nuncached %+v", cached, uncached)
+	}
+	if rtC.Hyper.ABOM.Stats != rtU.Hyper.ABOM.Stats {
+		t.Fatalf("ABOM patch stats diverged:\ncached   %+v\nuncached %+v", rtC.Hyper.ABOM.Stats, rtU.Hyper.ABOM.Stats)
+	}
+	if cC.LibOS.Stats != cU.LibOS.Stats {
+		t.Fatalf("LibOS stats diverged:\ncached   %+v\nuncached %+v", cC.LibOS.Stats, cU.LibOS.Stats)
+	}
+	// Sanity: the run actually exercised both 7-byte patterns, the
+	// conversion fast path, and the permanent trap path.
+	if rtC.Hyper.ABOM.Stats.Patched7Case1 == 0 || rtC.Hyper.ABOM.Stats.Patched7Case2 == 0 {
+		t.Fatalf("expected both 7-byte patches to fire: %+v", rtC.Hyper.ABOM.Stats)
+	}
+	if cC.LibOS.Stats.FunctionCallSyscalls == 0 || cC.LibOS.Stats.TrappedSyscalls == 0 {
+		t.Fatalf("expected both entry paths: %+v", cC.LibOS.Stats)
+	}
+}
+
+func TestBlockCacheEquivalentNineBytePhases(t *testing.T) {
+	cached, rtC, cC := runXContainer(t, nineByteProgram(40), false)
+	uncached, rtU, _ := runXContainer(t, nineByteProgram(40), true)
+
+	if cached != uncached {
+		t.Fatalf("9-byte two-phase run diverged:\ncached   %+v\nuncached %+v", cached, uncached)
+	}
+	if rtC.Hyper.ABOM.Stats != rtU.Hyper.ABOM.Stats {
+		t.Fatalf("ABOM stats diverged:\ncached   %+v\nuncached %+v", rtC.Hyper.ABOM.Stats, rtU.Hyper.ABOM.Stats)
+	}
+	if rtC.Hyper.ABOM.Stats.Patched9Phase1 != 1 || rtC.Hyper.ABOM.Stats.Patched9Phase2 != 1 {
+		t.Fatalf("expected both 9-byte phases exactly once: %+v", rtC.Hyper.ABOM.Stats)
+	}
+	if cC.LibOS.Stats.ReturnSkips == 0 {
+		t.Fatalf("expected leftover-syscall return skips: %+v", cC.LibOS.Stats)
+	}
+}
+
+// TestBlockCacheEquivalentJumpIntoMiddle pins the §4.4 corner case on
+// the cached path: after a 7-byte patch, a jump to the original
+// syscall address lands mid-call on 0x60 0xff, and the invalid-opcode
+// fixup must walk RIP back identically with and without the cache.
+func TestBlockCacheEquivalentJumpIntoMiddle(t *testing.T) {
+	asm := func() *arch.Text {
+		a := arch.NewAssembler(arch.UserTextBase)
+		a.MovR64(arch.RCX, 8)
+		a.Label("loop")
+		a.MovR32(arch.RAX, uint32(syscalls.Getpid))
+		a.Label("mid") // address of the syscall instruction
+		a.Syscall()
+		a.DecRcx()
+		a.Jnz("mid") // re-enter at the (soon patched-over) syscall address
+		a.Hlt()
+		return a.MustAssemble()
+	}
+
+	cached, rtC, _ := runXContainer(t, asm(), false)
+	uncached, rtU, _ := runXContainer(t, asm(), true)
+	if cached != uncached {
+		t.Fatalf("jump-into-middle diverged:\ncached   %+v\nuncached %+v", cached, uncached)
+	}
+	if rtC.Hyper.ABOM.Stats != rtU.Hyper.ABOM.Stats {
+		t.Fatalf("ABOM stats diverged:\ncached   %+v\nuncached %+v", rtC.Hyper.ABOM.Stats, rtU.Hyper.ABOM.Stats)
+	}
+	if cached.counters.InvalidTraps == 0 || rtC.Hyper.ABOM.Stats.Fixups == 0 {
+		t.Fatalf("expected jump-into-middle fixups to fire: counters=%+v abom=%+v",
+			cached.counters, rtC.Hyper.ABOM.Stats)
+	}
+}
