@@ -17,6 +17,13 @@
 // through it; the resulting ClusterReport (per-node utilization,
 // migrations, scale events, fleet percentiles) prints human-readably or
 // as one JSON document with -json. Runs are deterministic per -seed.
+//
+// -ingress-policy fronts the fleet with the L7 ingress tier instead of
+// the built-in JSQ front door: requests pay the proxy hop and reach
+// replicas under the chosen load balancer (rr|weighted|jsq|p2c) with
+// -keepalive connection amortization and an optional robustness ladder
+// (-timeout-us, -retries, -hedge-p). The report grows per-route and
+// per-service sections.
 package main
 
 import (
@@ -61,6 +68,11 @@ func run(args []string, stdout io.Writer) error {
 	slo := fs.Float64("slo", 0, "cluster: p99 latency SLO in milliseconds (0 = no latency signal)")
 	autoscale := fs.Bool("autoscale", true, "cluster: enable the autoscaler")
 	failNode := fs.Float64("fail-node", 0, "cluster: kill one seeded-random node at this virtual second")
+	ingressPolicy := fs.String("ingress-policy", "", "cluster: front the fleet with the L7 ingress tier using this load balancer ("+xc.LBUsage()+"; empty = built-in JSQ front door)")
+	keepAlive := fs.Int("keepalive", 100, "cluster ingress: requests amortized per connection (0 = a fresh connection per request)")
+	retries := fs.Int("retries", 0, "cluster ingress: retry attempts after a timeout (needs -timeout-us)")
+	timeoutUS := fs.Float64("timeout-us", 0, "cluster ingress: per-attempt timeout in virtual microseconds (0 = none)")
+	hedgeP := fs.Float64("hedge-p", 0, "cluster ingress: hedge attempts outliving this latency quantile, e.g. 0.99 (0 = off)")
 	rate := fs.Float64("rate", 0, "cluster traffic: offered requests/s (0 = saturating closed loop)")
 	duration := fs.Float64("duration", 1, "cluster traffic: horizon in virtual seconds")
 	seed := fs.Uint64("seed", 0, "cluster traffic: arrival randomness seed")
@@ -83,6 +95,8 @@ func run(args []string, stdout io.Writer) error {
 			runtime: *rtName, app: *appName,
 			nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
 			policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
+			ingressPolicy: *ingressPolicy, keepAlive: *keepAlive, retries: *retries,
+			timeoutUS: *timeoutUS, hedgeP: *hedgeP,
 			rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
 			sweepRates: *sweepRates, sweepSeeds: *sweepSeeds, parallel: *parallel,
 		})
@@ -108,6 +122,9 @@ type clusterOptions struct {
 	policy                               string
 	sloMillis, failNode                  float64
 	autoscale                            bool
+	ingressPolicy                        string
+	keepAlive, retries                   int
+	timeoutUS, hedgeP                    float64
 	rate, duration                       float64
 	seed                                 uint64
 	jsonOut                              bool
@@ -137,6 +154,20 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 		SLOMillis: o.sloMillis,
 		Autoscale: o.autoscale,
 		FailNode:  o.failNode,
+	}
+	if o.ingressPolicy != "" {
+		lb, err := xc.ParseLB(o.ingressPolicy)
+		if err != nil {
+			return err
+		}
+		in := xc.Ingress().Policy(lb).
+			TimeoutMicros(o.timeoutUS).Retries(o.retries).Hedge(o.hedgeP)
+		if o.keepAlive > 0 {
+			in.KeepAlive(o.keepAlive)
+		} else {
+			in.PerRequestConns()
+		}
+		spec.Ingress = in
 	}
 	if o.sweepRates != "" {
 		return runClusterSweep(stdout, o, kind, spec)

@@ -154,3 +154,49 @@ func TestClusterSweepBadInputs(t *testing.T) {
 		t.Error("zero -seeds accepted")
 	}
 }
+
+// TestClusterIngressFlags drives -ingress-policy end to end: the JSON
+// report grows per-route and per-service sections, the robustness
+// knobs reach the route policy, and fixed-seed runs stay
+// byte-identical.
+func TestClusterIngressFlags(t *testing.T) {
+	args := []string{"-cluster", "-runtime", "xcontainer", "-app", "nginx",
+		"-nodes", "2", "-replicas", "3", "-policy", "spread",
+		"-ingress-policy", "p2c", "-keepalive", "100",
+		"-timeout-us", "800", "-retries", "2", "-hedge-p", "0.99",
+		"-rate", "600000", "-duration", "0.3", "-seed", "5", "-json"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.ClusterReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a valid xc.ClusterReport document: %v\n%s", err, out.Bytes())
+	}
+	if len(rep.Routes) == 0 || len(rep.IngressServices) == 0 {
+		t.Fatalf("report missing ingress sections: %d routes, %d services",
+			len(rep.Routes), len(rep.IngressServices))
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Error("fixed-seed ingress runs must be byte-identical")
+	}
+
+	// Human rendering shows the route table.
+	var human bytes.Buffer
+	if err := run(args[:len(args)-1], &human); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"route client->ingress:", "route ingress->fleet:", "service fleet:"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("human output missing %q:\n%s", want, human.String())
+		}
+	}
+
+	if err := run([]string{"-cluster", "-ingress-policy", "chaos"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown ingress policy accepted")
+	}
+}

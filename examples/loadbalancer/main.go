@@ -47,35 +47,39 @@ func main() {
 	}
 	fmt.Print(rep)
 
-	// The balanced tier as a real cluster: NGINX backends spread over
-	// three nodes, one of which dies mid-run and fails over.
-	cluster, err := xc.NewCluster(xc.XContainer)
-	if err != nil {
-		log.Fatal(err)
-	}
-	spec := xc.ClusterSpec{
-		Nodes:    3,
-		Policy:   xc.Spread,
-		FailNode: 0.25,
-	}
-	crep, err := cluster.Serve(xc.App("Nginx"), spec,
-		xc.Traffic().Rate(120_000).Duration(1).Seed(11).Containers(3))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nNGINX backend tier (3 nodes, spread placement, node failure at 0.25s):\n")
-	fmt.Printf("  served %.0f req/s, p50 %.0fus, p99 %.0fus\n",
-		crep.Throughput.RequestsPerSec, crep.Latency.P50US, crep.Latency.P99US)
-	for _, n := range crep.Nodes {
-		state := "ok"
-		if n.Failed {
-			state = "FAILED"
+	// The balanced tier as a real cluster fronted by the L7 ingress —
+	// the simulated counterpart of the IPVS balancer above: NGINX
+	// backends spread over three nodes, one of which dies mid-run and
+	// fails over. Each load-balancing policy routes the same traffic
+	// (same seed) through the failure; retries re-place the dead node's
+	// in-flight requests onto survivors.
+	fmt.Printf("\nNGINX backend tier behind the ingress (3 nodes, node failure at 0.25s):\n")
+	fmt.Printf("  %-10s %10s %10s %10s %9s %9s\n", "policy", "served/s", "p50 us", "p99 us", "lost", "retries")
+	for _, pol := range []xc.LBPolicy{xc.RoundRobin, xc.LeastQueue, xc.PowerOfTwo} {
+		cluster, err := xc.NewCluster(xc.XContainer)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  node %d: %d containers, %.1f%% utilized, %d migrations in (%s)\n",
-			n.ID, n.Containers, 100*n.Utilization, n.MigrationsIn, state)
-	}
-	for _, m := range crep.Migrations {
-		fmt.Printf("  %.3fs: %s rescheduled node %d -> node %d (%.0fus blackout, %s)\n",
-			m.AtSec, m.Container, m.FromNode, m.ToNode, m.DowntimeUS, m.Reason)
+		spec := xc.ClusterSpec{
+			Nodes:    3,
+			Policy:   xc.Spread,
+			FailNode: 0.25,
+			Ingress: xc.Ingress().Policy(pol).KeepAlive(100).
+				TimeoutMicros(1_000).Retries(2).RetryBudget(0.2),
+		}
+		crep, err := cluster.Serve(xc.App("Nginx"), spec,
+			xc.Traffic().Rate(120_000).Duration(1).Seed(11).Containers(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fleet xc.RouteReport
+		for _, r := range crep.Routes {
+			if r.Route == "ingress->fleet" {
+				fleet = r
+			}
+		}
+		fmt.Printf("  %-10s %10.0f %10.0f %10.0f %9d %9d\n",
+			pol.String(), crep.Throughput.RequestsPerSec,
+			crep.Latency.P50US, crep.Latency.P99US, fleet.Lost, fleet.Retries)
 	}
 }

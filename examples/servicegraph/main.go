@@ -1,0 +1,92 @@
+// Servicegraph: a three-tier wiki on the L7 ingress layer. NGINX
+// frontends call a PHP app tier; the app consults a memcached tier
+// whose hits short-circuit the MySQL fallback — the classic
+// LAMP-with-cache topology the paper's macrobenchmarks (§6.3) serve
+// from single containers, here composed into a service graph with
+// per-route load balancing, timeouts, retries, and hedging.
+//
+// The experiment browns out one app replica mid-run (its per-request
+// cost quadruples, as if a noisy neighbor stole its cores) and compares
+// how each load-balancing policy routes around the degradation: static
+// round-robin keeps feeding the slow replica and only holds its tail
+// by leaning on the hedger — several times the duplicated work — while
+// queue-aware policies (JSQ, power-of-two) see the backlog and shift
+// traffic away, hedging an order of magnitude less.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"xcontainers/xc"
+)
+
+// wiki builds the tiered topology with the app route under pol.
+func wiki(pol xc.LBPolicy) *xc.ServiceGraphSpec {
+	g := xc.ServiceGraph()
+	g.Service("web", xc.App("Nginx"), 2)
+	g.Service("app", xc.App("PHP"), 4).BrownOut(0, 4, 0.2, 0.8)
+	g.Service("cache", xc.App("memcached"), 2)
+	g.Service("db", xc.App("MySQL"), 2)
+
+	g.Entry("web", xc.Ingress().Policy(xc.PowerOfTwo).KeepAlive(100))
+	// The contested route: four app replicas, one degraded mid-run.
+	g.Route("web", "app", xc.Ingress().Policy(pol).
+		TimeoutMicros(2_000).Retries(1).RetryBudget(0.2).Hedge(0.99))
+	// 90% of app requests are answered by the cache tier; misses fall
+	// through to the database.
+	g.Route("app", "cache", xc.Ingress().CacheHit(0.9))
+	g.Route("app", "db", xc.Ingress())
+	return g
+}
+
+func servicegraph(w io.Writer) error {
+	platform, err := xc.NewPlatform(xc.XContainer)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "three-tier wiki: 2x nginx -> 4x php (one browned out 0.2s-0.8s) -> 2x memcached -> 2x mysql")
+	fmt.Fprintln(w, "route web->app compared across load-balancing policies, same seed:")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %8s %8s\n",
+		"policy", "served/s", "p50 us", "p99 us", "timeouts", "hedges", "wasted")
+
+	for _, pol := range []xc.LBPolicy{xc.RoundRobin, xc.WeightedRR, xc.LeastQueue, xc.PowerOfTwo} {
+		rep, err := platform.ServeGraph(wiki(pol), xc.Traffic().Rate(40_000).Duration(1).Seed(42))
+		if err != nil {
+			return err
+		}
+		var appRoute xc.RouteReport
+		for _, r := range rep.Routes {
+			if r.Route == "web->app" {
+				appRoute = r
+			}
+		}
+		var wasted uint64
+		for _, s := range rep.Services {
+			wasted += s.Wasted
+		}
+		fmt.Fprintf(w, "%-10s %10.0f %10.1f %10.1f %10d %8d %8d\n",
+			pol.String(), rep.Throughput.RequestsPerSec,
+			rep.Latency.P50US, rep.Latency.P99US,
+			appRoute.Timeouts, appRoute.Hedges, wasted)
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "full report for power-of-two routing:")
+	rep, err := platform.ServeGraph(wiki(xc.PowerOfTwo), xc.Traffic().Rate(40_000).Duration(1).Seed(42))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep)
+	return nil
+}
+
+func main() {
+	if err := servicegraph(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

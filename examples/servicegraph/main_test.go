@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServicegraph executes the documented service-graph entry path end
+// to end, so the example cannot rot.
+func TestServicegraph(t *testing.T) {
+	var out bytes.Buffer
+	if err := servicegraph(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"rr", "jsq", "p2c", "route web->app:", "service cache:", "service db:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("servicegraph output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"xcontainers/internal/abom"
 	"xcontainers/internal/arch"
 	"xcontainers/internal/cycles"
+	"xcontainers/internal/ingress"
 	"xcontainers/internal/sim"
 )
 
@@ -93,9 +94,37 @@ func KernelPerf(budget time.Duration) []PerfResult {
 		return e.Fired()
 	}
 
+	// ingressHotPath is the L7 tier's request shape: a closed loop
+	// through a four-replica service behind power-of-two routing with
+	// keep-alive accounting — the BenchmarkIngressHotPath scenario.
+	ingressHotPath := func(seed uint64) uint64 {
+		e := sim.NewEngine()
+		g := ingress.NewGraph(e, seed)
+		svc := g.AddService("svc", ingress.Sequential)
+		for i := 0; i < 4; i++ {
+			svc.AddBackend(sim.NewQueue(e, "svc", 1), service, 1, nil)
+		}
+		g.SetEntry(svc, ingress.RoutePolicy{
+			LB: ingress.PowerOfTwo, KeepAlive: true, ConnSetup: 3_000,
+		})
+		var next uint64 = 16
+		g.OnRootDone = func(uint64, cycles.Cycles, bool) {
+			if e.Now() < horizon {
+				next++
+				g.Admit(next)
+			}
+		}
+		for c := uint64(1); c <= 16; c++ {
+			g.Admit(c)
+		}
+		e.Run(horizon)
+		return e.Fired()
+	}
+
 	return []PerfResult{
 		measure("sim-open-loop", budget, openLoop),
 		measure("sim-closed-loop", budget, closedLoop),
+		measure("ingress-hotpath", budget, ingressHotPath),
 		measure("tier1-syscall-loop", budget, tier1SyscallLoop()),
 		measure("tier1-abom-warmup", budget, tier1ABOMWarmup),
 	}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKernelPerfProbes: every probe fires and reports sane numbers —
+// including the L7 ingress hot path, whose per-event allocation budget
+// must stay amortized-near-zero (the construction of one engine and
+// graph per replication spread over its millions of events).
+func TestKernelPerfProbes(t *testing.T) {
+	results := KernelPerf(30 * time.Millisecond)
+	want := map[string]bool{
+		"sim-open-loop":      false,
+		"sim-closed-loop":    false,
+		"ingress-hotpath":    false,
+		"tier1-syscall-loop": false,
+		"tier1-abom-warmup":  false,
+	}
+	for _, r := range results {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected probe %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.Events == 0 || r.EventsPerSec <= 0 {
+			t.Errorf("probe %s fired no events: %+v", r.Name, r)
+		}
+		// tier1-abom-warmup deliberately measures the allocating warm-up
+		// regime; every other probe is a steady-state hot path.
+		if !raceEnabled && r.Name != "tier1-abom-warmup" && r.AllocsPerEvent > 0.01 {
+			t.Errorf("probe %s allocates %.4f/event — hot path regressed", r.Name, r.AllocsPerEvent)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("probe %s missing from KernelPerf", name)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this
+// build; its allocations would fail the hot-path budget checks.
+const raceEnabled = true

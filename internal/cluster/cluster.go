@@ -21,6 +21,7 @@ import (
 	"xcontainers/internal/arch"
 	"xcontainers/internal/core"
 	"xcontainers/internal/cycles"
+	"xcontainers/internal/ingress"
 	"xcontainers/internal/runtimes"
 	"xcontainers/internal/sim"
 	"xcontainers/internal/workload"
@@ -123,6 +124,23 @@ type Config struct {
 
 	// IntervalSec is the control-loop period (default 0.05 s).
 	IntervalSec float64
+
+	// Ingress, when non-nil, fronts the fleet with the L7 ingress tier
+	// (internal/ingress): requests enter through a proxy service whose
+	// per-request and connection costs come from the node architecture's
+	// cost table, and reach replicas under the route's load-balancing
+	// and robustness policy — instead of the built-in JSQ front door.
+	Ingress *IngressConfig
+}
+
+// IngressConfig configures the ingress tier in front of the fleet.
+type IngressConfig struct {
+	// Route is the ingress→fleet policy: load balancing, keep-alive,
+	// timeout, retries, budget, hedging. A zero ConnSetup defaults to
+	// the architecture's connection-accept cost.
+	Route ingress.RoutePolicy
+	// Cores is the proxy's CPU allocation (default 2).
+	Cores int
 }
 
 // Traffic describes the offered load, mirroring workload.TrafficLoad's
@@ -168,6 +186,7 @@ type container struct {
 	q        *sim.Queue
 	cores    int
 	memMB    int
+	backend  int  // replica index in the ingress fleet service (-1 without ingress)
 	draining bool // scale-down: serving its backlog, no new routing
 	gone     bool // drained/stranded: no longer part of the fleet
 	// freezeGen invalidates scheduled Resume callbacks: each new
@@ -187,6 +206,11 @@ type Cluster struct {
 
 	eng *sim.Engine
 	rng *sim.Rand // failure-injection stream, distinct from arrivals
+
+	// The ingress tier, when configured: a proxy service fronting one
+	// fleet service whose replicas are the containers' queues.
+	graph    *ingress.Graph
+	fleetSvc *ingress.Service
 
 	nodes      []*node
 	containers []*container
@@ -266,6 +290,9 @@ func New(cfg Config) (*Cluster, error) {
 	if c.memPer > cfg.NodeMemMB {
 		return nil, fmt.Errorf("cluster: container footprint %d MB exceeds node memory %d MB", c.memPer, cfg.NodeMemMB)
 	}
+	if cfg.Ingress != nil {
+		c.buildIngress()
+	}
 
 	for i := 0; i < cfg.Replicas; i++ {
 		n := c.pickNode()
@@ -287,6 +314,34 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// buildIngress assembles the proxy→fleet service graph. Containers
+// register as fleet replicas in addContainer; the graph is reseeded
+// from the traffic seed at Run time.
+func (c *Cluster) buildIngress() {
+	ic := c.cfg.Ingress
+	cores := ic.Cores
+	if cores <= 0 {
+		cores = 2
+	}
+	route := ic.Route
+	if route.ConnSetup == 0 {
+		route.ConnSetup = ingress.ConnSetupCost(c.rt)
+	}
+	g := ingress.NewGraph(c.eng, 0)
+	proxy := g.AddService("ingress", ingress.Sequential)
+	proxy.AddBackend(sim.NewQueue(c.eng, "ingress", cores), ingress.ProxyRequestCost(c.rt), 1, nil)
+	fleet := g.AddService("fleet", ingress.Sequential)
+	g.Connect(proxy, fleet, route, 0)
+	// Clients reach the proxy under the same connection regime the
+	// proxy uses toward the fleet; the entry route itself never
+	// retries — that is the fleet route's job.
+	g.SetEntry(proxy, ingress.RoutePolicy{
+		ConnSetup: route.ConnSetup, KeepAlive: route.KeepAlive, KeepAliveReqs: route.KeepAliveReqs,
+	})
+	g.OnRootDone = c.rootDone
+	c.graph, c.fleetSvc = g, fleet
 }
 
 // addNode boots one fresh host and appends it to the fleet.
@@ -322,16 +377,27 @@ func (c *Cluster) addContainer(n *node) (*container, error) {
 		return nil, fmt.Errorf("cluster: place %s on node %d: %w", name, n.id, err)
 	}
 	ct := &container{
-		id:    c.nextCont,
-		name:  name,
-		node:  n,
-		inst:  inst,
-		q:     sim.NewQueue(c.eng, name, c.servers),
-		cores: c.cfg.ReplicaCores,
-		memMB: c.memPer,
+		id:      c.nextCont,
+		name:    name,
+		node:    n,
+		inst:    inst,
+		q:       sim.NewQueue(c.eng, name, c.servers),
+		cores:   c.cfg.ReplicaCores,
+		memMB:   c.memPer,
+		backend: -1,
 	}
 	ct.q.OnStart = func(j sim.Job) { c.onStart(ct, j) }
-	ct.q.OnDone = func(j sim.Job) { c.onDone(ct, j) }
+	if c.graph != nil {
+		// The ingress graph owns completions (win/waste attribution and
+		// root latency); the cluster keeps only the drain check.
+		ct.backend = c.fleetSvc.AddBackend(ct.q, c.per, 1, func(sim.Job) {
+			if ct.draining && ct.q.Depth() == 0 {
+				c.retire(ct)
+			}
+		})
+	} else {
+		ct.q.OnDone = func(j sim.Job) { c.onDone(ct, j) }
+	}
 	n.usedCores += ct.cores
 	n.usedMB += ct.memMB
 	n.live++
@@ -419,7 +485,14 @@ func (c *Cluster) routable() []*container {
 // container id) — deterministic join-shortest-queue, the front door a
 // cluster load balancer gives every policy. This is the per-request hot
 // path, so it filters inline rather than materializing routable().
+// With an ingress tier configured, requests enter the graph instead
+// and the route policy decides everything downstream.
 func (c *Cluster) dispatch(id uint64) {
+	if c.graph != nil {
+		c.dispatched++
+		c.graph.Admit(id)
+		return
+	}
 	var best *container
 	for _, ct := range c.containers {
 		if ct.gone || ct.draining || ct.node.failed {
@@ -460,5 +533,34 @@ func (c *Cluster) onDone(ct *container, j sim.Job) {
 	}
 	if ct.draining && ct.q.Depth() == 0 {
 		c.retire(ct)
+	}
+}
+
+// rootDone is onDone's ingress-tier counterpart: it observes requests
+// at the graph's root, where latency spans the proxy hop, retries, and
+// hedges. A request the graph gave up on (timeout ladder exhausted, no
+// routable replica, retry budget drained) is a drop — the client saw
+// an error. Closed-loop connections re-issue either way.
+func (c *Cluster) rootDone(client uint64, lat cycles.Cycles, ok bool) {
+	if ok {
+		c.fleet.Observe(lat)
+		if c.win != nil {
+			c.win.Observe(lat)
+		}
+		c.completed++
+	} else {
+		c.dropped++
+	}
+	if c.closedLoop && c.eng.Now() < c.horizon {
+		c.graph.Admit(client)
+	}
+}
+
+// noteUnroutable tells the ingress tier a container stopped taking new
+// requests (draining or stranded); the legacy front door reads the
+// container flags directly.
+func (c *Cluster) noteUnroutable(ct *container) {
+	if c.graph != nil && ct.backend >= 0 {
+		c.fleetSvc.SetDown(ct.backend, true)
 	}
 }

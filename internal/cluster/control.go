@@ -127,6 +127,7 @@ func (c *Cluster) scaleDown(now cycles.Cycles) {
 		return
 	}
 	victim.draining = true
+	c.noteUnroutable(victim)
 	c.event(now, "remove-replica", fmt.Sprintf("%s draining on node %d", victim.name, victim.node.id))
 	if victim.q.Depth() == 0 {
 		c.retire(victim)
@@ -234,6 +235,7 @@ func (c *Cluster) failNode() {
 			ct.gone = true
 			ct.q.Suspend()
 			ct.freezeGen++ // cancel any in-flight migration's Resume
+			c.noteUnroutable(ct)
 			c.dropBacklog(ct)
 			victim.live--
 			victim.usedCores -= ct.cores
@@ -321,12 +323,20 @@ func (c *Cluster) moveInstance(ct *container, dst *node, cold bool) cycles.Cycle
 	return inst.Clock.Now() + c.rt.ForkExecCost(pages)
 }
 
-// dropBacklog empties a dead container's waiting queue. Open-loop
-// requests are lost with the node and counted as Dropped; closed-loop
-// connections reconnect and re-send elsewhere, conserving the
-// population.
+// dropBacklog empties a dead container's waiting queue. Behind the
+// ingress, each lost job is an attempt of a live call: the graph
+// decides — per route policy — whether it retries elsewhere or fails
+// back to the client. On the legacy front door, open-loop requests are
+// lost with the node and counted as Dropped; closed-loop connections
+// reconnect and re-send elsewhere, conserving the population.
 func (c *Cluster) dropBacklog(ct *container) {
 	jobs := ct.q.TakeWaiting()
+	if c.graph != nil {
+		for _, j := range jobs {
+			c.graph.AttemptLost(j)
+		}
+		return
+	}
 	if !c.closedLoop {
 		c.dropped += uint64(len(jobs))
 		return

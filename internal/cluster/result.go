@@ -1,6 +1,9 @@
 package cluster
 
-import "xcontainers/internal/cycles"
+import (
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/ingress"
+)
 
 // Migration records one container move, live or cold.
 type Migration struct {
@@ -72,4 +75,10 @@ type Result struct {
 
 	Migrations  []Migration
 	ScaleEvents []ScaleEvent
+
+	// Routes and IngressServices are the ingress tier's per-route and
+	// per-service sections — nil when the fleet runs the built-in JSQ
+	// front door.
+	Routes          []ingress.RouteStats
+	IngressServices []ingress.ServiceStats
 }

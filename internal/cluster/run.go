@@ -28,6 +28,11 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 		c.interval = 1
 	}
 	c.rng = sim.NewRand(t.Seed ^ 0xfa17ed0de) // failure stream, distinct from arrivals
+	if c.graph != nil {
+		// Ingress routing randomness (p2c sampling) gets its own
+		// seed-derived stream, distinct from arrivals and failures.
+		c.graph.Reseed(t.Seed ^ 0x16c4e5500)
+	}
 	c.win = &sim.Histogram{}
 	c.notePeaks()
 
@@ -132,6 +137,10 @@ func (c *Cluster) assemble(t Traffic, dur float64, open bool, conc int) *Result 
 	}
 	if capTotal > 0 {
 		res.Utilization = min(busyTotal/capTotal, 1)
+	}
+	if c.graph != nil {
+		res.Routes = c.graph.RouteStats()
+		res.IngressServices = c.graph.ServiceStats(c.horizon)
 	}
 	return res
 }

@@ -1,0 +1,60 @@
+package ingress
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
+)
+
+// BenchmarkIngressHotPath measures end-to-end requests through the
+// minimal ingress shape — entry route, power-of-two choices over four
+// replicas, keep-alive connection handling — in wall-clock requests
+// per second. The acceptance floor is 1M requests/sec with zero
+// allocations per request.
+func BenchmarkIngressHotPath(b *testing.B) {
+	eng := sim.NewEngine()
+	g := NewGraph(eng, 1)
+	app := g.AddService("app", Sequential)
+	for i := 0; i < 4; i++ {
+		app.AddBackend(sim.NewQueue(eng, "app", 1), cycles.FromMicros(8), 1, nil)
+	}
+	g.SetEntry(app, RoutePolicy{LB: PowerOfTwo, ConnSetup: 30_000, KeepAlive: true, KeepAliveReqs: 64})
+	var next uint64 = 1 << 32
+	g.OnRootDone = func(uint64, cycles.Cycles, bool) {
+		next++
+		g.Admit(next)
+	}
+	for i := 0; i < 64; i++ {
+		g.Admit(uint64(i + 1))
+	}
+	for g.Served() < 10_000 { // warm-up: arenas and heap to capacity
+		eng.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := g.Served()
+	for g.Served()-start < uint64(b.N) {
+		eng.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkIngressServiceGraph is the full-featured two-tier variant:
+// timeouts, retries with budget, hedging, a tiered cache edge — the
+// per-request price of every robustness mechanic armed at once.
+func BenchmarkIngressServiceGraph(b *testing.B) {
+	eng, g := fullGraph(1)
+	for g.Served() < 10_000 {
+		eng.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := g.Served()
+	for g.Served()-start < uint64(b.N) {
+		eng.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -1,0 +1,53 @@
+package ingress
+
+import (
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+	"xcontainers/internal/syscalls"
+)
+
+// The ingress proxy is an event-driven server (think HAProxy/Caddy in
+// front of every app, per the NithronOS deployments ROADMAP item 3
+// cites) running under the same runtime kind as everything else, so
+// its per-request and per-connection costs are derived from the
+// runtime's cost table — which is exactly why ingress overhead differs
+// across kinds: the same accept/read/write sequence prices differently
+// under native Linux, Docker's seccomp+iptables path, gVisor's ptrace
+// interposition, or an X-Container with ABOM-converted syscalls.
+
+// proxyUserCycles is the user-space work of one proxied request —
+// header parse, route match, backend bookkeeping. HAProxy-class
+// proxies spend on the order of a microsecond per request in user
+// space; the kernel-boundary costs added on top are what distinguish
+// runtime kinds.
+const proxyUserCycles = 2_000
+
+// ProxyRequestCost is the service demand one request places on the
+// ingress tier under rt: read the request, write it upstream, read the
+// response, write it back, plus the packet and interrupt amortization
+// of an event-driven server. Long-running servers take the converted
+// (ABOM-rewritten) syscall path where the kind supports it.
+func ProxyRequestCost(rt *runtimes.Runtime) cycles.Cycles {
+	c := cycles.Cycles(proxyUserCycles)
+	c += rt.SyscallCost(syscalls.Read, true) * 2
+	c += rt.SyscallCost(syscalls.Write, true) * 2
+	c += rt.NetPerPacket() * 2
+	// Event-driven servers reap many ready events per wakeup; amortize
+	// the epoll_wait and the NIC interrupt over a typical batch of 4.
+	c += rt.SyscallCost(syscalls.EpollWait, true) / 4
+	c += rt.InterruptCost() / 4
+	return c
+}
+
+// ConnSetupCost is the server-side price of accepting one connection
+// under rt: the TCP three-way handshake's packets through the kind's
+// network stack, the accept syscall, an interrupt, and registering the
+// socket for readiness. This is the cost keep-alive amortizes away and
+// per-request connections pay every time.
+func ConnSetupCost(rt *runtimes.Runtime) cycles.Cycles {
+	c := rt.NetPerPacket() * 3
+	c += rt.SyscallCost(syscalls.Accept, true)
+	c += rt.SyscallCost(syscalls.EpollWait, true)
+	c += rt.InterruptCost()
+	return c
+}

@@ -1,0 +1,490 @@
+package ingress
+
+import (
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
+)
+
+// Event and queue-job IDs pack everything a completion or timer needs
+// to find its call again — and to detect that the call has moved on:
+//
+//	bits  0..23  call slot in the arena
+//	bits 24..47  call generation at issue time
+//	bits 48..55  attempt index within the call
+//	bits 56..59  event kind
+//
+// A completion or timer whose generation no longer matches the slot's
+// is stale — the call it belonged to finished and the slot was reused —
+// and is accounted as wasted work instead of being dispatched.
+const (
+	idSlotBits = 24
+	idGenBits  = 24
+	idSlotMask = 1<<idSlotBits - 1
+	idGenMask  = 1<<idGenBits - 1
+
+	kindAttempt = 0 // queue job: one attempt in service at a replica
+	kindTimeout = 1 // per-attempt deadline
+	kindHedge   = 2 // hedge trigger
+	kindRetry   = 3 // backoff expiry: issue the next attempt
+	kindFail    = 4 // deferred no-backend failure
+)
+
+func encodeID(kind uint64, slot int32, gen uint32, attempt uint8) uint64 {
+	return kind<<56 | uint64(attempt)<<48 | uint64(gen&idGenMask)<<idSlotBits | uint64(uint32(slot)&idSlotMask)
+}
+
+func decodeID(id uint64) (kind uint64, slot int32, gen uint32, attempt uint8) {
+	return id >> 56, int32(id & idSlotMask), uint32(id>>idSlotBits) & idGenMask, uint8(id >> 48)
+}
+
+// Call lifecycle: racing (attempts, timeouts, retries, hedges compete
+// to produce the first response) → subtree (downstream edges run once,
+// driven by the winning response) → freed. Timers and completions
+// carry the state they expect; anything arriving late is ignored or
+// counted as waste.
+const (
+	stateFree uint8 = iota
+	stateRacing
+	stateSubtree
+)
+
+const noHedge = 0xff
+
+// call is one in-flight invocation of an edge. Calls live in a slot
+// arena with a free list; the struct is pointer-free so steady-state
+// traffic costs the garbage collector nothing.
+type call struct {
+	gen       uint32
+	edge      int32
+	parent    int32  // frame slot awaiting this call, -1 at the root
+	parentGen uint32 // the frame's generation at issue
+	client    uint64 // root calls: the traffic source's request id
+	born      cycles.Cycles
+	state     uint8
+	attempt   uint8  // attempts issued so far
+	retries   uint8  // retries consumed (hedges are not retries)
+	hedgeIdx  uint8  // attempt index of the hedge, noHedge if none
+	liveMask  uint16 // bit per attempt still eligible to win
+	pendRetry bool   // a backoff timer is pending; no attempt is live
+	lastBE    int16  // replica of the newest attempt (hedge avoids it)
+}
+
+// frame is one activation of a service's outgoing edges on behalf of a
+// winning call: the cursor of a sequential chain or the join counter
+// of a fan-out. Same arena discipline as calls.
+type frame struct {
+	gen     uint32
+	callRef int32 // owning call slot
+	svc     int32
+	next    int32 // sequential: index of the edge in flight
+	pending int32 // fan-out: children not yet joined
+	failed  bool
+}
+
+// Graph is a service graph on one engine: services, edges, the client
+// entry route, and the arenas every in-flight request tree lives in.
+// It implements sim.Handler for its own timer events.
+type Graph struct {
+	eng *sim.Engine
+	rng *sim.Rand
+	ref sim.HandlerRef
+
+	services []*Service
+	edges    []*Edge
+	entry    *Edge
+
+	calls     []call
+	callFree  []int32
+	frames    []frame
+	frameFree []int32
+
+	// OnRootDone, when set, observes every root-call completion: the
+	// request id, end-to-end latency, and whether the request
+	// succeeded. Closed-loop drivers re-admit from here.
+	OnRootDone func(client uint64, lat cycles.Cycles, ok bool)
+
+	admitted uint64
+	served   uint64
+	failed   uint64
+}
+
+// NewGraph creates an empty graph on eng with its own seeded random
+// stream (load-balancer sampling and cache coins).
+func NewGraph(eng *sim.Engine, seed uint64) *Graph {
+	g := &Graph{eng: eng, rng: sim.NewRand(seed)}
+	g.ref = eng.Register(g)
+	return g
+}
+
+// AddService adds a named service with the given downstream call mode.
+func (g *Graph) AddService(name string, mode CallMode) *Service {
+	s := &Service{g: g, idx: int32(len(g.services)), name: name, mode: mode}
+	g.services = append(g.services, s)
+	return s
+}
+
+// Connect routes calls from one service into another under pol. hit is
+// the edge's cache behaviour (see Edge.hit); 0 for a hard dependency.
+func (g *Graph) Connect(from, to *Service, pol RoutePolicy, hit float64) *Edge {
+	e := &Edge{g: g, idx: int32(len(g.edges)), from: from, to: to, pol: pol.normalized(), hit: hit}
+	g.edges = append(g.edges, e)
+	from.edges = append(from.edges, e)
+	return e
+}
+
+// SetEntry installs the client→root route every admitted request
+// enters through, replacing any previous entry.
+func (g *Graph) SetEntry(root *Service, pol RoutePolicy) *Edge {
+	e := &Edge{g: g, idx: int32(len(g.edges)), from: nil, to: root, pol: pol.normalized()}
+	g.edges = append(g.edges, e)
+	g.entry = e
+	return e
+}
+
+// Entry returns the client→root edge.
+func (g *Graph) Entry() *Edge { return g.entry }
+
+// Reseed replaces the graph's random stream. Orchestrators build the
+// topology at construction time but only learn the run's seed at
+// traffic time; Reseed before the first Admit keeps runs reproducible.
+func (g *Graph) Reseed(seed uint64) { g.rng = sim.NewRand(seed) }
+
+// Admitted, Served, and Failed count root requests: admitted into the
+// graph, completed successfully (goodput), and completed failed.
+func (g *Graph) Admitted() uint64 { return g.admitted }
+func (g *Graph) Served() uint64   { return g.served }
+func (g *Graph) Failed() uint64   { return g.failed }
+
+// Admit injects one client request at the current virtual instant.
+func (g *Graph) Admit(client uint64) {
+	g.admitted++
+	g.startCall(g.entry, -1, 0, client)
+}
+
+// startCall allocates a call on e and issues its first attempt.
+func (g *Graph) startCall(e *Edge, parent int32, parentGen uint32, client uint64) {
+	e.calls++
+	if e.pol.RetryBudget > 0 {
+		e.budget = min(e.budget+e.pol.RetryBudget, retryBudgetCap)
+	}
+	slot := g.allocCall()
+	c := &g.calls[slot]
+	c.edge = e.idx
+	c.parent = parent
+	c.parentGen = parentGen
+	c.client = client
+	c.born = g.eng.Now()
+	c.state = stateRacing
+	c.attempt = 0
+	c.retries = 0
+	c.hedgeIdx = noHedge
+	c.liveMask = 0
+	c.pendRetry = false
+	c.lastBE = -1
+	g.issueAttempt(slot)
+}
+
+// issueAttempt sends the call's next attempt to a replica chosen by
+// the edge's policy. Only the no-live-attempt paths (first attempt,
+// retry) may call it: with nothing routable the call must fail, and
+// that failure is deferred through the event loop because failing
+// synchronously would re-enter the parent frame mid-issue.
+func (g *Graph) issueAttempt(slot int32) {
+	c := &g.calls[slot]
+	e := g.edges[c.edge]
+	bi := e.pick()
+	if bi < 0 {
+		e.noBackend++
+		g.eng.Schedule(0, g.ref, sim.Job{ID: encodeID(kindFail, slot, c.gen, 0)})
+		return
+	}
+	g.issueTo(slot, bi)
+}
+
+// issueTo commits one attempt to replica bi and arms its timeout and,
+// on the first attempt, the hedge.
+func (g *Graph) issueTo(slot int32, bi int) {
+	c := &g.calls[slot]
+	e := g.edges[c.edge]
+	b := e.to.backends[bi]
+	k := c.attempt
+	c.attempt++
+	c.liveMask |= 1 << k
+	c.lastBE = int16(bi)
+	now := g.eng.Now()
+	b.q.Arrive(sim.Job{ID: encodeID(kindAttempt, slot, c.gen, k), Cost: e.attemptCost(b), Born: now})
+	if e.pol.Timeout > 0 {
+		g.eng.Schedule(e.pol.Timeout, g.ref, sim.Job{ID: encodeID(kindTimeout, slot, c.gen, k)})
+	}
+	if k == 0 {
+		if d := e.hedgeDelay(); d > 0 {
+			g.eng.Schedule(d, g.ref, sim.Job{ID: encodeID(kindHedge, slot, c.gen, 0)})
+		}
+	}
+}
+
+// attemptDone is every backend queue's completion hook: j finished at
+// a replica of s. If the call is still racing and this attempt is
+// live, the response wins; otherwise the cycles were wasted — the
+// request timed out, was retried elsewhere, or a hedge twin won.
+func (g *Graph) attemptDone(s *Service, j sim.Job) {
+	s.completions++
+	kind, slot, gen, k := decodeID(j.ID)
+	if kind != kindAttempt || int(slot) >= len(g.calls) {
+		// A job this graph never issued (work injected directly into a
+		// shared queue) — capacity it consumed, but nobody waits for it.
+		s.wasted++
+		s.wastedCycles += j.Cost
+		return
+	}
+	c := &g.calls[slot]
+	if c.gen != gen || c.state != stateRacing || c.liveMask&(1<<k) == 0 {
+		s.wasted++
+		s.wastedCycles += j.Cost
+		return
+	}
+	e := g.edges[c.edge]
+	s.attemptLat.Observe(g.eng.Now() - j.Born)
+	if k == c.hedgeIdx {
+		e.hedgeWins++
+	}
+	c.liveMask = 0
+	c.state = stateSubtree
+	if len(e.to.edges) == 0 {
+		g.completeCall(slot, true)
+		return
+	}
+	g.openFrame(slot, e.to)
+}
+
+// openFrame starts the winning call's downstream edges.
+func (g *Graph) openFrame(callSlot int32, svc *Service) {
+	fslot := g.allocFrame()
+	f := &g.frames[fslot]
+	fgen := f.gen
+	f.callRef = callSlot
+	f.svc = svc.idx
+	f.next = 0
+	f.pending = 0
+	f.failed = false
+	switch svc.mode {
+	case Sequential:
+		g.startCall(svc.edges[0], fslot, fgen, 0)
+	case FanOut:
+		// Draw every skip coin before issuing so a child cannot join
+		// (asynchronously) against a half-counted pending.
+		var issue uint64
+		for i, e := range svc.edges {
+			if e.hit > 0 && g.rng.Float64() < e.hit {
+				continue
+			}
+			issue |= 1 << uint(i)
+			f.pending++
+		}
+		if f.pending == 0 {
+			g.finishFrame(fslot)
+			return
+		}
+		for i, e := range svc.edges {
+			if issue&(1<<uint(i)) != 0 {
+				g.startCall(e, fslot, fgen, 0)
+			}
+		}
+	}
+}
+
+// frameChildDone joins one finished child call into its frame.
+func (g *Graph) frameChildDone(fslot int32, fgen uint32, childEdge *Edge, ok bool) {
+	f := &g.frames[fslot]
+	if f.gen != fgen {
+		return
+	}
+	svc := g.services[f.svc]
+	soft := childEdge.hit > 0 // degraded cache, not a hard dependency
+	switch svc.mode {
+	case Sequential:
+		if !ok && !soft {
+			f.failed = true
+			g.finishFrame(fslot)
+			return
+		}
+		if ok && soft && g.rng.Float64() < childEdge.hit {
+			g.finishFrame(fslot) // tiered-cache hit short-circuits the rest
+			return
+		}
+		f.next++
+		if int(f.next) < len(svc.edges) {
+			g.startCall(svc.edges[f.next], fslot, fgen, 0)
+			return
+		}
+		g.finishFrame(fslot)
+	case FanOut:
+		if !ok && !soft {
+			f.failed = true
+		}
+		f.pending--
+		if f.pending == 0 {
+			g.finishFrame(fslot)
+		}
+	}
+}
+
+// finishFrame completes the frame's owning call.
+func (g *Graph) finishFrame(fslot int32) {
+	f := &g.frames[fslot]
+	callSlot, ok := f.callRef, !f.failed
+	g.freeFrame(fslot)
+	g.completeCall(callSlot, ok)
+}
+
+// completeCall finishes a call — success or failure — observes its
+// latency, frees the slot, and propagates to the parent frame or, at
+// the root, to the traffic source.
+func (g *Graph) completeCall(slot int32, ok bool) {
+	c := &g.calls[slot]
+	e := g.edges[c.edge]
+	lat := g.eng.Now() - c.born
+	parent, parentGen, client := c.parent, c.parentGen, c.client
+	if ok {
+		e.completed++
+		e.lat.Observe(lat)
+	} else {
+		e.failed++
+	}
+	g.freeCall(slot)
+	if parent < 0 {
+		if ok {
+			g.served++
+		} else {
+			g.failed++
+		}
+		if g.OnRootDone != nil {
+			g.OnRootDone(client, lat, ok)
+		}
+		return
+	}
+	g.frameChildDone(parent, parentGen, e, ok)
+}
+
+// HandleEvent dispatches the graph's timer events. Every branch
+// re-validates generation and state: by the time a timer fires, its
+// call may have completed, failed, or been reused.
+func (g *Graph) HandleEvent(_ *sim.Engine, j sim.Job) {
+	kind, slot, gen, k := decodeID(j.ID)
+	c := &g.calls[slot]
+	if c.gen != gen || c.state != stateRacing {
+		return
+	}
+	switch kind {
+	case kindTimeout:
+		if c.liveMask&(1<<k) == 0 {
+			return
+		}
+		c.liveMask &^= 1 << k
+		g.edges[c.edge].timeouts++
+		if c.liveMask != 0 {
+			return // a hedge twin is still racing
+		}
+		g.maybeRetry(slot)
+	case kindRetry:
+		if !c.pendRetry {
+			return
+		}
+		c.pendRetry = false
+		g.issueAttempt(slot)
+	case kindHedge:
+		if c.hedgeIdx != noHedge || c.liveMask == 0 {
+			return // already hedged, or primary gone (retry pending)
+		}
+		e := g.edges[c.edge]
+		bi := e.pickOther(int(c.lastBE))
+		if bi < 0 {
+			return // nothing to hedge to; the primary races on alone
+		}
+		c.hedgeIdx = c.attempt
+		e.hedges++
+		g.issueTo(slot, bi)
+	case kindFail:
+		g.completeCall(slot, false)
+	}
+}
+
+// maybeRetry decides a call's fate after its last live attempt died:
+// retry under the ladder and budget, or fail.
+func (g *Graph) maybeRetry(slot int32) {
+	c := &g.calls[slot]
+	e := g.edges[c.edge]
+	if int(c.retries) >= e.pol.Retries {
+		g.completeCall(slot, false)
+		return
+	}
+	if e.pol.RetryBudget > 0 {
+		if e.budget < 1 {
+			e.budgetDenied++
+			g.completeCall(slot, false)
+			return
+		}
+		e.budget--
+	}
+	c.retries++
+	e.retries++
+	backoff := e.pol.Backoff << (c.retries - 1)
+	if backoff > e.pol.BackoffCap {
+		backoff = e.pol.BackoffCap
+	}
+	c.pendRetry = true
+	g.eng.Schedule(backoff, g.ref, sim.Job{ID: encodeID(kindRetry, slot, c.gen, 0)})
+}
+
+// AttemptLost reports that a queued attempt was dropped before service
+// (a crashed node's backlog): the attempt dies immediately, as if its
+// timeout had fired, and the call retries or fails under its policy.
+func (g *Graph) AttemptLost(j sim.Job) {
+	kind, slot, gen, k := decodeID(j.ID)
+	if kind != kindAttempt || int(slot) >= len(g.calls) {
+		return
+	}
+	c := &g.calls[slot]
+	if c.gen != gen || c.state != stateRacing || c.liveMask&(1<<k) == 0 {
+		return
+	}
+	c.liveMask &^= 1 << k
+	g.edges[c.edge].lost++
+	if c.liveMask == 0 && !c.pendRetry {
+		g.maybeRetry(slot)
+	}
+}
+
+// allocCall claims a call slot; generations distinguish reuses.
+func (g *Graph) allocCall() int32 {
+	if n := len(g.callFree); n > 0 {
+		slot := g.callFree[n-1]
+		g.callFree = g.callFree[:n-1]
+		return slot
+	}
+	g.calls = append(g.calls, call{})
+	return int32(len(g.calls) - 1)
+}
+
+func (g *Graph) freeCall(slot int32) {
+	c := &g.calls[slot]
+	c.state = stateFree
+	c.gen = (c.gen + 1) & idGenMask
+	g.callFree = append(g.callFree, slot)
+}
+
+func (g *Graph) allocFrame() int32 {
+	if n := len(g.frameFree); n > 0 {
+		slot := g.frameFree[n-1]
+		g.frameFree = g.frameFree[:n-1]
+		return slot
+	}
+	g.frames = append(g.frames, frame{})
+	return int32(len(g.frames) - 1)
+}
+
+func (g *Graph) freeFrame(slot int32) {
+	f := &g.frames[slot]
+	f.gen = (f.gen + 1) & idGenMask
+	g.frameFree = append(g.frameFree, slot)
+}

@@ -1,0 +1,426 @@
+// Package ingress is the L7 tier of the simulation: a reverse proxy
+// and service-graph layer running natively on the allocation-free
+// discrete-event kernel (internal/sim).
+//
+// The paper's headline numbers are single-host measurements — one
+// NGINX, one memcached, a load generator wired straight into the
+// server. Production deployments front those runtimes with an ingress
+// proxy and compose them into service graphs, and it is the ingress
+// tier's mechanics that decide how single-host overheads surface at
+// the tail: connection handling (keep-alive versus per-request
+// handshakes, charged from the runtime kind's cycles.CostTable),
+// per-route load-balancing policies over replica sets (round-robin,
+// weighted, join-shortest-queue, power-of-two-choices), and robustness
+// mechanics — per-attempt timeouts, capped exponential-backoff retries
+// governed by a retry budget, and tail-latency hedging. Nothing here
+// asserts an outcome: retry storms, goodput collapse, and hedging wins
+// all emerge from queueing, per runtime kind, and are therefore
+// byte-deterministic per seed and golden-testable.
+//
+// The unit of composition is the Graph: services are replica-backed
+// queues, edges are RPC routes with their own policy, and a request is
+// a tree of calls — sequential chains, fan-out joins, and tiered-cache
+// short-circuits — driven entirely by typed kernel events. The hot
+// path allocates nothing in steady state: calls and frames live in
+// slot arenas with free lists, timers are typed events, and every
+// per-request decision works on preallocated state.
+package ingress
+
+import (
+	"fmt"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/sim"
+)
+
+// Policy selects how an edge spreads calls over its target's replicas.
+type Policy uint8
+
+const (
+	// RoundRobin rotates over up replicas in order.
+	RoundRobin Policy = iota
+	// Weighted is smooth weighted round-robin (the NGINX algorithm):
+	// replicas are visited proportionally to their weights with maximal
+	// spacing, deterministically.
+	Weighted
+	// JSQ joins the shortest queue — the global-information ideal.
+	JSQ
+	// PowerOfTwo samples two seeded-random replicas and joins the
+	// shorter queue — the classic load-balancing compromise that gets
+	// most of JSQ's benefit with two probes.
+	PowerOfTwo
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "rr"
+	case Weighted:
+		return "weighted"
+	case JSQ:
+		return "jsq"
+	case PowerOfTwo:
+		return "p2c"
+	}
+	return fmt.Sprintf("lb-%d", uint8(p))
+}
+
+// ParsePolicy resolves a load-balancing policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "rr", "round-robin", "roundrobin":
+		return RoundRobin, nil
+	case "weighted", "wrr":
+		return Weighted, nil
+	case "jsq", "shortest-queue":
+		return JSQ, nil
+	case "p2c", "power-of-two", "po2":
+		return PowerOfTwo, nil
+	}
+	return 0, fmt.Errorf("ingress: unknown load-balancing policy %q (known: rr|weighted|jsq|p2c)", s)
+}
+
+// PolicyUsage renders the known policy names for flag help strings.
+func PolicyUsage() string { return "rr|weighted|jsq|p2c" }
+
+const (
+	// maxRetries bounds the retry ladder so a call's attempt bitmask
+	// (primary + retries + one hedge) stays within its 16 bits.
+	maxRetries = 8
+	// retryBudgetCap bounds token accrual so long quiet periods cannot
+	// bank an unbounded retry burst.
+	retryBudgetCap = 64.0
+	// hedgeMinSamples is how many completed attempts a route must have
+	// observed before the hedge delay (a latency quantile) is
+	// meaningful; hedging stays off below it.
+	hedgeMinSamples = 64
+)
+
+// RoutePolicy is one edge's connection handling and robustness
+// configuration. The zero value is a plain route: no handshake charge,
+// no timeout, no retries, no hedging.
+type RoutePolicy struct {
+	// LB spreads this edge's calls over the target's replicas.
+	LB Policy
+
+	// ConnSetup is the connection-establishment cost charged to the
+	// serving replica (derive it from the runtime kind with
+	// ConnSetupCost). With KeepAlive it is amortized: one handshake
+	// per KeepAliveReqs requests per replica; without, every request
+	// pays it — the per-request-connection regime.
+	ConnSetup cycles.Cycles
+	// KeepAlive reuses connections; KeepAliveReqs is requests served
+	// per connection before it is recycled (0 = 100).
+	KeepAlive     bool
+	KeepAliveReqs int
+
+	// Timeout is the per-attempt deadline (0 = none). A timed-out
+	// attempt is abandoned — the replica still spends the cycles, which
+	// is exactly what makes retry storms amplify load — and retried if
+	// Retries and the budget allow.
+	Timeout cycles.Cycles
+	// Retries is the maximum retry attempts per call (capped at 8).
+	Retries int
+	// Backoff is the base retry delay, doubling per retry up to
+	// BackoffCap (0 = immediate retry; BackoffCap 0 = 8× Backoff).
+	Backoff    cycles.Cycles
+	BackoffCap cycles.Cycles
+	// RetryBudget, when > 0, is the token ratio governing retries: each
+	// admitted call accrues RetryBudget tokens (capped), each retry
+	// spends one. 0.1 ≈ "retries may add at most 10% load". 0 means
+	// unbudgeted — the configuration that lets retry storms collapse
+	// goodput.
+	RetryBudget float64
+
+	// HedgeP, when > 0, arms tail-latency hedging: an attempt still
+	// outstanding after the route's observed HedgeP attempt-latency
+	// quantile gets a second, concurrent attempt on a different
+	// replica; first completion wins, the loser is wasted work. Hedging
+	// waits for hedgeMinSamples completions before engaging.
+	HedgeP float64
+}
+
+// normalized applies defaults and caps.
+func (p RoutePolicy) normalized() RoutePolicy {
+	if p.KeepAlive && p.KeepAliveReqs <= 0 {
+		p.KeepAliveReqs = 100
+	}
+	if p.Retries > maxRetries {
+		p.Retries = maxRetries
+	}
+	if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.BackoffCap == 0 {
+		p.BackoffCap = 8 * p.Backoff
+	}
+	return p
+}
+
+// CallMode is how a service invokes its outgoing edges.
+type CallMode uint8
+
+const (
+	// Sequential calls edges in order; an edge with a hit ratio may
+	// short-circuit the rest (tiered cache).
+	Sequential CallMode = iota
+	// FanOut calls every edge concurrently and joins on all of them;
+	// an edge's hit ratio is its skip probability (local-cache hit).
+	FanOut
+)
+
+// backend is one replica of a service: a queue plus routing state.
+type backend struct {
+	q      *sim.Queue
+	cost   cycles.Cycles // per-request service demand at this replica
+	weight int
+	down   bool
+
+	kaLeft int // keep-alive: requests left on the open connections
+	cw     int // smooth weighted round-robin current weight
+}
+
+// Service is one node of the graph: a named replica set plus the edges
+// it calls downstream.
+type Service struct {
+	g    *Graph
+	idx  int32
+	name string
+	mode CallMode
+
+	backends []*backend
+	edges    []*Edge
+
+	// attemptLat observes completed attempts' service-phase latency
+	// (attempt start → replica completion, queueing included) — the
+	// basis for hedge delays.
+	attemptLat sim.Histogram
+
+	completions  uint64 // attempts completed at replicas, wasted included
+	wasted       uint64 // completions nobody was waiting for any more
+	wastedCycles cycles.Cycles
+}
+
+// Name returns the service's display name.
+func (s *Service) Name() string { return s.name }
+
+// AddBackend registers one replica and returns its index. after, when
+// non-nil, runs on every completion at this replica after the graph's
+// own bookkeeping — the hook owners use for drain checks. The graph
+// takes over q.OnDone; set OnStart on the queue directly if needed.
+func (s *Service) AddBackend(q *sim.Queue, cost cycles.Cycles, weight int, after func(sim.Job)) int {
+	if weight < 1 {
+		weight = 1
+	}
+	b := &backend{q: q, cost: cost, weight: weight}
+	idx := len(s.backends)
+	s.backends = append(s.backends, b)
+	q.OnDone = func(j sim.Job) {
+		s.g.attemptDone(s, j)
+		if after != nil {
+			after(j)
+		}
+	}
+	return idx
+}
+
+// SetDown marks a replica (un)routable. Down replicas finish what they
+// hold; new calls route around them.
+func (s *Service) SetDown(i int, down bool) { s.backends[i].down = down }
+
+// SetCost changes a replica's per-request demand — the brown-out lever
+// (a slow replica keeps accepting traffic at a multiple of the cost).
+func (s *Service) SetCost(i int, cost cycles.Cycles) { s.backends[i].cost = cost }
+
+// Edge is one route: calls from one service (or the client) into
+// another, under a policy. Edges are created in Connect order and
+// reported in that order.
+type Edge struct {
+	g        *Graph
+	idx      int32
+	from, to *Service // from == nil for the entry edge
+	pol      RoutePolicy
+	// hit is the edge's cache behaviour. Sequential mode: probability
+	// that, after this edge completes, the remaining edges are skipped
+	// (a tiered-cache hit). FanOut mode: probability the edge is not
+	// called at all. An edge with hit > 0 is a soft dependency — its
+	// failure degrades to a miss instead of failing the caller.
+	hit float64
+
+	rr     int // round-robin cursor
+	budget float64
+
+	// lat observes successful full-call latency (admission → call
+	// completion, downstream subtree included) — the reported
+	// percentiles.
+	lat sim.Histogram
+
+	calls        uint64
+	completed    uint64
+	failed       uint64
+	retries      uint64
+	timeouts     uint64
+	lost         uint64 // attempts lost with a dead backlog, retried like timeouts
+	hedges       uint64
+	hedgeWins    uint64
+	budgetDenied uint64
+	noBackend    uint64
+	handshakes   uint64
+}
+
+// Name renders the route like "ingress->app"; the entry edge's source
+// is the client.
+func (e *Edge) Name() string {
+	from := "client"
+	if e.from != nil {
+		from = e.from.name
+	}
+	return from + "->" + e.to.name
+}
+
+// pick selects a replica index under the edge's policy, or -1 when no
+// replica is up. Deterministic: ties break on the lower index, and the
+// only randomness (PowerOfTwo) draws from the graph's seeded stream.
+func (e *Edge) pick() int {
+	bs := e.to.backends
+	n := len(bs)
+	switch e.pol.LB {
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			idx := (e.rr + i) % n
+			if !bs[idx].down {
+				e.rr = idx + 1
+				return idx
+			}
+		}
+	case Weighted:
+		total := 0
+		best := -1
+		for i, b := range bs {
+			if b.down {
+				continue
+			}
+			b.cw += b.weight
+			total += b.weight
+			if best < 0 || b.cw > bs[best].cw {
+				best = i
+			}
+		}
+		if best >= 0 {
+			bs[best].cw -= total
+		}
+		return best
+	case JSQ:
+		// Scan from the rotating cursor so depth ties spread round-robin
+		// instead of pinning to the lowest index — a deterministic stand-in
+		// for the random tie-break real balancers use. Without it, an
+		// evenly-loaded fleet funnels every tie into replica 0, which is
+		// catastrophic when replica 0 is the degraded one.
+		best := -1
+		for i := 0; i < n; i++ {
+			idx := (e.rr + i) % n
+			if bs[idx].down {
+				continue
+			}
+			if best < 0 || bs[idx].q.Depth() < bs[best].q.Depth() {
+				best = idx
+			}
+		}
+		if best >= 0 {
+			e.rr = best + 1
+		}
+		return best
+	case PowerOfTwo:
+		up := 0
+		for _, b := range bs {
+			if !b.down {
+				up++
+			}
+		}
+		if up == 0 {
+			return -1
+		}
+		a := e.nthUp(int(e.g.rng.Uint64() % uint64(up)))
+		if up == 1 {
+			return a
+		}
+		b := e.nthUp(int(e.g.rng.Uint64() % uint64(up)))
+		if b == a {
+			b = e.nextUp(a)
+		}
+		// Ties keep the first sample — breaking toward an index would
+		// starve high indices whenever the fleet is idle.
+		if bs[b].q.Depth() < bs[a].q.Depth() {
+			return b
+		}
+		return a
+	}
+	return -1
+}
+
+// nthUp returns the index of the k-th up replica (k < up count).
+func (e *Edge) nthUp(k int) int {
+	for i, b := range e.to.backends {
+		if b.down {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return -1
+}
+
+// nextUp returns the next up replica after i, cyclically.
+func (e *Edge) nextUp(i int) int {
+	bs := e.to.backends
+	for d := 1; d < len(bs); d++ {
+		j := (i + d) % len(bs)
+		if !bs[j].down {
+			return j
+		}
+	}
+	return i
+}
+
+// pickOther prefers a replica different from avoid — the hedge target.
+func (e *Edge) pickOther(avoid int) int {
+	idx := e.pick()
+	if idx == avoid {
+		if alt := e.nextUp(idx); alt != idx {
+			return alt
+		}
+	}
+	return idx
+}
+
+// attemptCost is the service demand of one attempt at replica b:
+// per-request cost plus the connection-handling charge.
+func (e *Edge) attemptCost(b *backend) cycles.Cycles {
+	cost := b.cost
+	if e.pol.ConnSetup == 0 {
+		return cost
+	}
+	if !e.pol.KeepAlive {
+		e.handshakes++
+		return cost + e.pol.ConnSetup
+	}
+	if b.kaLeft == 0 {
+		e.handshakes++
+		cost += e.pol.ConnSetup
+		b.kaLeft = e.pol.KeepAliveReqs
+	}
+	b.kaLeft--
+	return cost
+}
+
+// hedgeDelay is the armed hedge trigger: the route target's observed
+// HedgeP attempt-latency quantile, or 0 when hedging is off or still
+// warming up.
+func (e *Edge) hedgeDelay() cycles.Cycles {
+	if e.pol.HedgeP <= 0 || e.to.attemptLat.Count() < hedgeMinSamples {
+		return 0
+	}
+	return e.to.attemptLat.Quantile(e.pol.HedgeP)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ingress
+
+const raceEnabled = false

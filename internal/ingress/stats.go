@@ -1,0 +1,114 @@
+package ingress
+
+import (
+	"xcontainers/internal/cycles"
+)
+
+// RouteStats is one edge's report section: call accounting, robustness
+// counters, and successful-call latency percentiles in virtual
+// microseconds. Field order is the JSON order in reports; counters
+// that read zero for plain routes are omitted there.
+type RouteStats struct {
+	Route     string `json:"route"`
+	Calls     uint64 `json:"calls"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed,omitempty"`
+
+	Retries      uint64 `json:"retries,omitempty"`
+	Timeouts     uint64 `json:"timeouts,omitempty"`
+	Lost         uint64 `json:"lost,omitempty"`
+	Hedges       uint64 `json:"hedges,omitempty"`
+	HedgeWins    uint64 `json:"hedge_wins,omitempty"`
+	BudgetDenied uint64 `json:"budget_denied,omitempty"`
+	NoBackend    uint64 `json:"no_backend,omitempty"`
+	Handshakes   uint64 `json:"handshakes,omitempty"`
+
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// statsOf snapshots one edge.
+func statsOf(e *Edge) RouteStats {
+	return RouteStats{
+		Route:     e.Name(),
+		Calls:     e.calls,
+		Completed: e.completed,
+		Failed:    e.failed,
+
+		Retries:      e.retries,
+		Timeouts:     e.timeouts,
+		Lost:         e.lost,
+		Hedges:       e.hedges,
+		HedgeWins:    e.hedgeWins,
+		BudgetDenied: e.budgetDenied,
+		NoBackend:    e.noBackend,
+		Handshakes:   e.handshakes,
+
+		MeanUS: e.lat.MeanMicros(),
+		P50US:  e.lat.Quantile(0.50).Micros(),
+		P95US:  e.lat.Quantile(0.95).Micros(),
+		P99US:  e.lat.Quantile(0.99).Micros(),
+		MaxUS:  e.lat.Max().Micros(),
+	}
+}
+
+// RouteStats snapshots every edge in creation order (the entry edge
+// where SetEntry placed it).
+func (g *Graph) RouteStats() []RouteStats {
+	out := make([]RouteStats, len(g.edges))
+	for i, e := range g.edges {
+		out[i] = statsOf(e)
+	}
+	return out
+}
+
+// ServiceStats is one service's report section: replica-set capacity
+// consumed over the run window, including the work that bought nothing
+// — completions for calls that had already timed out, been retried, or
+// lost their hedge race. Wasted work is the retry storm's signature:
+// offered load stays flat while goodput collapses.
+type ServiceStats struct {
+	Service     string  `json:"service"`
+	Replicas    int     `json:"replicas"`
+	Completions uint64  `json:"completions"`
+	Wasted      uint64  `json:"wasted,omitempty"`
+	WastedMS    float64 `json:"wasted_ms,omitempty"`
+	Utilization float64 `json:"utilization"` // averaged across replicas
+	MeanDepth   float64 `json:"mean_depth"`  // time-averaged, per replica
+	MaxDepth    int     `json:"max_depth"`   // worst single replica
+}
+
+// ServiceStats snapshots every service over the window [0, horizon],
+// in creation order.
+func (g *Graph) ServiceStats(horizon cycles.Cycles) []ServiceStats {
+	out := make([]ServiceStats, len(g.services))
+	for i, s := range g.services {
+		st := ServiceStats{
+			Service:     s.name,
+			Replicas:    len(s.backends),
+			Completions: s.completions,
+			Wasted:      s.wasted,
+			WastedMS:    s.wastedCycles.Micros() / 1e3,
+		}
+		var util, depth float64
+		maxD := 0
+		for _, b := range s.backends {
+			util += b.q.Utilization(horizon)
+			depth += b.q.MeanDepth(horizon)
+			if d := b.q.MaxDepth(); d > maxD {
+				maxD = d
+			}
+		}
+		if n := len(s.backends); n > 0 {
+			st.Utilization = util / float64(n)
+			depth /= float64(n)
+		}
+		st.MeanDepth = depth
+		st.MaxDepth = maxD
+		out[i] = st
+	}
+	return out
+}

@@ -47,6 +47,33 @@ type Pipeline struct {
 	Stations []Station
 }
 
+// mergedStation is one entry of the pipeline's same-name merge: costs
+// of every appearance summed against one CPU budget, the budget taken
+// from the first appearance. Bottleneck and Simulate both build on
+// this one merge, so the closed-form capacity and the emergent
+// queueing bottleneck can never drift apart.
+type mergedStation struct {
+	name  string
+	cost  cycles.Cycles // per-request cost summed over appearances
+	cores float64       // CPU budget, from the first appearance
+}
+
+// merged folds same-name stations, preserving first-appearance order.
+func (p Pipeline) merged() []mergedStation {
+	idx := map[string]int{}
+	out := make([]mergedStation, 0, len(p.Stations))
+	for _, s := range p.Stations {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, mergedStation{name: s.Name, cores: s.Cores})
+		}
+		out[i].cost += s.CostPerReq
+	}
+	return out
+}
+
 // Bottleneck returns the sustainable throughput (requests/s) and the
 // limiting station's name. Replicated stations (Replicas > 1) are
 // expressed by giving the station proportionally more cores before
@@ -55,33 +82,16 @@ func (p Pipeline) Bottleneck() (float64, string, error) {
 	if len(p.Stations) == 0 {
 		return 0, "", fmt.Errorf("netsim: empty pipeline")
 	}
-	// Merge same-name stations: their costs add against one budget.
-	type agg struct {
-		cost  cycles.Cycles
-		cores float64
-	}
-	merged := map[string]*agg{}
-	order := []string{}
-	for _, s := range p.Stations {
-		a, ok := merged[s.Name]
-		if !ok {
-			a = &agg{cores: s.Cores}
-			merged[s.Name] = a
-			order = append(order, s.Name)
-		}
-		a.cost += s.CostPerReq
-	}
 	best := -1.0
 	name := ""
-	for _, n := range order {
-		a := merged[n]
-		if a.cost == 0 {
+	for _, m := range p.merged() {
+		if m.cost == 0 {
 			continue
 		}
-		cap := a.cores * cycles.Hz / float64(a.cost)
+		cap := m.cores * cycles.Hz / float64(m.cost)
 		if best < 0 || cap < best {
 			best = cap
-			name = n
+			name = m.name
 		}
 	}
 	if best < 0 {
@@ -166,40 +176,51 @@ func (p Pipeline) Simulate(ratePerSec, seconds float64, seed uint64) (*SimResult
 	eng := sim.NewEngine()
 	horizon := cycles.FromSeconds(seconds)
 
-	// Merge same-name stations into shared queues, preserving order;
-	// like Bottleneck, a station's CPU budget comes from its first
-	// appearance.
+	// Build one queue per merged station — the same merge Bottleneck
+	// uses, so the two views agree on budgets by construction.
 	queues := map[string]*sim.Queue{}
-	cores := map[string]float64{}
+	scale := map[string]float64{}
 	var order []*sim.Queue
-	legs := make([]leg, 0, len(p.Stations))
 	anyCost := false
-	for _, s := range p.Stations {
-		q, ok := queues[s.Name]
-		if !ok {
-			// Whole cores become real servers; fractional capacity
-			// becomes one server with service times scaled by 1/cores,
-			// which preserves the station's aggregate rate.
-			servers := int(s.Cores)
-			if float64(servers) != s.Cores || servers < 1 {
-				servers = 1
-			}
-			q = sim.NewQueue(eng, s.Name, servers)
-			queues[s.Name] = q
-			cores[s.Name] = s.Cores
-			order = append(order, q)
+	for _, m := range p.merged() {
+		// Whole cores become real servers; fractional capacity becomes
+		// one server with service times scaled by 1/cores, which
+		// preserves the station's aggregate rate. A station with no
+		// cores has no capacity at all — Bottleneck prices it at zero,
+		// so here its legs take longer than any horizon and nothing
+		// ever completes through it.
+		servers := int(m.cores)
+		sc := 1.0
+		switch {
+		case m.cores <= 0:
+			servers = 1
+			sc = 0
+		case float64(servers) != m.cores || servers < 1:
+			servers = 1
+			sc = 1 / m.cores
 		}
-		cost := s.CostPerReq
-		if c := cores[s.Name]; c > 0 && float64(int(c)) != c {
-			cost = cycles.Cycles(float64(cost) / c)
-		}
-		if cost > 0 {
+		q := sim.NewQueue(eng, m.name, servers)
+		queues[m.name] = q
+		scale[m.name] = sc
+		order = append(order, q)
+		if m.cost > 0 {
 			anyCost = true
 		}
-		legs = append(legs, leg{q: q, cost: cost})
 	}
 	if !anyCost {
 		return nil, fmt.Errorf("netsim: pipeline has no cost")
+	}
+	legs := make([]leg, 0, len(p.Stations))
+	for _, s := range p.Stations {
+		cost := s.CostPerReq
+		if sc := scale[s.Name]; sc == 0 {
+			if cost > 0 {
+				cost = horizon + 1 // zero-capacity station: never finishes
+			}
+		} else if sc != 1 {
+			cost = cycles.Cycles(float64(cost) * sc)
+		}
+		legs = append(legs, leg{q: queues[s.Name], cost: cost})
 	}
 
 	var latency sim.Histogram

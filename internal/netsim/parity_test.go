@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// The closed-form view (Bottleneck) and the queueing view (Simulate)
+// share one same-name merge; these tests lock the two paths together
+// across the merge's corner cases. Under sustained overload a
+// pipeline's simulated throughput must converge on the closed-form
+// capacity, and both views must blame the same station.
+
+func parityCase(t *testing.T, name string, p Pipeline) {
+	t.Helper()
+	capacity, limiter, err := p.Bottleneck()
+	if err != nil {
+		t.Fatalf("%s: Bottleneck: %v", name, err)
+	}
+
+	// Below capacity the two views must agree exactly: everything
+	// offered completes, and the busiest station is the one the closed
+	// form blames (utilization is offered×mergedCost/mergedCores — the
+	// same ratio Bottleneck minimizes over).
+	under, err := p.Simulate(0.9*capacity, 2.0, 42)
+	if err != nil {
+		t.Fatalf("%s: Simulate: %v", name, err)
+	}
+	if rel := math.Abs(under.Throughput-0.9*capacity) / capacity; rel > 0.03 {
+		t.Errorf("%s: at 0.9×capacity simulated %.0f/s, offered %.0f/s (%.1f%% off)",
+			name, under.Throughput, 0.9*capacity, 100*rel)
+	}
+	if under.Bottleneck != limiter {
+		t.Errorf("%s: simulation's busiest station %q, closed form blames %q",
+			name, under.Bottleneck, limiter)
+	}
+
+	// Under overload the blamed station must pin at utilization 1, and
+	// emergent throughput can only be at or below the closed form:
+	// FIFO sharing lets a multi-visit bottleneck starve its later legs
+	// (first-leg arrivals drown returning jobs), so the merge capacity
+	// is an upper bound the simulation approaches, not an identity.
+	over, err := p.Simulate(1.5*capacity, 2.0, 42)
+	if err != nil {
+		t.Fatalf("%s: Simulate overload: %v", name, err)
+	}
+	if over.Bottleneck != limiter {
+		t.Errorf("%s: overloaded simulation saturates %q, closed form blames %q",
+			name, over.Bottleneck, limiter)
+	}
+	for _, s := range over.Stations {
+		if s.Name == limiter && s.Utilization < 0.99 {
+			t.Errorf("%s: limiter %q at utilization %.3f under 1.5×capacity, want pinned ≈ 1",
+				name, s.Name, s.Utilization)
+		}
+	}
+	if over.Throughput > 1.02*capacity {
+		t.Errorf("%s: overload throughput %.0f/s exceeds closed-form capacity %.0f/s",
+			name, over.Throughput, capacity)
+	}
+}
+
+func TestSimulateBottleneckParity(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pipeline
+	}{
+		{"plain chain", Pipeline{Stations: []Station{
+			{Name: "proxy", CostPerReq: 30_000, Cores: 1},
+			{Name: "app", CostPerReq: 90_000, Cores: 2},
+		}}},
+		{"nat double visit", Pipeline{Stations: []Station{
+			// The NAT-mode balancer is charged on both legs: its merged
+			// cost (25k+25k against one core) must be what saturates,
+			// not two independent 25k stations.
+			{Name: "lb", CostPerReq: 25_000, Cores: 1},
+			{Name: "app", CostPerReq: 40_000, Cores: 1},
+			{Name: "lb", CostPerReq: 25_000, Cores: 1},
+		}}},
+		{"fractional cores", Pipeline{Stations: []Station{
+			{Name: "lb", CostPerReq: 10_000, Cores: 0.5},
+			{Name: "app", CostPerReq: 60_000, Cores: 4},
+		}}},
+		{"repeated fractional", Pipeline{Stations: []Station{
+			{Name: "lb", CostPerReq: 8_000, Cores: 0.75},
+			{Name: "app", CostPerReq: 20_000, Cores: 2},
+			{Name: "lb", CostPerReq: 8_000, Cores: 0.75},
+		}}},
+		{"zero-cost hop ignored", Pipeline{Stations: []Station{
+			{Name: "wire", CostPerReq: 0, Cores: 1},
+			{Name: "app", CostPerReq: 50_000, Cores: 1},
+		}}},
+	}
+	for _, c := range cases {
+		parityCase(t, c.name, c.p)
+	}
+}
+
+// TestSimulateZeroCoreStationParity: a station with no CPU at all has
+// zero closed-form capacity; the simulation must agree by completing
+// nothing, instead of silently granting the station a free core (the
+// divergence this test pins down).
+func TestSimulateZeroCoreStationParity(t *testing.T) {
+	p := Pipeline{Stations: []Station{
+		{Name: "app", CostPerReq: 50_000, Cores: 1},
+		{Name: "stalled", CostPerReq: 10_000, Cores: 0},
+	}}
+	capacity, limiter, err := p.Bottleneck()
+	if err != nil {
+		t.Fatalf("Bottleneck: %v", err)
+	}
+	if capacity != 0 || limiter != "stalled" {
+		t.Fatalf("closed form: capacity %.0f by %q, want 0 by stalled", capacity, limiter)
+	}
+	res, err := p.Simulate(10_000, 0.5, 7)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Completed != 0 {
+		t.Errorf("zero-core station completed %d requests, want 0", res.Completed)
+	}
+	if res.Bottleneck != "stalled" {
+		t.Errorf("simulation blames %q, want stalled", res.Bottleneck)
+	}
+}
+
+// TestMergePreservesFirstAppearance: the merge keeps first-appearance
+// order and budget — the properties both consumers assume.
+func TestMergePreservesFirstAppearance(t *testing.T) {
+	p := Pipeline{Stations: []Station{
+		{Name: "a", CostPerReq: 10, Cores: 2},
+		{Name: "b", CostPerReq: 20, Cores: 1},
+		{Name: "a", CostPerReq: 30, Cores: 99}, // later cores ignored
+	}}
+	m := p.merged()
+	if len(m) != 2 || m[0].name != "a" || m[1].name != "b" {
+		t.Fatalf("merge order wrong: %+v", m)
+	}
+	if m[0].cost != 40 || m[0].cores != 2 {
+		t.Errorf("station a merged to cost=%d cores=%v, want 40/2", m[0].cost, m[0].cores)
+	}
+}

@@ -78,6 +78,30 @@ func (h *Histogram) MeanMicros() float64 {
 // Max returns the largest sample observed.
 func (h *Histogram) Max() cycles.Cycles { return h.max }
 
+// Merge folds other's samples into h bucket-wise. Because buckets are
+// fixed and counts add, Merge is commutative and associative, and a
+// merged histogram reports exactly the statistics it would have had if
+// every sample had been observed directly — the property that lets
+// per-route and per-shard histograms roll up into fleet percentiles
+// without re-observing (and, later, lets sharded simulations merge
+// streaming histograms deterministically).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for b, c := range other.counts[:other.hi+1] {
+		h.counts[b] += c
+	}
+	if other.hi > h.hi {
+		h.hi = other.hi
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) with
 // the bucket resolution's relative error. The exact maximum is
 // returned for quantiles that land in the top bucket.

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// sameHist compares every observable statistic of two histograms.
+func sameHist(t *testing.T, label string, got, want *Histogram) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Errorf("%s: count %d, want %d", label, got.Count(), want.Count())
+	}
+	if got.Mean() != want.Mean() {
+		t.Errorf("%s: mean %v, want %v", label, got.Mean(), want.Mean())
+	}
+	if got.Max() != want.Max() {
+		t.Errorf("%s: max %v, want %v", label, got.Max(), want.Max())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Errorf("%s: q%.2f = %v, want %v", label, q, g, w)
+		}
+	}
+}
+
+// TestHistogramMergeEqualsUnion: merging two histograms must be
+// indistinguishable from observing the union of their samples.
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	r := NewRand(31)
+	var a, b, union Histogram
+	for i := 0; i < 5000; i++ {
+		v := cycles.Cycles(r.Uint64() % 2_000_000)
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		union.Observe(v)
+	}
+	merged := a // value copy: Merge must not need a fresh receiver
+	merged.Merge(&b)
+	sameHist(t, "a+b vs union", &merged, &union)
+}
+
+// TestHistogramMergeCommutative: a.Merge(b) and b.Merge(a) agree on
+// every statistic — the property that makes shard order irrelevant.
+func TestHistogramMergeCommutative(t *testing.T) {
+	r := NewRand(77)
+	var a, b Histogram
+	for i := 0; i < 1000; i++ {
+		a.Observe(cycles.Cycles(r.Uint64() % 500_000))
+		b.Observe(cycles.Cycles(r.Uint64() % 50_000_000))
+	}
+	ab, ba := a, b
+	ab.Merge(&b)
+	ba.Merge(&a)
+	sameHist(t, "ab vs ba", &ab, &ba)
+}
+
+// TestHistogramMergeEmpty: merging an empty histogram (or nil) is a
+// no-op in both directions, and empty+empty stays empty.
+func TestHistogramMergeEmpty(t *testing.T) {
+	var full, empty Histogram
+	for i := cycles.Cycles(1); i <= 100; i++ {
+		full.Observe(i * 1000)
+	}
+	want := full
+	full.Merge(&empty)
+	full.Merge(nil)
+	sameHist(t, "full+empty", &full, &want)
+
+	got := empty
+	got.Merge(&full)
+	sameHist(t, "empty+full", &got, &want)
+
+	var e1, e2 Histogram
+	e1.Merge(&e2)
+	if e1.Count() != 0 || e1.Quantile(0.99) != 0 || e1.Max() != 0 {
+		t.Errorf("empty+empty not empty: count %d", e1.Count())
+	}
+}
+
+// TestHistogramMergeAssociative: (a+b)+c == a+(b+c).
+func TestHistogramMergeAssociative(t *testing.T) {
+	r := NewRand(5)
+	var a, b, c Histogram
+	for i := 0; i < 700; i++ {
+		a.Observe(cycles.Cycles(r.Uint64() % 1000))
+		b.Observe(cycles.Cycles(r.Uint64() % 1_000_000))
+		c.Observe(cycles.Cycles(r.Uint64() % 1_000_000_000))
+	}
+	left := a
+	left.Merge(&b)
+	left.Merge(&c)
+	bc := b
+	bc.Merge(&c)
+	right := a
+	right.Merge(&bc)
+	sameHist(t, "(a+b)+c vs a+(b+c)", &left, &right)
+}

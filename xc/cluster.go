@@ -54,6 +54,12 @@ type ClusterSpec struct {
 	// FailNode, when > 0, kills one seeded-randomly chosen node at that
 	// virtual second; its containers are rescheduled onto survivors.
 	FailNode float64
+	// Ingress, when non-nil, fronts the fleet with the L7 ingress tier:
+	// requests pay the proxy hop and reach replicas under the spec's
+	// load-balancing and robustness policy, instead of the built-in
+	// join-shortest-queue front door. The report grows per-route and
+	// per-service sections.
+	Ingress *IngressSpec
 }
 
 // Cluster is a fleet factory: one container architecture plus platform
@@ -120,7 +126,7 @@ func (c *Cluster) Serve(w *Workload, spec ClusterSpec, t *TrafficSpec) (*Cluster
 	if replicas == 0 {
 		replicas = t.containers
 	}
-	cl, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Platform:      c.cfg,
 		App:           app,
 		Workers:       t.workers,
@@ -134,7 +140,11 @@ func (c *Cluster) Serve(w *Workload, spec ClusterSpec, t *TrafficSpec) (*Cluster
 		SLOp99US:      spec.SLOMillis * 1000,
 		Autoscale:     spec.Autoscale,
 		FailNodeAtSec: spec.FailNode,
-	})
+	}
+	if in := spec.Ingress; in != nil {
+		cfg.Ingress = &cluster.IngressConfig{Route: in.route(), Cores: in.cores}
+	}
+	cl, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +225,12 @@ type ClusterReport struct {
 	Autoscale   bool               `json:"autoscale"`
 	ScaleEvents []ScaleEventReport `json:"scale_events"`
 	Migrations  []MigrationReport  `json:"migrations"`
+
+	// Routes and IngressServices are the ingress tier's per-route and
+	// per-service sections — absent when the fleet runs the built-in
+	// join-shortest-queue front door (ClusterSpec.Ingress nil).
+	Routes          []RouteReport   `json:"routes,omitempty"`
+	IngressServices []ServiceReport `json:"ingress_services,omitempty"`
 }
 
 func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *ClusterReport {
@@ -285,6 +301,8 @@ func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *Cl
 			Reason:     m.Reason,
 		})
 	}
+	rep.Routes = res.Routes
+	rep.IngressServices = res.IngressServices
 	return rep
 }
 
@@ -331,5 +349,6 @@ func (r *ClusterReport) String() string {
 		fmt.Fprintf(&b, "\n  %7.3fs %-14s %s", e.AtSec, e.Action, e.Detail)
 	}
 	b.WriteByte('\n')
+	writeIngressSections(&b, r.Routes, r.IngressServices)
 	return b.String()
 }
