@@ -24,6 +24,15 @@
 // -keepalive connection amortization and an optional robustness ladder
 // (-timeout-us, -retries, -hedge-p). The report grows per-route and
 // per-service sections.
+//
+// -shards runs the fleet on the epoch-sharded engine — the path to
+// planet-scale runs like:
+//
+//	xctl -cluster -nodes 10000 -replicas 10000 -shards 8 -duration 0.01 -json
+//
+// Reports are byte-identical for any -shards >= 1 and any
+// -shard-workers; -epoch-us tunes the barrier period (a model
+// parameter, unlike the other two).
 package main
 
 import (
@@ -68,6 +77,9 @@ func run(args []string, stdout io.Writer) error {
 	slo := fs.Float64("slo", 0, "cluster: p99 latency SLO in milliseconds (0 = no latency signal)")
 	autoscale := fs.Bool("autoscale", true, "cluster: enable the autoscaler")
 	failNode := fs.Float64("fail-node", 0, "cluster: kill one seeded-random node at this virtual second")
+	shards := fs.Int("shards", 0, "cluster: run on the epoch-sharded engine with this many shards (0 = single engine; reports are identical for any value >= 1)")
+	epochUS := fs.Float64("epoch-us", 0, "cluster sharded engine: barrier period in virtual microseconds (0 = twice the per-request cost, capped at 500)")
+	shardWorkers := fs.Int("shard-workers", 0, "cluster sharded engine: goroutines driving shards (0 = min(shards, cores); wall-clock only)")
 	ingressPolicy := fs.String("ingress-policy", "", "cluster: front the fleet with the L7 ingress tier using this load balancer ("+xc.LBUsage()+"; empty = built-in JSQ front door)")
 	keepAlive := fs.Int("keepalive", 100, "cluster ingress: requests amortized per connection (0 = a fresh connection per request)")
 	retries := fs.Int("retries", 0, "cluster ingress: retry attempts after a timeout (needs -timeout-us)")
@@ -95,6 +107,7 @@ func run(args []string, stdout io.Writer) error {
 			runtime: *rtName, app: *appName,
 			nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
 			policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
+			shards: *shards, epochUS: *epochUS, shardWorkers: *shardWorkers,
 			ingressPolicy: *ingressPolicy, keepAlive: *keepAlive, retries: *retries,
 			timeoutUS: *timeoutUS, hedgeP: *hedgeP,
 			rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
@@ -122,6 +135,8 @@ type clusterOptions struct {
 	policy                               string
 	sloMillis, failNode                  float64
 	autoscale                            bool
+	shards, shardWorkers                 int
+	epochUS                              float64
 	ingressPolicy                        string
 	keepAlive, retries                   int
 	timeoutUS, hedgeP                    float64
@@ -154,6 +169,10 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 		SLOMillis: o.sloMillis,
 		Autoscale: o.autoscale,
 		FailNode:  o.failNode,
+
+		Shards:       o.shards,
+		EpochMicros:  o.epochUS,
+		ShardWorkers: o.shardWorkers,
 	}
 	if o.ingressPolicy != "" {
 		lb, err := xc.ParseLB(o.ingressPolicy)

@@ -200,3 +200,64 @@ func TestClusterIngressFlags(t *testing.T) {
 		t.Error("unknown ingress policy accepted")
 	}
 }
+
+// TestClusterShardFlags: -shards selects the epoch-sharded engine, and
+// the JSON document is byte-identical for any shard and worker count.
+func TestClusterShardFlags(t *testing.T) {
+	base := []string{"-cluster", "-runtime", "xcontainer", "-app", "memcached",
+		"-nodes", "1", "-max-nodes", "3", "-policy", "binpack",
+		"-slo", "0.5", "-fail-node", "0.2", "-rate", "1200000",
+		"-duration", "0.4", "-seed", "7", "-json"}
+	var want string
+	for _, extra := range [][]string{
+		{"-shards", "1"},
+		{"-shards", "8"},
+		{"-shards", "8", "-shard-workers", "1"},
+		{"-shards", "8", "-shard-workers", "4"},
+	} {
+		var out bytes.Buffer
+		if err := run(append(append([]string{}, base...), extra...), &out); err != nil {
+			t.Fatal(err)
+		}
+		var rep xc.ClusterReport
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("%v: stdout is not a valid report: %v", extra, err)
+		}
+		if want == "" {
+			want = out.String()
+			continue
+		}
+		if out.String() != want {
+			t.Errorf("%v diverged from -shards 1", extra)
+		}
+	}
+}
+
+// TestClusterEpochFlag: -epoch-us is a model parameter — different
+// barrier periods legitimately produce different reports.
+func TestClusterEpochFlag(t *testing.T) {
+	base := []string{"-cluster", "-nodes", "2", "-rate", "900000",
+		"-duration", "0.3", "-seed", "5", "-shards", "2", "-json"}
+	runWith := func(us string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(append(append([]string{}, base...), "-epoch-us", us), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if runWith("100") == runWith("5000") {
+		t.Error("-epoch-us 100 and 5000 produced identical reports")
+	}
+}
+
+// TestClusterShardBadInputs pins flag validation through the CLI.
+func TestClusterShardBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cluster", "-shards", "-2"}, &out); err == nil {
+		t.Error("negative -shards accepted")
+	}
+	if err := run([]string{"-cluster", "-shards", "2", "-epoch-us", "-1"}, &out); err == nil {
+		t.Error("negative -epoch-us accepted")
+	}
+}

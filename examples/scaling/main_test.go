@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlanetScaleShardInvariant executes the 5,000-replica placement
+// comparison at 1 and 8 shards and requires the rendered output —
+// every latency, throughput, and completion figure for all three
+// policies — to be byte-identical. The shard count is an execution
+// detail, never a model parameter.
+func TestPlanetScaleShardInvariant(t *testing.T) {
+	var one, eight bytes.Buffer
+	if err := planetScale(&one, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := planetScale(&eight, 8); err != nil {
+		t.Fatal(err)
+	}
+	a := strings.Replace(one.String(), "(shards=1)", "(shards=N)", 1)
+	b := strings.Replace(eight.String(), "(shards=8)", "(shards=N)", 1)
+	if a != b {
+		t.Fatalf("placement comparison diverged between 1 and 8 shards:\n--- shards=1 ---\n%s\n--- shards=8 ---\n%s", one.String(), eight.String())
+	}
+	for _, want := range []string{"binpack", "spread", "latency", "planet scale"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("planet-scale output missing %q:\n%s", want, a)
+		}
+	}
+}

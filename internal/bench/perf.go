@@ -5,9 +5,13 @@ import (
 	"time"
 
 	"xcontainers/internal/abom"
+	"xcontainers/internal/apps"
 	"xcontainers/internal/arch"
+	"xcontainers/internal/cluster"
+	"xcontainers/internal/core"
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/ingress"
+	"xcontainers/internal/runtimes"
 	"xcontainers/internal/sim"
 )
 
@@ -125,8 +129,46 @@ func KernelPerf(budget time.Duration) []PerfResult {
 		measure("sim-open-loop", budget, openLoop),
 		measure("sim-closed-loop", budget, closedLoop),
 		measure("ingress-hotpath", budget, ingressHotPath),
+		measure("cluster-fleet-small", budget, clusterFleet(50, 0)),
+		measure("cluster-fleet-sharded", budget, clusterFleet(1000, 4)),
 		measure("tier1-syscall-loop", budget, tier1SyscallLoop()),
 		measure("tier1-abom-warmup", budget, tier1ABOMWarmup),
+	}
+}
+
+// clusterFleet probes the fleet orchestrator end to end — flyweight
+// construction plus a closed-loop serve — at two canonical scales: a
+// 50-node fleet on the single engine, and a 1000-node fleet on the
+// epoch-sharded engine at 4 shards (the planet-scale execution path).
+func clusterFleet(nodes, shards int) func(uint64) uint64 {
+	app, err := apps.ByName("memcached")
+	if err != nil {
+		return func(uint64) uint64 { return 0 }
+	}
+	cfg := cluster.Config{
+		Platform: core.PlatformConfig{
+			Kind: runtimes.XContainer, MeltdownPatched: true,
+			Cloud: runtimes.LocalCluster, FastToolstack: true,
+		},
+		App:       app,
+		Nodes:     nodes,
+		MaxNodes:  nodes,
+		NodeCores: 4,
+		Replicas:  nodes,
+		Policy:    cluster.Spread,
+		Shards:    shards,
+	}
+	return func(seed uint64) uint64 {
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return 0
+		}
+		if _, err := c.Run(cluster.Traffic{
+			Concurrency: 10 * nodes, DurationSec: 0.005, Seed: seed,
+		}); err != nil {
+			return 0
+		}
+		return c.EventsFired()
 	}
 }
 

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+
+	"xcontainers/internal/apps"
+	"xcontainers/internal/core"
+	"xcontainers/internal/runtimes"
+)
+
+// BenchmarkClusterFleet measures one fleet scenario end to end — build
+// plus run — on the single engine (Shards = 0, the pre-refactor
+// execution model) and on the sharded engine at 8 shards. The ISSUE's
+// acceptance bar is the sharded/single ratio on multi-core hardware;
+// CI runs it with -benchtime=1x as a smoke test.
+func BenchmarkClusterFleet(b *testing.B) {
+	app, err := apps.ByName("memcached")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := func() Config {
+		return Config{
+			Platform: core.PlatformConfig{
+				Kind: runtimes.XContainer, MeltdownPatched: true,
+				Cloud: runtimes.LocalCluster, FastToolstack: true,
+			},
+			App:       app,
+			Nodes:     200,
+			MaxNodes:  200,
+			NodeCores: 4,
+			Replicas:  200,
+			Policy:    Spread,
+		}
+	}
+	tr := Traffic{Concurrency: 2000, DurationSec: 0.02, Seed: 1}
+
+	run := func(b *testing.B, shards int) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := base()
+			cfg.Shards = shards
+			c, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := c.Run(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Completed == 0 {
+				b.Fatal("benchmark fleet completed nothing")
+			}
+		}
+	}
+	b.Run("single", func(b *testing.B) { run(b, 0) })
+	b.Run("shards8", func(b *testing.B) { run(b, 8) })
+}

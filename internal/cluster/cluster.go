@@ -1,28 +1,39 @@
 // Package cluster is the multi-node orchestrator of the simulation: a
-// fleet of Nodes — each one booted core.Platform of the same container
-// architecture — serving one application's traffic through per-container
-// queues on the shared discrete-event engine (internal/sim).
+// fleet of nodes serving one application's traffic through per-replica
+// queues on the discrete-event engine (internal/sim).
 //
 // The paper's §5.7 scale-out study stops at three backends behind one
 // load balancer; this package models the layer a cloud operator grows
 // next: a pluggable placement policy (bin-pack, spread, latency-aware),
 // an autoscaler driven by utilization and p99-latency SLO signals, a
-// rebalancer that live-migrates containers between nodes over the
-// existing core.Migrate checkpoint path (charging the blackout window
-// in virtual cycles), and seeded node-failure injection with
-// rescheduling. Everything runs in virtual time: same Config and seed,
-// byte-identical Result.
+// rebalancer that live-migrates containers between nodes (charging the
+// blackout window in virtual cycles), and seeded node-failure injection
+// with rescheduling. Everything runs in virtual time: same Config and
+// seed, byte-identical Result.
+//
+// Replicas are flyweights: one archetype core.Platform per cluster
+// measures every cycle charge once (see archetype), so a container is a
+// queue plus cost-table indices and a node is pure bookkeeping — no
+// per-node platform, no per-replica booted instance. That is what lets
+// fleets reach the ROADMAP's 10k-node scale.
+//
+// A run executes on either of two engines. The default (Shards == 0)
+// is the original single sim.Engine with instantaneous routing and
+// control. With Shards >= 1 the run is sharded: replicas are spread
+// over per-shard engines that advance in parallel between epoch
+// barriers, and every cross-replica decision — front-door routing,
+// closed-loop re-issue, ingress attempts, autoscaling, failure
+// injection — happens at barriers in one canonical order, so the
+// Result is byte-identical for any shard or worker count (see shard.go).
 package cluster
 
 import (
 	"fmt"
 
 	"xcontainers/internal/apps"
-	"xcontainers/internal/arch"
 	"xcontainers/internal/core"
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/ingress"
-	"xcontainers/internal/runtimes"
 	"xcontainers/internal/sim"
 	"xcontainers/internal/workload"
 )
@@ -80,6 +91,15 @@ const (
 	rebalanceGap       = 0.30
 )
 
+// maxDefaultEpochUS caps the adaptive default barrier period of a
+// sharded run at 500 virtual µs. With EpochUS unset the epoch tracks
+// the archetype: twice the per-request service cost, so a saturating
+// closed loop's per-replica backlog (two jobs per server slot) spans
+// the whole epoch and connections re-admitted at barriers never leave
+// servers idle — while heavyweight apps still get a barrier every
+// couple of requests, not thousands.
+const maxDefaultEpochUS = 500
+
 // Config describes one cluster experiment.
 type Config struct {
 	// Platform configures every node's host (kind, Meltdown patch,
@@ -131,6 +151,26 @@ type Config struct {
 	// cost table, and reach replicas under the route's load-balancing
 	// and robustness policy — instead of the built-in JSQ front door.
 	Ingress *IngressConfig
+
+	// Shards, when >= 1, selects the epoch-sharded engine: replicas are
+	// spread over Shards per-shard sim.Engines that run in parallel
+	// between epoch barriers, with all cross-replica decisions applied
+	// at barriers in canonical order. The Result is byte-identical for
+	// any Shards >= 1 (and any ShardWorkers); it differs from the
+	// Shards == 0 engine, whose routing and control are instantaneous
+	// rather than epoch-quantized.
+	Shards int
+	// EpochUS is the sharded engine's barrier period in virtual
+	// microseconds. 0 adapts it to the workload: twice the archetype's
+	// per-request service cost, capped at 500 µs, which keeps default
+	// closed loops saturated between barriers. It is a model
+	// parameter: results depend on it, never on Shards or
+	// ShardWorkers.
+	EpochUS float64
+	// ShardWorkers bounds the worker pool driving shard engines between
+	// barriers (0 = min(Shards, GOMAXPROCS); 1 = run shards inline).
+	// Purely a wall-clock knob — results are identical for any value.
+	ShardWorkers int
 }
 
 // IngressConfig configures the ingress tier in front of the fleet.
@@ -154,10 +194,10 @@ type Traffic struct {
 	Seed        uint64
 }
 
-// node is one booted host in the fleet.
+// node is one host in the fleet — pure capacity bookkeeping against the
+// archetype's cost table; nothing is booted per node.
 type node struct {
-	id       int
-	platform *core.Platform
+	id int
 
 	cores     int
 	memMB     int
@@ -176,39 +216,49 @@ type node struct {
 	migrIn, migrOut int
 }
 
-// container is one placed replica: a real booted instance (the
-// migration payload) plus the queue its share of traffic flows through.
+// container is one placed replica: a flyweight handle — the queue its
+// share of traffic flows through plus indices into the archetype's cost
+// table. Migration moves the handle; the blackout charge comes from the
+// archetype's probe measurements.
 type container struct {
 	id       int
 	name     string
 	node     *node
-	inst     *core.Instance
 	q        *sim.Queue
 	cores    int
 	memMB    int
-	backend  int  // replica index in the ingress fleet service (-1 without ingress)
-	draining bool // scale-down: serving its backlog, no new routing
-	gone     bool // drained/stranded: no longer part of the fleet
+	shard    int32 // owning shard (sharded engine only)
+	backend  int   // replica index in the ingress fleet service (-1 without ingress)
+	draining bool  // scale-down: serving its backlog, no new routing
+	gone     bool  // drained/stranded: no longer part of the fleet
 	// freezeGen invalidates scheduled Resume callbacks: each new
 	// blackout (or stranding) bumps it, so the Resume of an earlier,
 	// superseded migration cannot prematurely unfreeze the queue.
 	freezeGen int
+	// epochBusy accumulates service demand started since the last
+	// barrier (sharded engine only): shard goroutines touch only their
+	// own replicas, and barriers fold the sums into node accounting in
+	// replica-id order.
+	epochBusy cycles.Cycles
 }
 
 // Cluster is one running fleet. Build with New, execute with Run.
 type Cluster struct {
-	cfg Config
-	rt  *runtimes.Runtime // nodes all share one architecture
+	cfg  Config
+	arch *archetype // the one booted platform: every replica's cost table
 
 	per     cycles.Cycles // CPU demand per request
 	servers int           // queue servers per container
 	memPer  int           // MB per container
 
-	eng *sim.Engine
-	rng *sim.Rand // failure-injection stream, distinct from arrivals
+	eng *sim.Engine // the single engine (nil when sharded)
+	sh  *shardRun   // the epoch-sharded engine (nil when Shards == 0)
+	rng *sim.Rand   // failure-injection stream, distinct from arrivals
 
-	// The ingress tier, when configured: a proxy service fronting one
-	// fleet service whose replicas are the containers' queues.
+	// The ingress tier, when configured on the single engine: a proxy
+	// service fronting one fleet service whose replicas are the
+	// containers' queues. The sharded engine models the same tier as a
+	// flyweight (see shard_ingress.go, reachable via sh.fi).
 	graph    *ingress.Graph
 	fleetSvc *ingress.Service
 
@@ -216,6 +266,7 @@ type Cluster struct {
 	containers []*container
 	nextNode   int
 	nextCont   int
+	rr         int // front-door JSQ rotating cursor
 
 	horizon    cycles.Cycles
 	interval   cycles.Cycles
@@ -224,10 +275,12 @@ type Cluster struct {
 
 	saturationNoted bool // "at-capacity" recorded once per saturation
 
-	fleet   sim.Histogram  // all completions
-	win     *sim.Histogram // completions since the last control tick
+	fleet   sim.Histogram // all completions
+	win     sim.Histogram // completions since the last control tick
 	winBusy cycles.Cycles
 	lastOff cycles.Cycles // start of the current control window
+
+	backlogBuf []int // per-node backlog scratch for latency-aware picks
 
 	dispatched uint64
 	completed  uint64
@@ -236,8 +289,8 @@ type Cluster struct {
 	res Result
 }
 
-// New validates the configuration, boots the initial nodes, and places
-// the initial replicas.
+// New validates the configuration, measures the archetype cost table,
+// sizes the initial nodes, and places the initial replicas.
 func New(cfg Config) (*Cluster, error) {
 	if cfg.App == nil {
 		return nil, fmt.Errorf("cluster: config needs an application model")
@@ -266,16 +319,21 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.IntervalSec <= 0 {
 		cfg.IntervalSec = defaultIntervalSec
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: Shards must not be negative")
+	}
+	if cfg.EpochUS < 0 {
+		return nil, fmt.Errorf("cluster: EpochUS must not be negative")
+	}
 	cfg.Platform.MachineMB = 0
 	cfg.Platform.MachineFrames = 0
 
-	c := &Cluster{cfg: cfg, eng: sim.NewEngine()}
-	for i := 0; i < cfg.Nodes; i++ {
-		if _, err := c.addNode(); err != nil {
-			return nil, err
-		}
+	c := &Cluster{cfg: cfg}
+	ar, err := newArchetype(&cfg)
+	if err != nil {
+		return nil, err
 	}
-	c.rt = c.nodes[0].platform.Runtime()
+	c.arch = ar
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -284,14 +342,27 @@ func New(cfg Config) (*Cluster, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	c.per = workload.RequestCostN(c.rt, cfg.App, workers)
+	c.per = workload.RequestCostN(ar.rt, cfg.App, workers)
 	c.servers = min(workers*max(1, cfg.App.ThreadsPer), cfg.ReplicaCores)
-	c.memPer = c.rt.MemoryPagesPerInstance(false) / 256 // 4 KiB pages -> MB
+	c.memPer = ar.memPer
 	if c.memPer > cfg.NodeMemMB {
 		return nil, fmt.Errorf("cluster: container footprint %d MB exceeds node memory %d MB", c.memPer, cfg.NodeMemMB)
 	}
+
+	if cfg.Shards > 0 {
+		c.sh = newShardRun(c, cfg.Shards)
+	} else {
+		c.eng = sim.NewEngine()
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.addNode()
+	}
 	if cfg.Ingress != nil {
-		c.buildIngress()
+		if c.sh != nil {
+			c.sh.fi = newFleetIngress(c)
+		} else {
+			c.buildIngress()
+		}
 	}
 
 	for i := 0; i < cfg.Replicas; i++ {
@@ -300,25 +371,20 @@ func New(cfg Config) (*Cluster, error) {
 			// The requested replicas outgrow the initial nodes but fit
 			// the autoscale ceiling — boot the extra nodes up front
 			// rather than erroring on capacity the fleet is allowed.
-			var err error
-			if n, err = c.addNode(); err != nil {
-				return nil, err
-			}
+			n = c.addNode()
 		}
 		if n == nil {
 			return nil, fmt.Errorf("cluster: no capacity for initial replica %d (%d nodes × %d cores / %d MB, MaxNodes %d)",
 				i+1, len(c.nodes), cfg.NodeCores, cfg.NodeMemMB, cfg.MaxNodes)
 		}
-		if _, err := c.addContainer(n); err != nil {
-			return nil, err
-		}
+		c.addContainer(n)
 	}
 	return c, nil
 }
 
-// buildIngress assembles the proxy→fleet service graph. Containers
-// register as fleet replicas in addContainer; the graph is reseeded
-// from the traffic seed at Run time.
+// buildIngress assembles the single-engine proxy→fleet service graph.
+// Containers register as fleet replicas in addContainer; the graph is
+// reseeded from the traffic seed at Run time.
 func (c *Cluster) buildIngress() {
 	ic := c.cfg.Ingress
 	cores := ic.Cores
@@ -327,11 +393,11 @@ func (c *Cluster) buildIngress() {
 	}
 	route := ic.Route
 	if route.ConnSetup == 0 {
-		route.ConnSetup = ingress.ConnSetupCost(c.rt)
+		route.ConnSetup = ingress.ConnSetupCost(c.arch.rt)
 	}
 	g := ingress.NewGraph(c.eng, 0)
 	proxy := g.AddService("ingress", ingress.Sequential)
-	proxy.AddBackend(sim.NewQueue(c.eng, "ingress", cores), ingress.ProxyRequestCost(c.rt), 1, nil)
+	proxy.AddBackend(sim.NewQueue(c.eng, "ingress", cores), ingress.ProxyRequestCost(c.arch.rt), 1, nil)
 	fleet := g.AddService("fleet", ingress.Sequential)
 	g.Connect(proxy, fleet, route, 0)
 	// Clients reach the proxy under the same connection regime the
@@ -344,72 +410,80 @@ func (c *Cluster) buildIngress() {
 	c.graph, c.fleetSvc = g, fleet
 }
 
-// addNode boots one fresh host and appends it to the fleet.
-func (c *Cluster) addNode() (*node, error) {
-	p, err := core.NewPlatform(c.cfg.Platform)
-	if err != nil {
-		return nil, err
-	}
+// addNode adds one fresh host to the fleet — capacity bookkeeping only;
+// the archetype already carries every cost a node's containers charge.
+func (c *Cluster) addNode() *node {
 	c.nextNode++
 	c.saturationNoted = false // fresh capacity ends a saturation episode
 	n := &node{
-		id:       c.nextNode,
-		platform: p,
-		cores:    c.cfg.NodeCores,
-		memMB:    c.cfg.NodeMemMB,
-		addedAt:  c.eng.Now(),
+		id:      c.nextNode,
+		cores:   c.cfg.NodeCores,
+		memMB:   c.cfg.NodeMemMB,
+		addedAt: c.timeNow(),
 	}
 	c.nodes = append(c.nodes, n)
-	return n, nil
+	return n
 }
 
-// addContainer boots a real instance of the app's binary on the node
-// and opens its traffic queue.
-func (c *Cluster) addContainer(n *node) (*container, error) {
-	text, err := c.binary()
-	if err != nil {
-		return nil, err
-	}
+// addContainer stamps one flyweight replica onto the node and opens its
+// traffic queue — no binary build, no boot: the archetype measured
+// those charges once for every replica.
+func (c *Cluster) addContainer(n *node) *container {
 	c.nextCont++
 	name := fmt.Sprintf("%s-%d", c.cfg.App.Name, c.nextCont)
-	inst, err := n.platform.Boot(core.Image{Name: name, Program: text, MemoryMB: c.memPer})
-	if err != nil {
-		return nil, fmt.Errorf("cluster: place %s on node %d: %w", name, n.id, err)
-	}
 	ct := &container{
 		id:      c.nextCont,
 		name:    name,
 		node:    n,
-		inst:    inst,
-		q:       sim.NewQueue(c.eng, name, c.servers),
 		cores:   c.cfg.ReplicaCores,
 		memMB:   c.memPer,
 		backend: -1,
 	}
-	ct.q.OnStart = func(j sim.Job) { c.onStart(ct, j) }
-	if c.graph != nil {
-		// The ingress graph owns completions (win/waste attribution and
-		// root latency); the cluster keeps only the drain check.
-		ct.backend = c.fleetSvc.AddBackend(ct.q, c.per, 1, func(sim.Job) {
-			if ct.draining && ct.q.Depth() == 0 {
-				c.retire(ct)
-			}
-		})
+	if c.sh != nil {
+		c.sh.placeReplica(ct)
 	} else {
-		ct.q.OnDone = func(j sim.Job) { c.onDone(ct, j) }
+		ct.q = sim.NewQueue(c.eng, name, c.servers)
+		ct.q.OnStart = func(j sim.Job) { c.onStart(ct, j) }
+		if c.graph != nil {
+			// The ingress graph owns completions (win/waste attribution and
+			// root latency); the cluster keeps only the drain check.
+			ct.backend = c.fleetSvc.AddBackend(ct.q, c.per, 1, func(sim.Job) {
+				if ct.draining && ct.q.Depth() == 0 {
+					c.retire(ct)
+				}
+			})
+		} else {
+			ct.q.OnDone = func(j sim.Job) { c.onDone(ct, j) }
+		}
 	}
 	n.usedCores += ct.cores
 	n.usedMB += ct.memMB
 	n.live++
 	c.containers = append(c.containers, ct)
-	return ct, nil
+	return ct
 }
 
-// binary assembles one private copy of the app's binary model — the
-// payload a live migration checkpoints and restores (ABOM patches
-// travel inside it).
-func (c *Cluster) binary() (*arch.Text, error) {
-	return c.cfg.App.BuildBinary(1, 16)
+// EventsFired reports how many kernel events the run dispatched,
+// summed over every engine — the denominator of perf probes.
+func (c *Cluster) EventsFired() uint64 {
+	if c.sh != nil {
+		var n uint64
+		for _, e := range c.sh.engines {
+			n += e.Fired()
+		}
+		return n
+	}
+	return c.eng.Fired()
+}
+
+// timeNow is the current virtual time on whichever engine drives the
+// run: the single engine's clock, or the sharded run's barrier clock
+// (cross-replica code only ever executes at barriers).
+func (c *Cluster) timeNow() cycles.Cycles {
+	if c.sh != nil {
+		return c.sh.now
+	}
+	return c.eng.Now()
 }
 
 // fits reports whether the node can host one more standard container.
@@ -420,8 +494,14 @@ func (c *Cluster) fits(n *node) bool {
 }
 
 // pickNode applies the placement policy over fitting nodes; ties break
-// on the lower node id, so placement is deterministic.
+// on the lower node id, so placement is deterministic. Latency-aware
+// placement snapshots per-node backlogs once per pick — O(replicas +
+// nodes), not O(replicas × nodes) — so placement stays tractable at
+// fleet scale.
 func (c *Cluster) pickNode() *node {
+	if c.cfg.Policy == LatencyAware {
+		c.snapshotBacklogs()
+	}
 	var best *node
 	for _, n := range c.nodes {
 		if !c.fits(n) {
@@ -432,6 +512,21 @@ func (c *Cluster) pickNode() *node {
 		}
 	}
 	return best
+}
+
+// snapshotBacklogs fills backlogBuf with each node's current
+// jobs-in-system count, indexed by node id - 1 (nodes are append-only).
+func (c *Cluster) snapshotBacklogs() {
+	if cap(c.backlogBuf) < len(c.nodes) {
+		c.backlogBuf = make([]int, len(c.nodes)*2)
+	}
+	c.backlogBuf = c.backlogBuf[:len(c.nodes)]
+	clear(c.backlogBuf)
+	for _, ct := range c.containers {
+		if !ct.gone {
+			c.backlogBuf[ct.node.id-1] += ct.q.Depth()
+		}
+	}
 }
 
 // better reports whether a should be preferred over b under the policy.
@@ -446,7 +541,7 @@ func (c *Cluster) better(a, b *node) bool {
 			return a.usedCores < b.usedCores
 		}
 	case LatencyAware:
-		da, db := c.backlog(a), c.backlog(b)
+		da, db := c.backlogBuf[a.id-1], c.backlogBuf[b.id-1]
 		if da != db {
 			return da < db
 		}
@@ -456,18 +551,6 @@ func (c *Cluster) better(a, b *node) bool {
 		}
 	}
 	return a.id < b.id
-}
-
-// backlog is the node's current jobs-in-system count — the
-// latency-aware placement signal.
-func (c *Cluster) backlog(n *node) int {
-	total := 0
-	for _, ct := range c.containers {
-		if ct.node == n && !ct.gone {
-			total += ct.q.Depth()
-		}
-	}
-	return total
 }
 
 // routable lists containers accepting new requests, in id order.
@@ -481,33 +564,56 @@ func (c *Cluster) routable() []*container {
 	return out
 }
 
-// dispatch routes one request to the shortest queue (ties to the lowest
-// container id) — deterministic join-shortest-queue, the front door a
-// cluster load balancer gives every policy. This is the per-request hot
-// path, so it filters inline rather than materializing routable().
-// With an ingress tier configured, requests enter the graph instead
-// and the route policy decides everything downstream.
+// routableCount counts containers accepting new requests without
+// materializing the slice — the control loop's allocation-free form.
+func (c *Cluster) routableCount() int {
+	n := 0
+	for _, ct := range c.containers {
+		if !ct.gone && !ct.draining && !ct.node.failed {
+			n++
+		}
+	}
+	return n
+}
+
+// dispatch routes one request onto the fleet. On the single engine
+// without ingress this is deterministic join-shortest-queue with a
+// rotating-cursor tie-break (mirroring internal/ingress): the scan
+// starts where the last dispatch left off, so equal-depth replicas take
+// turns instead of funneling into the lowest id — at fleet scale the
+// old lowest-id tie-break aimed every burst's head at replica 1. With
+// an ingress tier configured, requests enter the graph instead and the
+// route policy decides everything downstream. On the sharded engine,
+// dispatch runs at barriers against the epoch route table.
 func (c *Cluster) dispatch(id uint64) {
+	if c.sh != nil {
+		c.sh.admitNow(id)
+		return
+	}
 	if c.graph != nil {
 		c.dispatched++
 		c.graph.Admit(id)
 		return
 	}
-	var best *container
-	for _, ct := range c.containers {
+	n := len(c.containers)
+	best := -1
+	for i := 0; i < n; i++ {
+		idx := (c.rr + i) % n
+		ct := c.containers[idx]
 		if ct.gone || ct.draining || ct.node.failed {
 			continue
 		}
-		if best == nil || ct.q.Depth() < best.q.Depth() {
-			best = ct
+		if best < 0 || ct.q.Depth() < c.containers[best].q.Depth() {
+			best = idx
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		c.dropped++
 		return
 	}
+	c.rr = best + 1
 	c.dispatched++
-	best.q.Arrive(sim.Job{ID: id, Cost: c.per, Born: c.eng.Now()})
+	c.containers[best].q.Arrive(sim.Job{ID: id, Cost: c.per, Born: c.eng.Now()})
 }
 
 // onStart attributes a job's busy cycles at the instant service begins,
@@ -524,9 +630,7 @@ func (c *Cluster) onStart(ct *container, j sim.Job) {
 func (c *Cluster) onDone(ct *container, j sim.Job) {
 	lat := c.eng.Now() - j.Born
 	c.fleet.Observe(lat)
-	if c.win != nil {
-		c.win.Observe(lat)
-	}
+	c.win.Observe(lat)
 	c.completed++
 	if c.closedLoop && c.eng.Now() < c.horizon {
 		c.dispatch(j.ID)
@@ -544,9 +648,7 @@ func (c *Cluster) onDone(ct *container, j sim.Job) {
 func (c *Cluster) rootDone(client uint64, lat cycles.Cycles, ok bool) {
 	if ok {
 		c.fleet.Observe(lat)
-		if c.win != nil {
-			c.win.Observe(lat)
-		}
+		c.win.Observe(lat)
 		c.completed++
 	} else {
 		c.dropped++
@@ -556,11 +658,14 @@ func (c *Cluster) rootDone(client uint64, lat cycles.Cycles, ok bool) {
 	}
 }
 
-// noteUnroutable tells the ingress tier a container stopped taking new
-// requests (draining or stranded); the legacy front door reads the
-// container flags directly.
+// noteUnroutable tells the routing tier a container stopped taking new
+// requests (draining or stranded); the single-engine front door reads
+// the container flags directly.
 func (c *Cluster) noteUnroutable(ct *container) {
 	if c.graph != nil && ct.backend >= 0 {
 		c.fleetSvc.SetDown(ct.backend, true)
+	}
+	if c.sh != nil {
+		c.sh.table.dirty = true
 	}
 }

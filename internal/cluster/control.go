@@ -3,18 +3,27 @@ package cluster
 import (
 	"fmt"
 
-	"xcontainers/internal/arch"
-	"xcontainers/internal/core"
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/runtimes"
-	"xcontainers/internal/sim"
 )
 
-// tick is the control loop: one virtual-time heartbeat that reads the
-// window's utilization and p99, decides scale actions, and checks node
-// balance. It reschedules itself until the horizon.
+// tick is the single-engine control loop: one virtual-time heartbeat
+// that reschedules itself until the horizon. The sharded engine runs
+// the same controlStep at epoch barriers instead (see shard.go).
 func (c *Cluster) tick() {
 	now := c.eng.Now()
+	c.controlStep(now)
+	// Reschedule at the next interval, clamped to the horizon so the
+	// final partial window is still evaluated; at the horizon, stop.
+	next := min(now+c.interval, c.horizon)
+	if next > now {
+		c.eng.At(next, c.tick)
+	}
+}
+
+// controlStep reads the window's utilization and p99, decides scale
+// actions, checks node balance, and opens the next window.
+func (c *Cluster) controlStep(now cycles.Cycles) {
 	window := now - c.lastOff
 	if window > 0 {
 		util := c.windowUtil(window)
@@ -37,24 +46,18 @@ func (c *Cluster) tick() {
 	}
 	c.notePeaks()
 
-	c.win = &sim.Histogram{}
+	c.win.Reset()
 	c.winBusy = 0
 	for _, n := range c.nodes {
 		n.winBusy = 0
 	}
 	c.lastOff = now
-	// Reschedule at the next interval, clamped to the horizon so the
-	// final partial window is still evaluated; at the horizon, stop.
-	next := min(now+c.interval, c.horizon)
-	if next > now {
-		c.eng.At(next, c.tick)
-	}
 }
 
 // windowUtil is the busy fraction of the routable containers' server
 // capacity over the window — the autoscaler's utilization signal.
 func (c *Cluster) windowUtil(window cycles.Cycles) float64 {
-	servers := len(c.routable()) * c.servers
+	servers := c.routableCount() * c.servers
 	if servers == 0 {
 		return 0
 	}
@@ -78,7 +81,7 @@ func (c *Cluster) backlogged() bool {
 	return depth > servers
 }
 
-// scaleUp adds one replica, booting a fresh node first when no existing
+// scaleUp adds one replica, opening a fresh node first when no existing
 // node has room and the ceiling allows it.
 func (c *Cluster) scaleUp(now cycles.Cycles, why string) {
 	n := c.pickNode()
@@ -90,32 +93,22 @@ func (c *Cluster) scaleUp(now cycles.Cycles, why string) {
 			}
 			return
 		}
-		nn, err := c.addNode()
-		if err != nil {
-			c.event(now, "error", fmt.Sprintf("add node: %v", err))
-			return
-		}
-		c.event(now, "add-node", fmt.Sprintf("node %d: %s", nn.id, why))
-		n = nn
+		n = c.addNode()
+		c.event(now, "add-node", fmt.Sprintf("node %d: %s", n.id, why))
 	}
-	ct, err := c.addContainer(n)
-	if err != nil {
-		c.event(now, "error", err.Error())
-		return
-	}
+	ct := c.addContainer(n)
 	c.event(now, "add-replica", fmt.Sprintf("%s on node %d: %s", ct.name, n.id, why))
 }
 
 // scaleDown drains one replica — the shallowest queue, newest first on
 // ties — keeping at least one container routable.
 func (c *Cluster) scaleDown(now cycles.Cycles) {
-	routable := c.routable()
-	if len(routable) <= 1 {
+	if c.routableCount() <= 1 {
 		return
 	}
 	var victim *container
-	for _, ct := range routable {
-		if ct.q.Suspended() {
+	for _, ct := range c.containers {
+		if ct.gone || ct.draining || ct.node.failed || ct.q.Suspended() {
 			continue
 		}
 		if victim == nil || ct.q.Depth() < victim.q.Depth() ||
@@ -134,10 +127,10 @@ func (c *Cluster) scaleDown(now cycles.Cycles) {
 	}
 }
 
-// retire destroys a fully drained container and frees its reservation;
-// an emptied surplus node is released with it. Idempotent: a container
-// already gone (e.g. stranded by a node failure while draining) must
-// not give back its reservation twice.
+// retire releases a fully drained container's reservation; an emptied
+// surplus node is released with it. Idempotent: a container already
+// gone (e.g. stranded by a node failure while draining) must not give
+// back its reservation twice.
 func (c *Cluster) retire(ct *container) {
 	if ct.gone {
 		return
@@ -145,16 +138,13 @@ func (c *Cluster) retire(ct *container) {
 	ct.gone = true
 	c.saturationNoted = false // freed capacity ends a saturation episode
 	n := ct.node
-	if !n.failed {
-		_ = n.platform.Destroy(ct.inst)
-	}
 	n.usedCores -= ct.cores
 	n.usedMB -= ct.memMB
 	n.live--
 	if c.cfg.Autoscale && n.live == 0 && !n.failed && !n.removed && c.aliveNodes() > c.cfg.Nodes {
 		n.removed = true
-		n.removedAt = c.eng.Now()
-		c.event(c.eng.Now(), "remove-node", fmt.Sprintf("node %d drained", n.id))
+		n.removedAt = c.timeNow()
+		c.event(c.timeNow(), "remove-node", fmt.Sprintf("node %d drained", n.id))
 	}
 }
 
@@ -205,7 +195,7 @@ func (c *Cluster) movable(n *node) *container {
 // its containers onto survivors (cold restarts — the dead node's state
 // is gone, so the checkpoint path is unavailable).
 func (c *Cluster) failNode() {
-	now := c.eng.Now()
+	now := c.timeNow()
 	var alive []*node
 	for _, n := range c.nodes {
 		if !n.failed && !n.removed {
@@ -225,11 +215,9 @@ func (c *Cluster) failNode() {
 		}
 		dst := c.pickNode()
 		if dst == nil && c.cfg.Autoscale && c.aliveNodes() < c.cfg.MaxNodes {
-			nn, err := c.addNode()
-			if err == nil {
-				c.event(now, "add-node", fmt.Sprintf("node %d: failover capacity", nn.id))
-				dst = nn
-			}
+			nn := c.addNode()
+			c.event(now, "add-node", fmt.Sprintf("node %d: failover capacity", nn.id))
+			dst = nn
 		}
 		if dst == nil {
 			ct.gone = true
@@ -248,19 +236,27 @@ func (c *Cluster) failNode() {
 }
 
 // migrate moves a container to dst, charging the blackout window: the
-// queue freezes, the instance travels (checkpoint/restore when the
+// queue freezes, the replica travels (checkpoint/restore when the
 // source is alive and the architecture supports it, cold restart
-// otherwise), and dispatch resumes after the downtime.
+// otherwise), and dispatch resumes after the downtime. The blackout
+// charge comes from the archetype's probe measurements — exact, because
+// every replica of one cluster restores to the same clock.
 func (c *Cluster) migrate(ct *container, dst *node, reason string) {
 	src := ct.node
-	now := c.eng.Now()
+	now := c.timeNow()
 	ct.q.Suspend()
 	if reason == "failover" {
 		// The source node crashed: its waiting backlog is gone, like the
 		// checkpoint. Only in-service requests drain to completion.
 		c.dropBacklog(ct)
 	}
-	downtime := c.moveInstance(ct, dst, reason == "failover")
+	cold := reason == "failover"
+	if !cold && c.cfg.Platform.Kind == runtimes.XContainer && c.arch.liveErr != nil {
+		// The archetype's checkpoint probe failed, so this live
+		// migration fails the same deterministic way and restarts cold.
+		c.event(now, "error", fmt.Sprintf("live migration of %s: %v; restarting cold", ct.name, c.arch.liveErr))
+	}
+	downtime := c.arch.migrationDowntime(cold)
 	src.usedCores -= ct.cores
 	src.usedMB -= ct.memMB
 	src.live--
@@ -271,14 +267,7 @@ func (c *Cluster) migrate(ct *container, dst *node, reason string) {
 	dst.migrIn++
 	ct.node = dst
 	ct.freezeGen++
-	gen := ct.freezeGen
-	c.eng.After(downtime, func() {
-		// A failover (or stranding) that interrupted this blackout
-		// supersedes it; only the latest freeze may thaw the queue.
-		if ct.freezeGen == gen && !ct.gone {
-			ct.q.Resume()
-		}
-	})
+	c.resumeAfter(ct, downtime)
 	c.res.Migrations = append(c.res.Migrations, Migration{
 		AtSec:      now.Seconds(),
 		Container:  ct.name,
@@ -289,44 +278,28 @@ func (c *Cluster) migrate(ct *container, dst *node, reason string) {
 	})
 }
 
-// moveInstance transports the container's instance and returns the
-// downtime in virtual cycles. X-Containers take the real
-// checkpoint/encode/restore path of core.Migrate — the restored clock
-// is exactly the LibOS re-boot plus the page-copy pass, and ABOM
-// patches travel inside the text. Every other architecture (and any
-// failover, where the source is dead) restarts cold: a fresh boot plus
-// the runtime's fork/exec charge for the image.
-func (c *Cluster) moveInstance(ct *container, dst *node, cold bool) cycles.Cycles {
-	if !cold && c.cfg.Platform.Kind == runtimes.XContainer {
-		moved, err := core.Migrate(ct.node.platform, ct.inst, dst.platform)
-		if err == nil {
-			ct.inst = moved
-			return moved.Clock.Now()
+// resumeAfter schedules the post-blackout thaw of ct's queue on
+// whichever engine owns it.
+func (c *Cluster) resumeAfter(ct *container, downtime cycles.Cycles) {
+	gen := ct.freezeGen
+	thaw := func() {
+		// A failover (or stranding) that interrupted this blackout
+		// supersedes it; only the latest freeze may thaw the queue.
+		if ct.freezeGen == gen && !ct.gone {
+			ct.q.Resume()
 		}
-		c.event(c.eng.Now(), "error", fmt.Sprintf("live migration of %s: %v; restarting cold", ct.name, err))
 	}
-	text, err := c.binary()
-	if err != nil {
-		c.event(c.eng.Now(), "error", err.Error())
-		return 0
+	if c.sh != nil {
+		c.sh.engines[ct.shard].At(c.sh.now+downtime, thaw)
+		return
 	}
-	if !ct.node.failed {
-		_ = ct.node.platform.Destroy(ct.inst)
-	}
-	inst, err := dst.platform.Boot(core.Image{Name: ct.name, Program: text, MemoryMB: ct.memMB})
-	if err != nil {
-		c.event(c.eng.Now(), "error", fmt.Sprintf("cold restart of %s: %v", ct.name, err))
-		return 0
-	}
-	ct.inst = inst
-	pages := text.Size()/arch.PageSize + 1
-	return inst.Clock.Now() + c.rt.ForkExecCost(pages)
+	c.eng.After(downtime, thaw)
 }
 
 // dropBacklog empties a dead container's waiting queue. Behind the
-// ingress, each lost job is an attempt of a live call: the graph
+// ingress, each lost job is an attempt of a live call: the routing tier
 // decides — per route policy — whether it retries elsewhere or fails
-// back to the client. On the legacy front door, open-loop requests are
+// back to the client. On the plain front door, open-loop requests are
 // lost with the node and counted as Dropped; closed-loop connections
 // reconnect and re-send elsewhere, conserving the population.
 func (c *Cluster) dropBacklog(ct *container) {
@@ -334,6 +307,12 @@ func (c *Cluster) dropBacklog(ct *container) {
 	if c.graph != nil {
 		for _, j := range jobs {
 			c.graph.AttemptLost(j)
+		}
+		return
+	}
+	if c.sh != nil && c.sh.fi != nil {
+		for _, j := range jobs {
+			c.sh.fi.attemptLost(j)
 		}
 		return
 	}

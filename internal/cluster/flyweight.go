@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xcontainers/internal/arch"
+	"xcontainers/internal/core"
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/runtimes"
+)
+
+// archetype is the flyweight cost model behind every replica: exactly
+// one core.Platform per cluster (per runtime kind) boots one probe
+// instance at construction time, and every charge a replica can incur
+// over its life — per-request service demand, memory footprint, the
+// live-migration blackout, the cold-restart blackout — is measured once
+// on that probe and stamped into constants.
+//
+// The measurements are exact, not approximate, because the underlying
+// costs are configuration constants: every replica of one cluster boots
+// the same image on the same platform config (so the boot clock is one
+// number), and core.Restore rebuilds a migrated instance's clock from
+// the LibOS boot plus the page-copy pass rather than the checkpointed
+// clock (so the blackout is the same number for the first migration and
+// the fiftieth). Replicas therefore need no booted core.Instance at
+// all: a container is a queue plus indices into this table, nodes are
+// pure bookkeeping, and a 10k-node fleet costs 10k queue headers
+// instead of 10k booted platforms.
+type archetype struct {
+	rt *runtimes.Runtime
+
+	memPer int // MB per replica, from the runtime's page footprint
+
+	// liveDown is the live-migration blackout (checkpoint transport +
+	// restore) for architectures with a checkpoint path; liveErr holds
+	// the probe failure for those where the path exists but failed, in
+	// which case migrations fall back to cold restarts like the
+	// per-instance path did.
+	liveOK   bool
+	liveDown cycles.Cycles
+	liveErr  error
+
+	// coldDown is the cold-restart blackout: a fresh boot plus the
+	// runtime's fork/exec charge for the image.
+	coldDown cycles.Cycles
+}
+
+// newArchetype boots the probe and measures the cost table. cfg must
+// already be validated (App set, memory bounds cleared).
+func newArchetype(cfg *Config) (*archetype, error) {
+	p, err := core.NewPlatform(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	a := &archetype{rt: p.Runtime()}
+	a.memPer = a.rt.MemoryPagesPerInstance(false) / 256 // 4 KiB pages -> MB
+
+	text, err := cfg.App.BuildBinary(1, 16)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s-archetype", cfg.App.Name)
+	inst, err := p.Boot(core.Image{Name: name, Program: text, MemoryMB: a.memPer})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: boot archetype %s: %w", name, err)
+	}
+	pages := text.Size()/arch.PageSize + 1
+	a.coldDown = inst.Clock.Now() + a.rt.ForkExecCost(pages)
+
+	if cfg.Platform.Kind == runtimes.XContainer {
+		// Probe the checkpoint path once: the restored clock is the
+		// blackout every live migration of this configuration charges.
+		dst, derr := core.NewPlatform(cfg.Platform)
+		if derr != nil {
+			a.liveErr = derr
+		} else if moved, merr := core.Migrate(p, inst, dst); merr != nil {
+			a.liveErr = merr
+		} else {
+			a.liveOK = true
+			a.liveDown = moved.Clock.Now()
+			_ = dst.Destroy(moved)
+			return a, nil
+		}
+	}
+	_ = p.Destroy(inst)
+	return a, nil
+}
+
+// migrationDowntime is the blackout of one container move — the
+// flyweight replacement for checkpointing a per-replica instance.
+func (a *archetype) migrationDowntime(cold bool) cycles.Cycles {
+	if !cold && a.liveOK {
+		return a.liveDown
+	}
+	return a.coldDown
+}

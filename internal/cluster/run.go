@@ -33,11 +33,14 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 		// seed-derived stream, distinct from arrivals and failures.
 		c.graph.Reseed(t.Seed ^ 0x16c4e5500)
 	}
-	c.win = &sim.Histogram{}
 	c.notePeaks()
 
 	open := t.Rate > 0 || t.Burst != nil
 	c.closedLoop = !open
+
+	if c.sh != nil {
+		return c.runSharded(t, dur, open)
+	}
 
 	// The first tick fires at the interval, or at the horizon when the
 	// run is shorter — every run gets at least one control evaluation.
@@ -73,6 +76,50 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 
 	c.eng.Run(c.horizon)
 	return c.assemble(t, dur, open, conc), nil
+}
+
+// runSharded executes the run on the epoch-sharded engine: seed the
+// population or arm the central arrival stream, then drive the barrier
+// loop to the horizon.
+func (c *Cluster) runSharded(t Traffic, dur float64, open bool) (*Result, error) {
+	conc := 0
+	if !open {
+		conc = t.Concurrency
+		if conc <= 0 {
+			conc = 2 * c.servers * len(c.containers)
+		}
+	}
+	c.sh.start(t, open, conc)
+	for c.sh.step() {
+	}
+	c.sh.stop()
+
+	if c.sh.fi == nil {
+		// Plain front door: root latencies were observed shard-side.
+		// Quantiles and the max merge exactly (integer bucket counts);
+		// the mean comes from the exact integer cycle sum, because the
+		// merged histogram's float sum depends on the shard partition.
+		var latSum, latN uint64
+		for i := range c.sh.shards {
+			ss := &c.sh.shards[i]
+			c.fleet.Merge(&ss.fleet)
+			latSum += ss.latSum
+			latN += ss.latN
+			c.completed += ss.completed
+		}
+		res := c.assemble(t, dur, open, conc)
+		if latN > 0 {
+			res.LatencyUS = float64(latSum) / float64(latN) / (cycles.Hz / 1e6)
+		}
+		return res, nil
+	}
+	// Behind the ingress, root completions were observed centrally at
+	// barriers in canonical order — c.fleet and c.completed are already
+	// exact; only the route/service sections come from the flyweight.
+	res := c.assemble(t, dur, open, conc)
+	res.Routes = c.sh.fi.routeStats()
+	res.IngressServices = c.sh.fi.serviceStats(c.horizon)
+	return res, nil
 }
 
 // assemble reads the fleet's statistics into a Result.

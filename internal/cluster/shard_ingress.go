@@ -1,0 +1,649 @@
+package cluster
+
+import (
+	"slices"
+
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/ingress"
+	"xcontainers/internal/sim"
+)
+
+// fleetIngress is the sharded engine's ingress tier: the same two-hop
+// topology the single engine builds as an ingress.Graph (client → proxy
+// service → fleet service), reimplemented against epoch barriers so a
+// 10k-replica fleet needs no central engine. The proxy queue lives on
+// shard 0 and serves mid-epoch; everything cross-replica — routing an
+// attempt, deciding a timeout, issuing a retry or hedge, completing a
+// call — happens at barriers, in canonical event order, against the
+// epoch route table. Robustness semantics (timeout ladder, capped
+// backoff, retry budget, quantile-armed hedging, keep-alive
+// amortization) mirror internal/ingress exactly; only the timing is
+// epoch-quantized, which is the sharded engine's documented model
+// difference, not a function of the shard count.
+//
+// Steady state allocates nothing: calls live in a slot arena with a
+// free list, timers in a hand-rolled min-heap, and the per-epoch event
+// batch reuses one buffer.
+
+// Mirrored ingress-package bounds (unexported there; fixed model
+// constants, not knobs).
+const (
+	fiMaxRetries     = 8
+	fiBudgetCap      = 64.0
+	fiHedgeMinSample = 64
+	fiNoHedge        = 0xff
+
+	fiSlotBits = 24
+	fiGenBits  = 24
+	fiSlotMask = 1<<fiSlotBits - 1
+	fiGenMask  = 1<<fiGenBits - 1
+)
+
+// fiEncode packs an attempt's identity into its queue-job ID, like the
+// graph's encodeID (no kind bits: queues carry only attempts).
+func fiEncode(slot int32, gen uint32, k uint8) uint64 {
+	return uint64(k)<<48 | uint64(gen&fiGenMask)<<fiSlotBits | uint64(uint32(slot)&fiSlotMask)
+}
+
+func fiDecode(id uint64) (slot int32, gen uint32, k uint8) {
+	return int32(id & fiSlotMask), uint32(id>>fiSlotBits) & fiGenMask, uint8(id >> 48)
+}
+
+// fdoneRec is one fleet-replica attempt completion, buffered by the
+// owning shard until the barrier.
+type fdoneRec struct {
+	at   cycles.Cycles
+	born cycles.Cycles
+	id   uint64
+	cost cycles.Cycles
+}
+
+// pdoneRec is one proxy completion (shard 0 only).
+type pdoneRec struct {
+	at     cycles.Cycles
+	client uint64
+	born   cycles.Cycles
+}
+
+// fcall is one in-flight ingress→fleet call; pointer-free slot arena.
+type fcall struct {
+	gen       uint32
+	client    uint64
+	born      cycles.Cycles // client admission — the root latency base
+	fborn     cycles.Cycles // fleet call start (a barrier instant)
+	racing    bool
+	attempt   uint8
+	retries   uint8
+	hedgeIdx  uint8
+	liveMask  uint16
+	pendRetry bool
+	lastBE    int32
+}
+
+// Barrier event kinds, in tie-break order at one instant: timers fire
+// before completions, so a deadline that lands exactly on a completion
+// beats it — one fixed rule instead of the single engine's
+// schedule-order race.
+const (
+	fiEvTimeout = iota
+	fiEvHedge
+	fiEvRetry
+	fiEvProxyDone
+	fiEvFleetDone
+)
+
+// fiTimer is one pending timer; heap-ordered by due time only (the
+// per-epoch batch re-sorts canonically, so heap pop order within one
+// instant is irrelevant).
+type fiTimer struct {
+	due  cycles.Cycles
+	kind uint8
+	k    uint8
+	slot int32
+	gen  uint32
+}
+
+// fiEvent is one entry of a barrier's canonical batch.
+type fiEvent struct {
+	at   cycles.Cycles
+	kind uint8
+	k    uint8
+	slot int32
+	gen  uint32
+	cost cycles.Cycles
+	born cycles.Cycles
+	id   uint64 // proxyDone: the client request id
+}
+
+// fiEdge mirrors ingress.Edge's accounting for one route.
+type fiEdge struct {
+	calls        uint64
+	completed    uint64
+	failed       uint64
+	retries      uint64
+	timeouts     uint64
+	lost         uint64
+	hedges       uint64
+	hedgeWins    uint64
+	budgetDenied uint64
+	noBackend    uint64
+	handshakes   uint64
+	lat          sim.Histogram
+}
+
+func (e *fiEdge) stats(route string) ingress.RouteStats {
+	return ingress.RouteStats{
+		Route:     route,
+		Calls:     e.calls,
+		Completed: e.completed,
+		Failed:    e.failed,
+
+		Retries:      e.retries,
+		Timeouts:     e.timeouts,
+		Lost:         e.lost,
+		Hedges:       e.hedges,
+		HedgeWins:    e.hedgeWins,
+		BudgetDenied: e.budgetDenied,
+		NoBackend:    e.noBackend,
+		Handshakes:   e.handshakes,
+
+		MeanUS: e.lat.MeanMicros(),
+		P50US:  e.lat.Quantile(0.50).Micros(),
+		P95US:  e.lat.Quantile(0.95).Micros(),
+		P99US:  e.lat.Quantile(0.99).Micros(),
+		MaxUS:  e.lat.Max().Micros(),
+	}
+}
+
+type fleetIngress struct {
+	c *Cluster
+
+	pol      ingress.RoutePolicy // ingress→fleet route, normalized
+	entryPol ingress.RoutePolicy // client→ingress: connection regime only
+
+	proxyQ    *sim.Queue
+	proxyCost cycles.Cycles
+	proxyKA   int // entry-edge keep-alive countdown on the proxy replica
+
+	fleetE fiEdge
+	entryE fiEdge
+
+	budget     float64
+	kaLeft     []int32       // fleet-edge keep-alive countdown per replica
+	attemptLat sim.Histogram // winning fleet attempts — arms the hedge delay
+
+	proxyCompleted uint64
+	wasted         uint64
+	wastedCycles   cycles.Cycles
+
+	calls    []fcall
+	callFree []int32
+
+	timers []fiTimer
+	pdone  []pdoneRec
+	events []fiEvent
+}
+
+// fiNormalize mirrors RoutePolicy.normalized (unexported there).
+func fiNormalize(p ingress.RoutePolicy) ingress.RoutePolicy {
+	if p.KeepAlive && p.KeepAliveReqs <= 0 {
+		p.KeepAliveReqs = 100
+	}
+	if p.Retries > fiMaxRetries {
+		p.Retries = fiMaxRetries
+	}
+	if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.BackoffCap == 0 {
+		p.BackoffCap = 8 * p.Backoff
+	}
+	return p
+}
+
+func newFleetIngress(c *Cluster) *fleetIngress {
+	ic := c.cfg.Ingress
+	cores := ic.Cores
+	if cores <= 0 {
+		cores = 2
+	}
+	route := ic.Route
+	if route.ConnSetup == 0 {
+		route.ConnSetup = ingress.ConnSetupCost(c.arch.rt)
+	}
+	fi := &fleetIngress{
+		c:   c,
+		pol: fiNormalize(route),
+		entryPol: fiNormalize(ingress.RoutePolicy{
+			ConnSetup: route.ConnSetup, KeepAlive: route.KeepAlive, KeepAliveReqs: route.KeepAliveReqs,
+		}),
+		proxyCost: ingress.ProxyRequestCost(c.arch.rt),
+	}
+	fi.proxyQ = sim.NewQueue(c.sh.engines[0], "ingress", cores)
+	eng := c.sh.engines[0]
+	fi.proxyQ.OnDone = func(j sim.Job) {
+		fi.proxyCompleted++
+		fi.pdone = append(fi.pdone, pdoneRec{at: eng.Now(), client: j.ID, born: j.Born})
+	}
+	// Fleet routing follows the route's balancer instead of the plain
+	// front door's JSQ.
+	c.sh.table.lb = fi.pol.LB
+	return fi
+}
+
+// admit enters one client request at a barrier instant (closed-loop
+// seeding and re-issue; shard 0's engine is parked, so the proxy queue
+// accepts directly).
+func (fi *fleetIngress) admit(client uint64, now cycles.Cycles) {
+	fi.clientArrive(sim.Job{ID: client, Born: now})
+}
+
+// clientArrive is the entry edge: charge the connection regime and the
+// proxy hop. It runs either mid-epoch on shard 0 (open-loop arrivals
+// through the sink) or at a barrier (closed loop) — both touch only
+// shard-0 state.
+func (fi *fleetIngress) clientArrive(j sim.Job) {
+	fi.entryE.calls++
+	cost := fi.proxyCost
+	if p := &fi.entryPol; p.ConnSetup > 0 {
+		if !p.KeepAlive {
+			fi.entryE.handshakes++
+			cost += p.ConnSetup
+		} else {
+			if fi.proxyKA == 0 {
+				fi.entryE.handshakes++
+				cost += p.ConnSetup
+				fi.proxyKA = p.KeepAliveReqs
+			}
+			fi.proxyKA--
+		}
+	}
+	fi.proxyQ.Arrive(sim.Job{ID: j.ID, Cost: cost, Born: j.Born})
+}
+
+// processEpoch is the barrier phase: merge the epoch's proxy
+// completions, fleet attempt completions, and due timers into one
+// canonical batch and process it. The sort key (at, kind, slot, gen,
+// k, id) is a total order over distinct events, so the batch — and
+// therefore every routing, retry, and hedging decision — is identical
+// for any shard layout.
+func (fi *fleetIngress) processEpoch() {
+	now := fi.c.sh.now
+	ev := fi.events[:0]
+	for i := range fi.pdone {
+		p := &fi.pdone[i]
+		ev = append(ev, fiEvent{at: p.at, kind: fiEvProxyDone, id: p.client, born: p.born})
+	}
+	fi.pdone = fi.pdone[:0]
+	for i := range fi.c.sh.shards {
+		ss := &fi.c.sh.shards[i]
+		for _, f := range ss.fdone {
+			slot, gen, k := fiDecode(f.id)
+			ev = append(ev, fiEvent{at: f.at, kind: fiEvFleetDone, k: k, slot: slot, gen: gen, cost: f.cost, born: f.born})
+		}
+		ss.fdone = ss.fdone[:0]
+	}
+	for len(fi.timers) > 0 && fi.timers[0].due <= now {
+		t := fi.popTimer()
+		ev = append(ev, fiEvent{at: t.due, kind: t.kind, k: t.k, slot: t.slot, gen: t.gen})
+	}
+	slices.SortFunc(ev, func(a, b fiEvent) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.kind != b.kind:
+			return int(a.kind) - int(b.kind)
+		case a.slot != b.slot:
+			return int(a.slot) - int(b.slot)
+		case a.gen != b.gen:
+			if a.gen < b.gen {
+				return -1
+			}
+			return 1
+		case a.k != b.k:
+			return int(a.k) - int(b.k)
+		case a.id != b.id:
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for i := range ev {
+		fi.processEvent(&ev[i])
+	}
+	fi.events = ev[:0]
+}
+
+// callAt validates a slot/generation pair against the arena; nil means
+// the call moved on (completed, failed, slot reused).
+func (fi *fleetIngress) callAt(slot int32, gen uint32) *fcall {
+	if int(slot) >= len(fi.calls) {
+		return nil
+	}
+	c := &fi.calls[slot]
+	if c.gen != gen || !c.racing {
+		return nil
+	}
+	return c
+}
+
+func (fi *fleetIngress) processEvent(e *fiEvent) {
+	switch e.kind {
+	case fiEvProxyDone:
+		fi.startFleetCall(e.id, e.born)
+	case fiEvFleetDone:
+		c := fi.callAt(e.slot, e.gen)
+		if c == nil || c.liveMask&(1<<e.k) == 0 {
+			// Nobody is waiting any more: the call timed out, was retried
+			// elsewhere, or a hedge twin won — capacity spent for nothing.
+			fi.wasted++
+			fi.wastedCycles += e.cost
+			return
+		}
+		fi.attemptLat.Observe(e.at - e.born)
+		if e.k == c.hedgeIdx {
+			fi.fleetE.hedgeWins++
+		}
+		c.liveMask = 0
+		fi.fleetE.completed++
+		fi.fleetE.lat.Observe(e.at - c.fborn)
+		fi.rootDone(e.slot, e.at, true)
+	case fiEvTimeout:
+		c := fi.callAt(e.slot, e.gen)
+		if c == nil || c.liveMask&(1<<e.k) == 0 {
+			return
+		}
+		c.liveMask &^= 1 << e.k
+		fi.fleetE.timeouts++
+		if c.liveMask != 0 {
+			return // a hedge twin is still racing
+		}
+		fi.maybeRetry(e.slot, e.at)
+	case fiEvRetry:
+		c := fi.callAt(e.slot, e.gen)
+		if c == nil || !c.pendRetry {
+			return
+		}
+		c.pendRetry = false
+		fi.issueAttempt(e.slot)
+	case fiEvHedge:
+		c := fi.callAt(e.slot, e.gen)
+		if c == nil || c.hedgeIdx != fiNoHedge || c.liveMask == 0 {
+			return // already hedged, or primary gone (retry pending)
+		}
+		bi := fi.c.sh.table.pickOther(int(c.lastBE))
+		if bi < 0 {
+			return // nothing to hedge to; the primary races on alone
+		}
+		c.hedgeIdx = c.attempt
+		fi.fleetE.hedges++
+		fi.issueTo(e.slot, bi)
+	}
+}
+
+// startFleetCall opens the ingress→fleet call for a request whose proxy
+// hop completed.
+func (fi *fleetIngress) startFleetCall(client uint64, born cycles.Cycles) {
+	fi.fleetE.calls++
+	if fi.pol.RetryBudget > 0 {
+		fi.budget = min(fi.budget+fi.pol.RetryBudget, fiBudgetCap)
+	}
+	slot := fi.allocCall()
+	c := &fi.calls[slot]
+	c.client = client
+	c.born = born
+	c.fborn = fi.c.sh.now
+	c.racing = true
+	c.attempt = 0
+	c.retries = 0
+	c.hedgeIdx = fiNoHedge
+	c.liveMask = 0
+	c.pendRetry = false
+	c.lastBE = -1
+	fi.issueAttempt(slot)
+}
+
+// issueAttempt routes the call's next attempt, or fails the call when
+// nothing is routable. Unlike the graph there is no frame re-entrance
+// to defer around: barriers process a flat batch, so the failure
+// completes inline.
+func (fi *fleetIngress) issueAttempt(slot int32) {
+	bi := fi.c.sh.table.pick()
+	if bi < 0 {
+		fi.fleetE.noBackend++
+		fi.fleetE.failed++
+		fi.rootDone(slot, fi.c.sh.now, false)
+		return
+	}
+	fi.issueTo(slot, bi)
+}
+
+// issueTo commits one attempt to replica bi at the barrier instant and
+// arms its timeout and, on the first attempt, the hedge.
+func (fi *fleetIngress) issueTo(slot int32, bi int) {
+	c := &fi.calls[slot]
+	now := fi.c.sh.now
+	k := c.attempt
+	c.attempt++
+	c.liveMask |= 1 << k
+	c.lastBE = int32(bi)
+	cost := fi.c.per
+	if p := &fi.pol; p.ConnSetup > 0 {
+		if !p.KeepAlive {
+			fi.fleetE.handshakes++
+			cost += p.ConnSetup
+		} else {
+			for len(fi.kaLeft) <= bi {
+				fi.kaLeft = append(fi.kaLeft, 0)
+			}
+			if fi.kaLeft[bi] == 0 {
+				fi.fleetE.handshakes++
+				cost += p.ConnSetup
+				fi.kaLeft[bi] = int32(p.KeepAliveReqs)
+			}
+			fi.kaLeft[bi]--
+		}
+	}
+	fi.c.containers[bi].q.Arrive(sim.Job{ID: fiEncode(slot, c.gen, k), Cost: cost, Born: now})
+	if fi.pol.Timeout > 0 {
+		fi.pushTimer(fiTimer{due: now + fi.pol.Timeout, kind: fiEvTimeout, k: k, slot: slot, gen: c.gen})
+	}
+	if k == 0 {
+		if d := fi.hedgeDelay(); d > 0 {
+			fi.pushTimer(fiTimer{due: now + d, kind: fiEvHedge, slot: slot, gen: c.gen})
+		}
+	}
+}
+
+// hedgeDelay mirrors Edge.hedgeDelay: the observed HedgeP quantile of
+// winning attempt latencies, once enough samples exist.
+func (fi *fleetIngress) hedgeDelay() cycles.Cycles {
+	if fi.pol.HedgeP <= 0 || fi.attemptLat.Count() < fiHedgeMinSample {
+		return 0
+	}
+	return fi.attemptLat.Quantile(fi.pol.HedgeP)
+}
+
+// maybeRetry decides a call's fate after its last live attempt died:
+// retry under the ladder and budget, or fail back to the client.
+func (fi *fleetIngress) maybeRetry(slot int32, at cycles.Cycles) {
+	c := &fi.calls[slot]
+	if int(c.retries) >= fi.pol.Retries {
+		fi.fleetE.failed++
+		fi.rootDone(slot, at, false)
+		return
+	}
+	if fi.pol.RetryBudget > 0 {
+		if fi.budget < 1 {
+			fi.fleetE.budgetDenied++
+			fi.fleetE.failed++
+			fi.rootDone(slot, at, false)
+			return
+		}
+		fi.budget--
+	}
+	c.retries++
+	fi.fleetE.retries++
+	backoff := fi.pol.Backoff << (c.retries - 1)
+	if backoff > fi.pol.BackoffCap {
+		backoff = fi.pol.BackoffCap
+	}
+	c.pendRetry = true
+	fi.pushTimer(fiTimer{due: at + backoff, kind: fiEvRetry, slot: slot, gen: c.gen})
+}
+
+// rootDone finishes the request: entry-edge accounting, the cluster's
+// fleet statistics, and the closed-loop re-issue — the sharded
+// counterpart of Cluster.rootDone.
+func (fi *fleetIngress) rootDone(slot int32, at cycles.Cycles, ok bool) {
+	c := fi.c
+	call := &fi.calls[slot]
+	client := call.client
+	if ok {
+		lat := at - call.born
+		fi.entryE.completed++
+		fi.entryE.lat.Observe(lat)
+		c.fleet.Observe(lat)
+		c.win.Observe(lat)
+		c.completed++
+	} else {
+		fi.entryE.failed++
+		c.dropped++
+	}
+	fi.freeCall(slot)
+	if c.closedLoop && c.sh.now < c.horizon {
+		fi.admit(client, c.sh.now)
+	}
+}
+
+// attemptLost reports a queued attempt dropped before service (a dead
+// node's backlog); called at barriers from dropBacklog. The attempt
+// dies as if its timeout had fired.
+func (fi *fleetIngress) attemptLost(j sim.Job) {
+	slot, gen, k := fiDecode(j.ID)
+	c := fi.callAt(slot, gen)
+	if c == nil || c.liveMask&(1<<k) == 0 {
+		return
+	}
+	c.liveMask &^= 1 << k
+	fi.fleetE.lost++
+	if c.liveMask == 0 && !c.pendRetry {
+		fi.maybeRetry(slot, fi.c.sh.now)
+	}
+}
+
+// routeStats mirrors Graph.RouteStats for the cluster topology: the
+// ingress→fleet route, then the client entry route (Connect before
+// SetEntry, as buildIngress orders them).
+func (fi *fleetIngress) routeStats() []ingress.RouteStats {
+	return []ingress.RouteStats{
+		fi.fleetE.stats("ingress->fleet"),
+		fi.entryE.stats("client->ingress"),
+	}
+}
+
+// serviceStats mirrors Graph.ServiceStats: the proxy service, then the
+// fleet service averaged over every replica ever placed (retired ones
+// included, like the graph's backend list).
+func (fi *fleetIngress) serviceStats(horizon cycles.Cycles) []ingress.ServiceStats {
+	out := make([]ingress.ServiceStats, 2)
+	out[0] = ingress.ServiceStats{
+		Service:     "ingress",
+		Replicas:    1,
+		Completions: fi.proxyCompleted,
+		Utilization: fi.proxyQ.Utilization(horizon),
+		MeanDepth:   fi.proxyQ.MeanDepth(horizon),
+		MaxDepth:    fi.proxyQ.MaxDepth(),
+	}
+	var fleetCompl uint64
+	for i := range fi.c.sh.shards {
+		fleetCompl += fi.c.sh.shards[i].fleetCompleted
+	}
+	st := ingress.ServiceStats{
+		Service:     "fleet",
+		Replicas:    len(fi.c.containers),
+		Completions: fleetCompl,
+		Wasted:      fi.wasted,
+		WastedMS:    fi.wastedCycles.Micros() / 1e3,
+	}
+	var util, depth float64
+	maxD := 0
+	for _, ct := range fi.c.containers {
+		util += ct.q.Utilization(horizon)
+		depth += ct.q.MeanDepth(horizon)
+		if d := ct.q.MaxDepth(); d > maxD {
+			maxD = d
+		}
+	}
+	if n := len(fi.c.containers); n > 0 {
+		st.Utilization = util / float64(n)
+		depth /= float64(n)
+	}
+	st.MeanDepth = depth
+	st.MaxDepth = maxD
+	out[1] = st
+	return out
+}
+
+// --- call arena ---
+
+func (fi *fleetIngress) allocCall() int32 {
+	if n := len(fi.callFree); n > 0 {
+		slot := fi.callFree[n-1]
+		fi.callFree = fi.callFree[:n-1]
+		return slot
+	}
+	fi.calls = append(fi.calls, fcall{})
+	return int32(len(fi.calls) - 1)
+}
+
+func (fi *fleetIngress) freeCall(slot int32) {
+	c := &fi.calls[slot]
+	c.racing = false
+	c.gen = (c.gen + 1) & fiGenMask
+	fi.callFree = append(fi.callFree, slot)
+}
+
+// --- timer heap (min by due) ---
+
+func (fi *fleetIngress) pushTimer(t fiTimer) {
+	fi.timers = append(fi.timers, t)
+	i := len(fi.timers) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if fi.timers[p].due <= fi.timers[i].due {
+			break
+		}
+		fi.timers[p], fi.timers[i] = fi.timers[i], fi.timers[p]
+		i = p
+	}
+}
+
+func (fi *fleetIngress) popTimer() fiTimer {
+	top := fi.timers[0]
+	n := len(fi.timers) - 1
+	fi.timers[0] = fi.timers[n]
+	fi.timers = fi.timers[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && fi.timers[l].due < fi.timers[small].due {
+			small = l
+		}
+		if r < n && fi.timers[r].due < fi.timers[small].due {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		fi.timers[i], fi.timers[small] = fi.timers[small], fi.timers[i]
+		i = small
+	}
+	return top
+}

@@ -78,6 +78,18 @@ func (h *Histogram) MeanMicros() float64 {
 // Max returns the largest sample observed.
 func (h *Histogram) Max() cycles.Cycles { return h.max }
 
+// Reset discards every sample, returning the histogram to its zero
+// state without releasing its storage — the control-window churn path:
+// a fleet that resets one histogram per window allocates nothing, where
+// replacing it would retire 8 KiB of counts per tick to the collector.
+func (h *Histogram) Reset() {
+	clear(h.counts[:h.hi+1])
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+	h.hi = 0
+}
+
 // Merge folds other's samples into h bucket-wise. Because buckets are
 // fixed and counts add, Merge is commutative and associative, and a
 // merged histogram reports exactly the statistics it would have had if

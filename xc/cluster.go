@@ -60,6 +60,18 @@ type ClusterSpec struct {
 	// join-shortest-queue front door. The report grows per-route and
 	// per-service sections.
 	Ingress *IngressSpec
+	// Shards, when >= 1, runs the fleet on the epoch-sharded engine:
+	// replicas spread over per-shard event engines advancing in parallel
+	// between epoch barriers. Reports are byte-identical for any
+	// Shards >= 1 and any ShardWorkers; the sharded model quantizes
+	// routing and control to epochs, so it differs from Shards == 0.
+	Shards int
+	// EpochMicros is the sharded engine's barrier period in virtual
+	// microseconds (default 500) — a model parameter, unlike Shards.
+	EpochMicros float64
+	// ShardWorkers bounds the goroutines driving shard engines
+	// (0 = min(Shards, GOMAXPROCS)). Purely a wall-clock knob.
+	ShardWorkers int
 }
 
 // Cluster is a fleet factory: one container architecture plus platform
@@ -140,6 +152,9 @@ func (c *Cluster) Serve(w *Workload, spec ClusterSpec, t *TrafficSpec) (*Cluster
 		SLOp99US:      spec.SLOMillis * 1000,
 		Autoscale:     spec.Autoscale,
 		FailNodeAtSec: spec.FailNode,
+		Shards:        spec.Shards,
+		EpochUS:       spec.EpochMicros,
+		ShardWorkers:  spec.ShardWorkers,
 	}
 	if in := spec.Ingress; in != nil {
 		cfg.Ingress = &cluster.IngressConfig{Route: in.route(), Cores: in.cores}
