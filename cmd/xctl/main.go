@@ -36,11 +36,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xcontainers/internal/xkernel"
 	"xcontainers/xc"
@@ -92,6 +95,12 @@ func run(args []string, stdout io.Writer) error {
 	sweepRates := fs.String("sweep-rates", "", "cluster: comma-separated offered rates; runs a parallel sweep instead of one experiment")
 	sweepSeeds := fs.Int("seeds", 1, "cluster sweep: replications per rate (seeds 1..n)")
 	parallel := fs.Int("parallel", 0, "cluster sweep: worker pool size (0 = all cores)")
+	traceOut := fs.String("trace", "", "cluster: write the run's flight-recorder trace as Chrome trace-event JSON (Perfetto) to this file; implies observability")
+	metricsOut := fs.String("metrics-out", "", "cluster: write the run's windowed time series as CSV to this file; implies observability")
+	metricsWindowUS := fs.Float64("metrics-window-us", 0, "cluster observability: time-series window width in virtual microseconds (0 = 1000)")
+	queueDepth := fs.Bool("queue-depth", false, "cluster observability: trace per-replica queue depth (verbose)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file, with samples labeled by phase (boot/run/report)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -99,34 +108,80 @@ func run(args []string, stdout io.Writer) error {
 		return errUsage
 	}
 
-	if *clusterMode {
-		if fs.NArg() > 0 {
-			return fmt.Errorf("-cluster takes no command argument, got %q%w", fs.Arg(0), errUsage)
+	return withProfiles(*cpuProfile, *memProfile, func() error {
+		if *clusterMode {
+			if fs.NArg() > 0 {
+				return fmt.Errorf("-cluster takes no command argument, got %q%w", fs.Arg(0), errUsage)
+			}
+			return runCluster(stdout, clusterOptions{
+				runtime: *rtName, app: *appName,
+				nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
+				policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
+				shards: *shards, epochUS: *epochUS, shardWorkers: *shardWorkers,
+				ingressPolicy: *ingressPolicy, keepAlive: *keepAlive, retries: *retries,
+				timeoutUS: *timeoutUS, hedgeP: *hedgeP,
+				rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
+				sweepRates: *sweepRates, sweepSeeds: *sweepSeeds, parallel: *parallel,
+				traceOut: *traceOut, metricsOut: *metricsOut,
+				metricsWindowUS: *metricsWindowUS, queueDepth: *queueDepth,
+			})
 		}
-		return runCluster(stdout, clusterOptions{
-			runtime: *rtName, app: *appName,
-			nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
-			policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
-			shards: *shards, epochUS: *epochUS, shardWorkers: *shardWorkers,
-			ingressPolicy: *ingressPolicy, keepAlive: *keepAlive, retries: *retries,
-			timeoutUS: *timeoutUS, hedgeP: *hedgeP,
-			rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
-			sweepRates: *sweepRates, sweepSeeds: *sweepSeeds, parallel: *parallel,
-		})
-	}
 
-	cmd := "demo"
-	if fs.NArg() > 0 {
-		cmd = fs.Arg(0)
+		cmd := "demo"
+		if fs.NArg() > 0 {
+			cmd = fs.Arg(0)
+		}
+		switch cmd {
+		case "demo":
+			return demo(stdout)
+		case "surfaces":
+			surfaces(stdout)
+			return nil
+		}
+		return fmt.Errorf("unknown command %q (try: demo, surfaces, or -cluster)%w", cmd, errUsage)
+	})
+}
+
+// withProfiles brackets fn with the requested pprof outputs: a CPU
+// profile spanning the whole invocation (phase labels mark boot/run/
+// report spans inside it) and a heap snapshot written after fn
+// returns, post-GC so it shows live bytes, not garbage.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
-	switch cmd {
-	case "demo":
-		return demo(stdout)
-	case "surfaces":
-		surfaces(stdout)
-		return nil
+	if err := fn(); err != nil {
+		return err
 	}
-	return fmt.Errorf("unknown command %q (try: demo, surfaces, or -cluster)%w", cmd, errUsage)
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(f)
+	}
+	return nil
+}
+
+// phase runs fn with pprof samples labeled phase=name, so a -cpuprofile
+// flame graph separates fleet construction, the event loop, and report
+// rendering.
+func phase(name string, fn func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		err = fn()
+	})
+	return err
 }
 
 type clusterOptions struct {
@@ -145,6 +200,9 @@ type clusterOptions struct {
 	jsonOut                              bool
 	sweepRates                           string
 	sweepSeeds, parallel                 int
+	traceOut, metricsOut                 string
+	metricsWindowUS                      float64
+	queueDepth                           bool
 }
 
 func runCluster(stdout io.Writer, o clusterOptions) error {
@@ -156,8 +214,11 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 	if err != nil {
 		return err
 	}
-	c, err := xc.NewCluster(kind)
-	if err != nil {
+	var c *xc.Cluster
+	if err := phase("boot", func() error {
+		c, err = xc.NewCluster(kind)
+		return err
+	}); err != nil {
 		return err
 	}
 	spec := xc.ClusterSpec{
@@ -188,24 +249,64 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 		}
 		spec.Ingress = in
 	}
+	observed := o.traceOut != "" || o.metricsOut != "" || o.metricsWindowUS > 0 || o.queueDepth
+	if observed {
+		ob := xc.Observe().WindowMicros(o.metricsWindowUS)
+		if o.queueDepth {
+			ob.QueueDepth()
+		}
+		spec.Observe = ob
+	}
 	if o.sweepRates != "" {
+		if observed {
+			return fmt.Errorf("-trace/-metrics-out apply to a single experiment, not a sweep%w", errUsage)
+		}
 		return runClusterSweep(stdout, o, kind, spec)
 	}
 	traffic := xc.Traffic().Rate(o.rate).Duration(o.duration).Seed(o.seed)
-	rep, err := c.Serve(xc.App(o.app), spec, traffic)
+	var rep *xc.ClusterReport
+	if err := phase("run", func() error {
+		var err error
+		rep, err = c.Serve(xc.App(o.app), spec, traffic)
+		return err
+	}); err != nil {
+		return err
+	}
+	return phase("report", func() error {
+		if o.traceOut != "" {
+			if err := writeFile(o.traceOut, rep.WriteTrace); err != nil {
+				return err
+			}
+		}
+		if o.metricsOut != "" {
+			if err := writeFile(o.metricsOut, rep.TimeSeries.WriteCSV); err != nil {
+				return err
+			}
+		}
+		if o.jsonOut {
+			blob, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, string(blob))
+			return nil
+		}
+		fmt.Fprint(stdout, rep)
+		return nil
+	})
+}
+
+// writeFile creates path and streams write into it, closing cleanly.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if o.jsonOut {
-		blob, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, string(blob))
-		return nil
+	if err := write(f); err != nil {
+		f.Close()
+		return err
 	}
-	fmt.Fprint(stdout, rep)
-	return nil
+	return f.Close()
 }
 
 // runClusterSweep replicates the cluster experiment across -sweep-rates

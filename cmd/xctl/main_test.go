@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -248,6 +249,92 @@ func TestClusterEpochFlag(t *testing.T) {
 	}
 	if runWith("100") == runWith("5000") {
 		t.Error("-epoch-us 100 and 5000 produced identical reports")
+	}
+}
+
+// TestClusterObserveFlags drives -trace/-metrics-out end to end: the
+// trace file is valid Chrome trace-event JSON, the CSV has the
+// documented header plus data rows, and the JSON report grows a
+// time_series section — which stays absent without the flags.
+func TestClusterObserveFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/trace.json"
+	csvPath := dir + "/ts.csv"
+	args := []string{"-cluster", "-runtime", "xcontainer", "-app", "memcached",
+		"-nodes", "2", "-replicas", "4", "-policy", "spread",
+		"-rate", "900000", "-duration", "0.2", "-seed", "7", "-shards", "2", "-json",
+		"-trace", tracePath, "-metrics-out", csvPath, "-metrics-window-us", "500"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep xc.ClusterReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a valid xc.ClusterReport document: %v\n%s", err, out.Bytes())
+	}
+	if rep.TimeSeries == nil || len(rep.TimeSeries.Windows) == 0 {
+		t.Fatal("observed run has no time_series section")
+	}
+	if rep.TimeSeries.WindowUS != 500 {
+		t.Errorf("window = %v us, want 500", rep.TimeSeries.WindowUS)
+	}
+
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(blob, &events); err != nil {
+		t.Fatalf("-trace output is not valid trace-event JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("-trace output has no events")
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("-metrics-out produced %d lines, want header plus rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "start_us,arrived,served,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+
+	// Without the flags the report must not mention the section at all.
+	var plain bytes.Buffer
+	if err := run(args[:len(args)-6], &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "time_series") {
+		t.Error("unobserved report contains a time_series section")
+	}
+
+	if err := run([]string{"-cluster", "-sweep-rates", "1000", "-trace", tracePath}, &bytes.Buffer{}); err == nil {
+		t.Error("-trace with -sweep-rates accepted")
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files around any command.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pb.gz", dir+"/mem.pb.gz"
+	args := []string{"-cpuprofile", cpu, "-memprofile", mem,
+		"-cluster", "-nodes", "1", "-rate", "400000", "-duration", "0.1", "-json"}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }
 

@@ -85,8 +85,72 @@ func servicegraph(w io.Writer) error {
 	return nil
 }
 
+// storm builds the traced retry-storm scenario: an app tier calling a
+// db tier through an aggressive timeout/retry route with no retry
+// budget. A db brown-out during [0.1s, 0.3s) pushes the tier past
+// saturation, and the retries amplify the overload into a metastable
+// storm that outlives the brown-out. Observability is armed, so the
+// run yields a flight-recorder trace and a windowed time series that
+// show the storm ignite and persist.
+func storm() *xc.ServiceGraphSpec {
+	g := xc.ServiceGraph()
+	g.Service("app", xc.App("php"), 4)
+	g.Service("db", xc.App("mysql"), 2).BrownOut(0, 6, 0.1, 0.3)
+	g.Entry("app", xc.Ingress().Policy(xc.PowerOfTwo))
+	g.Route("app", "db", xc.Ingress().Policy(xc.PowerOfTwo).
+		TimeoutMicros(400).Retries(3).BackoffMicros(50))
+	g.Observe(xc.Observe().WindowMicros(10_000))
+	return g
+}
+
+// retryStorm serves the storm topology, prints a windowed view of the
+// ignition, and (when tracePath is set) writes the Perfetto trace.
+func retryStorm(w io.Writer, tracePath string) (*xc.TimeSeries, error) {
+	platform, err := xc.NewPlatform(xc.XContainer)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := platform.ServeGraph(storm(), xc.Traffic().Rate(55_000).Duration(1.2).Seed(21))
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintln(w, "retry storm: 4x php -> 2x mysql, db browned out 0.1s-0.3s, 400us timeout / 3 retries, no budget")
+	fmt.Fprintf(w, "%12s %10s %10s %10s %10s\n", "window", "served", "timeouts", "retries", "p99 us")
+	ts := rep.TimeSeries
+	for _, row := range ts.Windows {
+		// Print every 10th window (100ms of 10ms windows): enough to
+		// watch the storm ignite at 0.1s and persist past 0.3s.
+		if int(row.StartUS)%100_000 != 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%9.1fms %10d %10d %10d %10.1f\n",
+			row.StartUS/1000, row.Served, row.Timeouts, row.Retries, row.P99US)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.WriteTrace(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "trace: %s (%d records, %d dropped) - open at ui.perfetto.dev\n",
+			tracePath, ts.TraceRecords, ts.TraceDropped)
+	}
+	return ts, nil
+}
+
 func main() {
 	if err := servicegraph(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if _, err := retryStorm(os.Stdout, "storm-trace.json"); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -2,9 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite the retry-storm time-series golden")
 
 // TestServicegraph executes the documented service-graph entry path end
 // to end, so the example cannot rot.
@@ -18,5 +24,69 @@ func TestServicegraph(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("servicegraph output missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestRetryStormTimeSeriesGolden pins the traced storm run's windowed
+// time series byte for byte (CSV rendering): the observability layer is
+// deterministic, so any drift means the model or the sampler changed.
+// It also checks the trace file is valid Chrome trace-event JSON and
+// that the storm is actually visible in the series.
+func TestRetryStormTimeSeriesGolden(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "storm-trace.json")
+	var out bytes.Buffer
+	ts, err := retryStorm(&out, tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(blob, &events); err != nil {
+		t.Fatalf("trace is not valid trace-event JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// The storm's signature: retries concentrated after the brown-out
+	// ignites at 0.1s, and still burning after it lifts at 0.3s.
+	var during, after uint64
+	for _, row := range ts.Windows {
+		switch {
+		case row.StartUS >= 100_000 && row.StartUS < 300_000:
+			during += row.Retries
+		case row.StartUS >= 300_000:
+			after += row.Retries
+		}
+	}
+	if during == 0 || after == 0 {
+		t.Fatalf("no retry storm in the series: %d retries during brown-out, %d after", during, after)
+	}
+
+	var csv bytes.Buffer
+	if err := ts.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "storm_ts.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, csv.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", golden, err)
+	}
+	if !bytes.Equal(csv.Bytes(), want) {
+		t.Errorf("storm time series drifted from golden.\ngot:\n%s\nwant:\n%s", csv.Bytes(), want)
 	}
 }

@@ -74,14 +74,16 @@ type blockCache struct {
 	gen    uint64    // Text generation the live blocks are valid for
 	arena  []decoded // flat instruction storage, blocks are windows
 	blocks []block
-	byOff  []int32 // text offset → block index (-1 = not an entry point)
+	byOff  []int32   // text offset → block index (-1 = not an entry point)
+	cnt    *Counters // owning CPU's counters, for hit/miss/invalidation accounting
 }
 
-func newBlockCache(t *Text) *blockCache {
+func newBlockCache(t *Text, cnt *Counters) *blockCache {
 	bc := &blockCache{
 		text:  t,
 		gen:   t.Generation(),
 		byOff: make([]int32, t.Size()),
+		cnt:   cnt,
 	}
 	for i := range bc.byOff {
 		bc.byOff[i] = -1
@@ -116,6 +118,7 @@ func (bc *blockCache) sync() {
 			if b.live && b.start < sp.Hi && sp.Lo < b.end {
 				b.live = false
 				bc.byOff[b.start] = -1
+				bc.cnt.BlockInvalidations++
 			}
 		}
 	})
@@ -127,6 +130,11 @@ func (bc *blockCache) sync() {
 }
 
 func (bc *blockCache) flush() {
+	for i := range bc.blocks {
+		if bc.blocks[i].live {
+			bc.cnt.BlockInvalidations++
+		}
+	}
 	bc.arena = bc.arena[:0]
 	bc.blocks = bc.blocks[:0]
 	for i := range bc.byOff {
@@ -140,8 +148,10 @@ func (bc *blockCache) flush() {
 // bounds-checked off.
 func (bc *blockCache) lookupIdx(off uint32) int32 {
 	if bi := bc.byOff[off]; bi >= 0 {
+		bc.cnt.BlockHits++
 		return bi
 	}
+	bc.cnt.BlockMisses++
 	return bc.decode(off)
 }
 
@@ -244,8 +254,10 @@ func (c *CPU) runCached(maxInstr uint64) error {
 			pb := &bc.blocks[prev]
 			if pb.succBi[0] >= 0 && pb.succOff[0] == off && bc.blocks[pb.succBi[0]].live {
 				bi = pb.succBi[0]
+				bc.cnt.BlockHits++
 			} else if pb.succBi[1] >= 0 && pb.succOff[1] == off && bc.blocks[pb.succBi[1]].live {
 				bi = pb.succBi[1]
+				bc.cnt.BlockHits++
 			}
 		}
 		if bi < 0 {

@@ -54,7 +54,7 @@ func (w *twin) compare() {
 		w.t.Fatalf("state diverged:\ncached   regs=%v rip=%#x halted=%v blocked=%v\nuncached regs=%v rip=%#x halted=%v blocked=%v",
 			c.Regs, c.RIP, c.Halted, c.Blocked, u.Regs, u.RIP, u.Halted, u.Blocked)
 	}
-	if c.Counters != u.Counters {
+	if c.Counters.WithoutCacheStats() != u.Counters.WithoutCacheStats() {
 		w.t.Fatalf("counters diverged: cached %+v, uncached %+v", c.Counters, u.Counters)
 	}
 	if c.Clock.Now() != u.Clock.Now() {
@@ -274,5 +274,51 @@ func TestBlockCacheTextSwap(t *testing.T) {
 	cpu.Reset()
 	if err := cpu.Run(10); err != nil || cpu.Regs[RAX] != 2 {
 		t.Fatalf("swapped text: err=%v rax=%d", err, cpu.Regs[RAX])
+	}
+}
+
+// TestBlockCacheCounters pins the observability counters: decoding a
+// block is a miss, re-dispatching one (successor chain or entry-point
+// index) is a hit, and a patch kills exactly the overlapping blocks.
+// The counters are host-side accounting only — WithoutCacheStats masks
+// them from the cached/uncached equivalence checks above.
+func TestBlockCacheCounters(t *testing.T) {
+	// mov rcx, 50; loop: dec rcx; jnz loop; hlt
+	mov := EncMovR64Imm(RCX, 50)
+	code := append([]byte{}, mov...)
+	code = append(code, EncDecRcx()...)
+	code = append(code, EncJnzRel8(-5)...)
+	code = append(code, EncHlt()...)
+	cpu := NewCPU(NewText(UserTextBase, code), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(10_000); err != nil || !cpu.Halted {
+		t.Fatalf("run: err=%v halted=%v", err, cpu.Halted)
+	}
+	// Three blocks decode — entry [mov dec jnz], loop [dec jnz], hlt.
+	// After its decode the loop re-enters its own block 48 times: once
+	// through the entry-point index, then 47 through the successor chain.
+	if got := cpu.Counters.BlockMisses; got != 3 {
+		t.Fatalf("BlockMisses = %d, want 3", got)
+	}
+	if got := cpu.Counters.BlockHits; got != 48 {
+		t.Fatalf("BlockHits = %d, want 48", got)
+	}
+	if got := cpu.Counters.BlockInvalidations; got != 0 {
+		t.Fatalf("BlockInvalidations = %d, want 0 before any patch", got)
+	}
+
+	// Patch the mov's immediate: only the entry block overlaps, so the
+	// next run's sync invalidates exactly one block and re-decodes it.
+	if ok, err := cpu.Text.ForceWrite8(UserTextBase, mov, EncMovR64Imm(RCX, 5)); err != nil || !ok {
+		t.Fatalf("patch: ok=%v err=%v", ok, err)
+	}
+	cpu.Reset()
+	if err := cpu.Run(10_000); err != nil || !cpu.Halted {
+		t.Fatalf("rerun: err=%v halted=%v", err, cpu.Halted)
+	}
+	if got := cpu.Counters.BlockInvalidations; got != 1 {
+		t.Fatalf("BlockInvalidations = %d, want 1 (entry block only)", got)
+	}
+	if got := cpu.Counters.BlockMisses; got != 4 {
+		t.Fatalf("BlockMisses = %d, want 4 (entry re-decode)", got)
 	}
 }

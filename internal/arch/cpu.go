@@ -82,6 +82,22 @@ type Counters struct {
 	VsyscallCalls uint64 // function-call syscalls through the entry table
 	InvalidTraps  uint64
 	WorkCycles    uint64
+
+	// Block-cache accounting (observability only — never read by the
+	// model, never checkpointed). A hit is a block dispatched from the
+	// successor chain or the entry-point index; a miss decodes; an
+	// invalidation is one live block killed by a patch sync or flush.
+	BlockHits          uint64
+	BlockMisses        uint64
+	BlockInvalidations uint64
+}
+
+// WithoutCacheStats returns the counters with block-cache accounting
+// zeroed — the only fields that legitimately differ between the cached
+// and uncached execution paths, which are otherwise held equivalent.
+func (c Counters) WithoutCacheStats() Counters {
+	c.BlockHits, c.BlockMisses, c.BlockInvalidations = 0, 0, 0
+	return c
 }
 
 // CPU is the interpreter for one hardware thread executing one program.
@@ -354,7 +370,7 @@ func (c *CPU) Run(maxInstr uint64) error {
 		return c.runUncached(maxInstr)
 	}
 	if c.cache == nil || c.cache.text != c.Text {
-		c.cache = newBlockCache(c.Text)
+		c.cache = newBlockCache(c.Text, &c.Counters)
 	}
 	return c.runCached(maxInstr)
 }

@@ -129,8 +129,9 @@ func KernelPerf(budget time.Duration) []PerfResult {
 		measure("sim-open-loop", budget, openLoop),
 		measure("sim-closed-loop", budget, closedLoop),
 		measure("ingress-hotpath", budget, ingressHotPath),
-		measure("cluster-fleet-small", budget, clusterFleet(50, 0)),
-		measure("cluster-fleet-sharded", budget, clusterFleet(1000, 4)),
+		measure("cluster-fleet-small", budget, clusterFleet(50, 0, false)),
+		measure("cluster-fleet-sharded", budget, clusterFleet(1000, 4, false)),
+		measure("trace-overhead", budget, clusterFleet(1000, 4, true)),
 		measure("tier1-syscall-loop", budget, tier1SyscallLoop()),
 		measure("tier1-abom-warmup", budget, tier1ABOMWarmup),
 	}
@@ -140,7 +141,10 @@ func KernelPerf(budget time.Duration) []PerfResult {
 // construction plus a closed-loop serve — at two canonical scales: a
 // 50-node fleet on the single engine, and a 1000-node fleet on the
 // epoch-sharded engine at 4 shards (the planet-scale execution path).
-func clusterFleet(nodes, shards int) func(uint64) uint64 {
+// With observed set it arms the trace ring and sampler on the sharded
+// scenario, so trend dashboards track what observability costs per
+// event next to the untraced fleet probes.
+func clusterFleet(nodes, shards int, observed bool) func(uint64) uint64 {
 	app, err := apps.ByName("memcached")
 	if err != nil {
 		return func(uint64) uint64 { return 0 }
@@ -157,6 +161,9 @@ func clusterFleet(nodes, shards int) func(uint64) uint64 {
 		Replicas:  nodes,
 		Policy:    cluster.Spread,
 		Shards:    shards,
+	}
+	if observed {
+		cfg.Observe = &cluster.ObserveConfig{WindowUS: 1000}
 	}
 	return func(seed uint64) uint64 {
 		c, err := cluster.New(cfg)

@@ -17,6 +17,7 @@ func TestKernelPerfProbes(t *testing.T) {
 		"ingress-hotpath":       false,
 		"cluster-fleet-small":   false,
 		"cluster-fleet-sharded": false,
+		"trace-overhead":        false,
 		"tier1-syscall-loop":    false,
 		"tier1-abom-warmup":     false,
 	}
@@ -34,7 +35,8 @@ func TestKernelPerfProbes(t *testing.T) {
 		// construction (archetype boot, nodes, queues) by design — their
 		// serve path itself is pinned alloc-free by the cluster package's
 		// own guard; every other probe is a steady-state hot path.
-		exempt := r.Name == "tier1-abom-warmup" || r.Name == "cluster-fleet-small" || r.Name == "cluster-fleet-sharded"
+		exempt := r.Name == "tier1-abom-warmup" || r.Name == "cluster-fleet-small" ||
+			r.Name == "cluster-fleet-sharded" || r.Name == "trace-overhead"
 		if !raceEnabled && !exempt && r.AllocsPerEvent > 0.01 {
 			t.Errorf("probe %s allocates %.4f/event — hot path regressed", r.Name, r.AllocsPerEvent)
 		}

@@ -56,3 +56,53 @@ func BenchmarkClusterFleet(b *testing.B) {
 	b.Run("single", func(b *testing.B) { run(b, 0) })
 	b.Run("shards8", func(b *testing.B) { run(b, 8) })
 }
+
+// BenchmarkTraceOverhead measures what observability costs on the
+// BenchmarkClusterFleet scenario: "off" is the compiled-in-but-disabled
+// baseline (Observe nil — every instrumentation site is one branch; the
+// ISSUE bounds the delta against a build without the hooks at < 1%),
+// "traced" arms the ring and sampler (bounded < 10% slower than off).
+func BenchmarkTraceOverhead(b *testing.B) {
+	app, err := apps.ByName("memcached")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := Traffic{Concurrency: 2000, DurationSec: 0.02, Seed: 1}
+
+	run := func(b *testing.B, obsCfg *ObserveConfig) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := Config{
+				Platform: core.PlatformConfig{
+					Kind: runtimes.XContainer, MeltdownPatched: true,
+					Cloud: runtimes.LocalCluster, FastToolstack: true,
+				},
+				App:       app,
+				Nodes:     200,
+				MaxNodes:  200,
+				NodeCores: 4,
+				Replicas:  200,
+				Policy:    Spread,
+				Shards:    8,
+				Observe:   obsCfg,
+			}
+			c, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := c.Run(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Completed == 0 {
+				b.Fatal("benchmark fleet completed nothing")
+			}
+			if obsCfg != nil && res.Trace.Emitted() == 0 {
+				b.Fatal("traced run emitted nothing")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("traced", func(b *testing.B) { run(b, &ObserveConfig{WindowUS: 1000}) })
+}

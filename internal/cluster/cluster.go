@@ -171,6 +171,13 @@ type Config struct {
 	// barriers (0 = min(Shards, GOMAXPROCS); 1 = run shards inline).
 	// Purely a wall-clock knob — results are identical for any value.
 	ShardWorkers int
+
+	// Observe, when non-nil, arms the observability layer: the Result
+	// gains a windowed TimeSeries and a flight-recorder Trace, both
+	// deterministic and — like every other Result field — byte-identical
+	// for any Shards >= 1 × any ShardWorkers. Nil keeps the run on the
+	// zero-allocation fast path.
+	Observe *ObserveConfig
 }
 
 // IngressConfig configures the ingress tier in front of the fleet.
@@ -286,6 +293,11 @@ type Cluster struct {
 	completed  uint64
 	dropped    uint64
 
+	// ob is the observability layer (nil = off; see observe.go). Every
+	// emission site guards on the nil, so the disabled run pays one
+	// branch per hook and allocates nothing.
+	ob *clusterObs
+
 	res Result
 }
 
@@ -349,6 +361,9 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: container footprint %d MB exceeds node memory %d MB", c.memPer, cfg.NodeMemMB)
 	}
 
+	if cfg.Observe != nil {
+		c.ob = newClusterObs(*cfg.Observe, cfg.Shards > 0)
+	}
 	if cfg.Shards > 0 {
 		c.sh = newShardRun(c, cfg.Shards)
 	} else {
@@ -397,7 +412,8 @@ func (c *Cluster) buildIngress() {
 	}
 	g := ingress.NewGraph(c.eng, 0)
 	proxy := g.AddService("ingress", ingress.Sequential)
-	proxy.AddBackend(sim.NewQueue(c.eng, "ingress", cores), ingress.ProxyRequestCost(c.arch.rt), 1, nil)
+	pq := sim.NewQueue(c.eng, "ingress", cores)
+	proxy.AddBackend(pq, ingress.ProxyRequestCost(c.arch.rt), 1, nil)
 	fleet := g.AddService("fleet", ingress.Sequential)
 	g.Connect(proxy, fleet, route, 0)
 	// Clients reach the proxy under the same connection regime the
@@ -407,6 +423,10 @@ func (c *Cluster) buildIngress() {
 		ConnSetup: route.ConnSetup, KeepAlive: route.KeepAlive, KeepAliveReqs: route.KeepAliveReqs,
 	})
 	g.OnRootDone = c.rootDone
+	if c.ob != nil {
+		g.Observe(&c.ob.stream, c.ob.rec)
+		c.ob.traceQueue(pq, &c.ob.stream, 0, "ingress")
+	}
 	c.graph, c.fleetSvc = g, fleet
 }
 
@@ -443,6 +463,9 @@ func (c *Cluster) addContainer(n *node) *container {
 		c.sh.placeReplica(ct)
 	} else {
 		ct.q = sim.NewQueue(c.eng, name, c.servers)
+		if c.ob != nil {
+			c.ob.traceQueue(ct.q, &c.ob.stream, uint32(ct.id), name)
+		}
 		ct.q.OnStart = func(j sim.Job) { c.onStart(ct, j) }
 		if c.graph != nil {
 			// The ingress graph owns completions (win/waste attribution and
@@ -592,6 +615,9 @@ func (c *Cluster) dispatch(id uint64) {
 	}
 	if c.graph != nil {
 		c.dispatched++
+		if c.ob != nil {
+			c.ob.smp.Feed(c.eng.Now(), c.ob.kArrive, id, 0)
+		}
 		c.graph.Admit(id)
 		return
 	}
@@ -609,10 +635,16 @@ func (c *Cluster) dispatch(id uint64) {
 	}
 	if best < 0 {
 		c.dropped++
+		if c.ob != nil {
+			c.ob.stream.Emit(c.eng.Now(), c.ob.kDropped, id, 0)
+		}
 		return
 	}
 	c.rr = best + 1
 	c.dispatched++
+	if c.ob != nil {
+		c.ob.smp.Feed(c.eng.Now(), c.ob.kArrive, id, 0)
+	}
 	c.containers[best].q.Arrive(sim.Job{ID: id, Cost: c.per, Born: c.eng.Now()})
 }
 
@@ -632,6 +664,9 @@ func (c *Cluster) onDone(ct *container, j sim.Job) {
 	c.fleet.Observe(lat)
 	c.win.Observe(lat)
 	c.completed++
+	if c.ob != nil {
+		c.ob.stream.Emit(c.eng.Now(), c.ob.kServed, uint64(lat), uint64(j.Cost))
+	}
 	if c.closedLoop && c.eng.Now() < c.horizon {
 		c.dispatch(j.ID)
 	}
@@ -650,8 +685,14 @@ func (c *Cluster) rootDone(client uint64, lat cycles.Cycles, ok bool) {
 		c.fleet.Observe(lat)
 		c.win.Observe(lat)
 		c.completed++
+		if c.ob != nil {
+			c.ob.stream.Emit(c.eng.Now(), c.ob.kServed, uint64(lat), uint64(c.per))
+		}
 	} else {
 		c.dropped++
+		if c.ob != nil {
+			c.ob.stream.Emit(c.eng.Now(), c.ob.kErred, uint64(lat), 0)
+		}
 	}
 	if c.closedLoop && c.eng.Now() < c.horizon {
 		c.graph.Admit(client)

@@ -268,6 +268,9 @@ func (c *Cluster) migrate(ct *container, dst *node, reason string) {
 	ct.node = dst
 	ct.freezeGen++
 	c.resumeAfter(ct, downtime)
+	if c.ob != nil {
+		c.obEvent(now, c.ob.kMigration, uint64(len(c.res.Migrations)))
+	}
 	c.res.Migrations = append(c.res.Migrations, Migration{
 		AtSec:      now.Seconds(),
 		Container:  ct.name,
@@ -354,5 +357,14 @@ func (c *Cluster) notePeaks() {
 
 // event appends one scale-event record.
 func (c *Cluster) event(at cycles.Cycles, action, detail string) {
+	if c.ob != nil {
+		key := c.ob.kScale
+		if action == "node-failure" {
+			key = c.ob.kFailure
+		}
+		// A carries the event-log index so simultaneous events stay
+		// distinct records; the text itself becomes a time-series mark.
+		c.obEvent(at, key, uint64(len(c.res.ScaleEvents)))
+	}
 	c.res.ScaleEvents = append(c.res.ScaleEvents, ScaleEvent{AtSec: at.Seconds(), Action: action, Detail: detail})
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/ingress"
+	"xcontainers/internal/obs"
 )
 
 // Migration records one container move, live or cold.
@@ -81,4 +82,12 @@ type Result struct {
 	// front door.
 	Routes          []ingress.RouteStats
 	IngressServices []ingress.ServiceStats
+
+	// TimeSeries and Trace are the observability layer's outputs — nil
+	// unless Config.Observe armed it. Both are deterministic under the
+	// same bar as the rest of the Result: byte-identical for any
+	// Shards >= 1 × any ShardWorkers. Trace holds the flight-recorder
+	// ring; render it with Trace.WriteTrace (Chrome trace-event JSON).
+	TimeSeries *obs.TimeSeries
+	Trace      *obs.Recorder
 }

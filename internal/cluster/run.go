@@ -34,6 +34,9 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 		c.graph.Reseed(t.Seed ^ 0x16c4e5500)
 	}
 	c.notePeaks()
+	if c.ob != nil {
+		c.ob.arm(c.horizon, c.sh)
+	}
 
 	open := t.Rate > 0 || t.Burst != nil
 	c.closedLoop = !open
@@ -189,5 +192,6 @@ func (c *Cluster) assemble(t Traffic, dur float64, open bool, conc int) *Result 
 		res.Routes = c.graph.RouteStats()
 		res.IngressServices = c.graph.ServiceStats(c.horizon)
 	}
+	c.obFinish()
 	return res
 }

@@ -6,6 +6,7 @@ import (
 
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/ingress"
+	"xcontainers/internal/obs"
 	"xcontainers/internal/sim"
 )
 
@@ -62,6 +63,16 @@ type shardState struct {
 
 	done  []doneRec  // plain closed-loop completions this epoch
 	fdone []fdoneRec // ingress attempt completions this epoch
+
+	// ob is the shard's trace outbox (nil = observability off): records
+	// emitted on this shard's goroutine between barriers, drained and
+	// canonically merged at the next barrier (see clusterObs.drain).
+	ob *obs.Buffer
+
+	// acc aggregates this shard's completions into windowed series
+	// state in parallel (nil = observability off); barriers fold sealed
+	// windows into the central sampler.
+	acc *servedAcc
 }
 
 // arrivalSink delivers centrally generated arrivals on a shard's
@@ -123,6 +134,9 @@ func newShardRun(c *Cluster, shards int) *shardRun {
 		s.engines[i] = e
 		s.shards[i].eng = e
 		s.shards[i].sink = e.Register(sink)
+		if c.ob != nil {
+			s.shards[i].ob = &obs.Buffer{}
+		}
 	}
 	s.table = newFleetTable(c, ingress.JSQ)
 	return s
@@ -135,6 +149,9 @@ func (s *shardRun) placeReplica(ct *container) {
 	ct.shard = int32((ct.id - 1) % len(s.engines))
 	ss := &s.shards[ct.shard]
 	ct.q = sim.NewQueue(ss.eng, ct.name, s.c.servers)
+	if s.c.ob != nil {
+		s.c.ob.traceQueue(ct.q, ss.ob, uint32(ct.id), ct.name)
+	}
 	ct.q.OnStart = func(j sim.Job) { ct.epochBusy += j.Cost }
 	if s.fi != nil {
 		ct.q.OnDone = func(j sim.Job) { s.attemptDone(ct, j) }
@@ -156,8 +173,28 @@ func (s *shardRun) replicaDone(ct *container, j sim.Job) {
 	ss.latSum += uint64(lat)
 	ss.latN++
 	ss.completed++
+	if o := s.c.ob; o != nil {
+		ss.ob.Emit(now, o.kServed, uint64(lat), uint64(j.Cost))
+	}
 	if s.collectDone {
 		ss.done = append(ss.done, doneRec{at: now, rep: int32(ct.id - 1), id: j.ID})
+	}
+}
+
+// accScan folds the epoch's served completions from shard i's outbox
+// into its windowed accumulator — a tight sequential pass run by the
+// worker that just finished the shard's epoch, so the aggregation
+// stays out of the event loop and overlaps across workers. The outbox
+// holds exactly this epoch's records (barriers flush it), and the
+// shard is untouched by anyone else until its ack.
+func (s *shardRun) accScan(i int) {
+	ss := &s.shards[i]
+	key := s.c.ob.kServed
+	recs := ss.ob.Take()
+	for k := range recs {
+		if recs[k].Key == key {
+			ss.acc.observe(recs[k].At, recs[k].A, recs[k].B)
+		}
 	}
 }
 
@@ -178,15 +215,24 @@ func (s *shardRun) admitNow(id uint64) {
 	c := s.c
 	if s.fi != nil {
 		c.dispatched++
+		if c.ob != nil {
+			c.ob.countArrive(s.now)
+		}
 		s.fi.admit(id, s.now)
 		return
 	}
 	rep := s.table.pick()
 	if rep < 0 {
 		c.dropped++
+		if c.ob != nil {
+			c.ob.cen.Emit(s.now, c.ob.kDropped, id, 0)
+		}
 		return
 	}
 	c.dispatched++
+	if c.ob != nil {
+		c.ob.countArrive(s.now)
+	}
 	c.containers[rep].q.Arrive(sim.Job{ID: id, Cost: c.per, Born: s.now, Stage: rep})
 }
 
@@ -249,6 +295,9 @@ func (s *shardRun) start(t Traffic, open bool, conc int) {
 			go func() {
 				for idx := range s.work {
 					s.engines[idx].Run(s.target)
+					if s.c.ob != nil {
+						s.accScan(int(idx))
+					}
 					s.ack <- struct{}{}
 				}
 			}()
@@ -293,6 +342,14 @@ func (s *shardRun) stop() {
 // at this instant.
 func (s *shardRun) barrier() {
 	c := s.c
+	if c.ob != nil {
+		// Drain the finished epoch's trace batch first: per-shard
+		// outboxes plus the central one (previous barrier's emissions and
+		// this epoch's generated arrivals), merged canonically. Records
+		// the rest of this barrier emits carry timestamp s.now and join
+		// the next batch — batch boundaries are model properties.
+		c.ob.drain(s, s.now)
+	}
 	for _, ct := range c.containers {
 		if ct.epochBusy != 0 {
 			c.winBusy += ct.epochBusy
@@ -391,11 +448,20 @@ func (s *shardRun) genArrivals(next cycles.Cycles) {
 		s.nextID++
 		if s.fi != nil {
 			c.dispatched++
+			if c.ob != nil {
+				c.ob.countArrive(t)
+			}
 			s.engines[0].ScheduleAt(t, s.shards[0].sink, sim.Job{ID: s.nextID, Born: t, Stage: -1})
 		} else if rep := s.table.pick(); rep < 0 {
 			c.dropped++
+			if c.ob != nil {
+				c.ob.cen.Emit(t, c.ob.kDropped, s.nextID, 0)
+			}
 		} else {
 			c.dispatched++
+			if c.ob != nil {
+				c.ob.countArrive(t)
+			}
 			sh := c.containers[rep].shard
 			s.engines[sh].ScheduleAt(t, s.shards[sh].sink, sim.Job{ID: s.nextID, Cost: c.per, Born: t, Stage: rep})
 		}
@@ -408,8 +474,11 @@ func (s *shardRun) genArrivals(next cycles.Cycles) {
 // (results are identical either way — only wall-clock differs).
 func (s *shardRun) runTo(next cycles.Cycles) {
 	if s.workers <= 1 {
-		for _, e := range s.engines {
+		for i, e := range s.engines {
 			e.Run(next)
+			if s.c.ob != nil {
+				s.accScan(i)
+			}
 		}
 		return
 	}

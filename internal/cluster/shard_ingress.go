@@ -5,6 +5,7 @@ import (
 
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/ingress"
+	"xcontainers/internal/obs"
 	"xcontainers/internal/sim"
 )
 
@@ -175,6 +176,7 @@ type fleetIngress struct {
 	proxyCompleted uint64
 	wasted         uint64
 	wastedCycles   cycles.Cycles
+	wastedLat      sim.Histogram // wasted completions, kept out of route latency
 
 	calls    []fcall
 	callFree []int32
@@ -228,6 +230,15 @@ func newFleetIngress(c *Cluster) *fleetIngress {
 	// Fleet routing follows the route's balancer instead of the plain
 	// front door's JSQ.
 	c.sh.table.lb = fi.pol.LB
+	if c.ob != nil {
+		// Track ids mirror buildIngress's edge order: 0 = ingress->fleet
+		// (Connect), 1 = client->ingress (SetEntry). The proxy queue
+		// emits into shard 0's outbox — it serves mid-epoch there, and
+		// barrier-time admissions are serialized by the worker handshake.
+		c.ob.rec.Label(obs.LayerIngress, 0, "ingress->fleet")
+		c.ob.rec.Label(obs.LayerIngress, 1, "client->ingress")
+		c.ob.traceQueue(fi.proxyQ, c.sh.shards[0].ob, 0, "ingress")
+	}
 	return fi
 }
 
@@ -244,6 +255,12 @@ func (fi *fleetIngress) admit(client uint64, now cycles.Cycles) {
 // shard-0 state.
 func (fi *fleetIngress) clientArrive(j sim.Job) {
 	fi.entryE.calls++
+	if o := fi.c.ob; o != nil {
+		// The request span opens on the entry track; mid-epoch arrivals
+		// run on shard 0's goroutine, so the record goes to its outbox.
+		fi.c.sh.shards[0].ob.Emit(j.Born,
+			obs.Key(obs.KindSpanBegin, obs.LayerIngress, obs.NameRequest, 1), j.ID, 0)
+	}
 	cost := fi.proxyCost
 	if p := &fi.entryPol; p.ConnSetup > 0 {
 		if !p.KeepAlive {
@@ -343,9 +360,23 @@ func (fi *fleetIngress) processEvent(e *fiEvent) {
 			// elsewhere, or a hedge twin won — capacity spent for nothing.
 			fi.wasted++
 			fi.wastedCycles += e.cost
+			fi.wastedLat.Observe(e.at - e.born)
+			if o := fi.c.ob; o != nil {
+				o.cen.Emit(e.at,
+					obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, 0),
+					fiEncode(e.slot, e.gen, e.k), 1)
+				o.cen.Emit(e.at,
+					obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameWasted, 0),
+					uint64(e.at-e.born), 0)
+			}
 			return
 		}
 		fi.attemptLat.Observe(e.at - e.born)
+		if o := fi.c.ob; o != nil {
+			o.cen.Emit(e.at,
+				obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, 0),
+				fiEncode(e.slot, e.gen, e.k), 0)
+		}
 		if e.k == c.hedgeIdx {
 			fi.fleetE.hedgeWins++
 		}
@@ -360,6 +391,11 @@ func (fi *fleetIngress) processEvent(e *fiEvent) {
 		}
 		c.liveMask &^= 1 << e.k
 		fi.fleetE.timeouts++
+		if o := fi.c.ob; o != nil {
+			o.cen.Emit(e.at,
+				obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameTimeout, 0),
+				fiEncode(e.slot, e.gen, e.k), 0)
+		}
 		if c.liveMask != 0 {
 			return // a hedge twin is still racing
 		}
@@ -382,6 +418,11 @@ func (fi *fleetIngress) processEvent(e *fiEvent) {
 		}
 		c.hedgeIdx = c.attempt
 		fi.fleetE.hedges++
+		if o := fi.c.ob; o != nil {
+			o.cen.Emit(e.at,
+				obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameHedge, 0),
+				fiEncode(e.slot, e.gen, c.attempt), 0)
+		}
 		fi.issueTo(e.slot, bi)
 	}
 }
@@ -392,6 +433,11 @@ func (fi *fleetIngress) startFleetCall(client uint64, born cycles.Cycles) {
 	fi.fleetE.calls++
 	if fi.pol.RetryBudget > 0 {
 		fi.budget = min(fi.budget+fi.pol.RetryBudget, fiBudgetCap)
+		if o := fi.c.ob; o != nil {
+			o.cen.Emit(fi.c.sh.now,
+				obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameBudget, 0),
+				uint64(fi.budget*1000), 0)
+		}
 	}
 	slot := fi.allocCall()
 	c := &fi.calls[slot]
@@ -432,6 +478,11 @@ func (fi *fleetIngress) issueTo(slot int32, bi int) {
 	c.attempt++
 	c.liveMask |= 1 << k
 	c.lastBE = int32(bi)
+	if o := fi.c.ob; o != nil {
+		o.cen.Emit(now,
+			obs.Key(obs.KindSpanBegin, obs.LayerIngress, obs.NameAttempt, 0),
+			fiEncode(slot, c.gen, k), 0)
+	}
 	cost := fi.c.per
 	if p := &fi.pol; p.ConnSetup > 0 {
 		if !p.KeepAlive {
@@ -482,6 +533,11 @@ func (fi *fleetIngress) maybeRetry(slot int32, at cycles.Cycles) {
 		if fi.budget < 1 {
 			fi.fleetE.budgetDenied++
 			fi.fleetE.failed++
+			if o := fi.c.ob; o != nil {
+				o.cen.Emit(at,
+					obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameBudgetDenied, 0),
+					uint64(uint32(slot)), 0)
+			}
 			fi.rootDone(slot, at, false)
 			return
 		}
@@ -489,6 +545,16 @@ func (fi *fleetIngress) maybeRetry(slot int32, at cycles.Cycles) {
 	}
 	c.retries++
 	fi.fleetE.retries++
+	if o := fi.c.ob; o != nil {
+		o.cen.Emit(at,
+			obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameRetry, 0),
+			fiEncode(slot, c.gen, c.retries), 0)
+		if fi.pol.RetryBudget > 0 {
+			o.cen.Emit(at,
+				obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameBudget, 0),
+				uint64(fi.budget*1000), 0)
+		}
+	}
 	backoff := fi.pol.Backoff << (c.retries - 1)
 	if backoff > fi.pol.BackoffCap {
 		backoff = fi.pol.BackoffCap
@@ -504,8 +570,8 @@ func (fi *fleetIngress) rootDone(slot int32, at cycles.Cycles, ok bool) {
 	c := fi.c
 	call := &fi.calls[slot]
 	client := call.client
+	lat := at - call.born
 	if ok {
-		lat := at - call.born
 		fi.entryE.completed++
 		fi.entryE.lat.Observe(lat)
 		c.fleet.Observe(lat)
@@ -514,6 +580,17 @@ func (fi *fleetIngress) rootDone(slot int32, at cycles.Cycles, ok bool) {
 	} else {
 		fi.entryE.failed++
 		c.dropped++
+	}
+	if o := c.ob; o != nil {
+		var fail uint64
+		if ok {
+			o.cen.Emit(at, o.kServed, uint64(lat), uint64(c.per))
+		} else {
+			fail = 1
+			o.cen.Emit(at, o.kErred, uint64(lat), 0)
+		}
+		o.cen.Emit(at,
+			obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameRequest, 1), client, fail)
 	}
 	fi.freeCall(slot)
 	if c.closedLoop && c.sh.now < c.horizon {
@@ -532,6 +609,12 @@ func (fi *fleetIngress) attemptLost(j sim.Job) {
 	}
 	c.liveMask &^= 1 << k
 	fi.fleetE.lost++
+	if o := fi.c.ob; o != nil {
+		// The attempt's span ends flagged lost (B = 2): its backlog died
+		// with a node, no completion record will ever close it.
+		o.cen.Emit(fi.c.sh.now,
+			obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, 0), j.ID, 2)
+	}
 	if c.liveMask == 0 && !c.pendRetry {
 		fi.maybeRetry(slot, fi.c.sh.now)
 	}
@@ -570,6 +653,11 @@ func (fi *fleetIngress) serviceStats(horizon cycles.Cycles) []ingress.ServiceSta
 		Completions: fleetCompl,
 		Wasted:      fi.wasted,
 		WastedMS:    fi.wastedCycles.Micros() / 1e3,
+	}
+	if fi.wasted > 0 {
+		st.WastedP50US = fi.wastedLat.Quantile(0.50).Micros()
+		st.WastedP95US = fi.wastedLat.Quantile(0.95).Micros()
+		st.WastedP99US = fi.wastedLat.Quantile(0.99).Micros()
 	}
 	var util, depth float64
 	maxD := 0

@@ -2,6 +2,7 @@ package ingress
 
 import (
 	"xcontainers/internal/cycles"
+	"xcontainers/internal/obs"
 	"xcontainers/internal/sim"
 )
 
@@ -103,6 +104,12 @@ type Graph struct {
 	// succeeded. Closed-loop drivers re-admit from here.
 	OnRootDone func(client uint64, lat cycles.Cycles, ok bool)
 
+	// obsSink, when set via Observe, receives trace records: request and
+	// attempt spans on per-edge tracks, robustness instants (timeout,
+	// retry, hedge, budget denial), and retry-budget counters. Every
+	// emission guards on the nil, so an unobserved graph pays one branch.
+	obsSink obs.Sink
+
 	admitted uint64
 	served   uint64
 	failed   uint64
@@ -149,6 +156,20 @@ func (g *Graph) Entry() *Edge { return g.entry }
 // traffic time; Reseed before the first Admit keeps runs reproducible.
 func (g *Graph) Reseed(seed uint64) { g.rng = sim.NewRand(seed) }
 
+// Observe points the graph's trace instrumentation at sink and, when
+// rec is non-nil, labels each edge's track with its route name. Call
+// after the topology is complete and before traffic; a nil sink turns
+// instrumentation back off. Span pairing rides the attempt's job id
+// (slot|gen|attempt), so begin/end records match without any lookup.
+func (g *Graph) Observe(sink obs.Sink, rec *obs.Recorder) {
+	g.obsSink = sink
+	if rec != nil {
+		for _, e := range g.edges {
+			rec.Label(obs.LayerIngress, uint32(e.idx), e.Name())
+		}
+	}
+}
+
 // Admitted, Served, and Failed count root requests: admitted into the
 // graph, completed successfully (goodput), and completed failed.
 func (g *Graph) Admitted() uint64 { return g.admitted }
@@ -158,6 +179,10 @@ func (g *Graph) Failed() uint64   { return g.failed }
 // Admit injects one client request at the current virtual instant.
 func (g *Graph) Admit(client uint64) {
 	g.admitted++
+	if g.obsSink != nil {
+		g.obsSink.Emit(g.eng.Now(),
+			obs.Key(obs.KindSpanBegin, obs.LayerIngress, obs.NameRequest, uint32(g.entry.idx)), client, 0)
+	}
 	g.startCall(g.entry, -1, 0, client)
 }
 
@@ -166,6 +191,10 @@ func (g *Graph) startCall(e *Edge, parent int32, parentGen uint32, client uint64
 	e.calls++
 	if e.pol.RetryBudget > 0 {
 		e.budget = min(e.budget+e.pol.RetryBudget, retryBudgetCap)
+		if g.obsSink != nil {
+			g.obsSink.Emit(g.eng.Now(),
+				obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameBudget, uint32(e.idx)), uint64(e.budget*1000), 0)
+		}
 	}
 	slot := g.allocCall()
 	c := &g.calls[slot]
@@ -212,6 +241,11 @@ func (g *Graph) issueTo(slot int32, bi int) {
 	c.liveMask |= 1 << k
 	c.lastBE = int16(bi)
 	now := g.eng.Now()
+	if g.obsSink != nil {
+		g.obsSink.Emit(now,
+			obs.Key(obs.KindSpanBegin, obs.LayerIngress, obs.NameAttempt, uint32(e.idx)),
+			encodeID(kindAttempt, slot, c.gen, k), 0)
+	}
 	b.q.Arrive(sim.Job{ID: encodeID(kindAttempt, slot, c.gen, k), Cost: e.attemptCost(b), Born: now})
 	if e.pol.Timeout > 0 {
 		g.eng.Schedule(e.pol.Timeout, g.ref, sim.Job{ID: encodeID(kindTimeout, slot, c.gen, k)})
@@ -229,22 +263,42 @@ func (g *Graph) issueTo(slot int32, bi int) {
 // request timed out, was retried elsewhere, or a hedge twin won.
 func (g *Graph) attemptDone(s *Service, j sim.Job) {
 	s.completions++
+	now := g.eng.Now()
 	kind, slot, gen, k := decodeID(j.ID)
 	if kind != kindAttempt || int(slot) >= len(g.calls) {
 		// A job this graph never issued (work injected directly into a
 		// shared queue) — capacity it consumed, but nobody waits for it.
 		s.wasted++
 		s.wastedCycles += j.Cost
+		s.wastedLat.Observe(now - j.Born)
+		if g.obsSink != nil {
+			g.obsSink.Emit(now,
+				obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameWasted, 0), uint64(now-j.Born), 0)
+		}
 		return
 	}
 	c := &g.calls[slot]
 	if c.gen != gen || c.state != stateRacing || c.liveMask&(1<<k) == 0 {
 		s.wasted++
 		s.wastedCycles += j.Cost
+		s.wastedLat.Observe(now - j.Born)
+		if g.obsSink != nil {
+			// The loser's span ends flagged wasted (B = 1). Its call slot
+			// may already serve another request, so the edge is
+			// unattributable — waste lands on track 0, service-level.
+			g.obsSink.Emit(now,
+				obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, 0), j.ID, 1)
+			g.obsSink.Emit(now,
+				obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameWasted, 0), uint64(now-j.Born), 0)
+		}
 		return
 	}
 	e := g.edges[c.edge]
-	s.attemptLat.Observe(g.eng.Now() - j.Born)
+	s.attemptLat.Observe(now - j.Born)
+	if g.obsSink != nil {
+		g.obsSink.Emit(now,
+			obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, uint32(e.idx)), j.ID, 0)
+	}
 	if k == c.hedgeIdx {
 		e.hedgeWins++
 	}
@@ -358,6 +412,14 @@ func (g *Graph) completeCall(slot int32, ok bool) {
 		} else {
 			g.failed++
 		}
+		if g.obsSink != nil {
+			var fail uint64
+			if !ok {
+				fail = 1
+			}
+			g.obsSink.Emit(g.eng.Now(),
+				obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameRequest, uint32(e.idx)), client, fail)
+		}
 		if g.OnRootDone != nil {
 			g.OnRootDone(client, lat, ok)
 		}
@@ -382,6 +444,11 @@ func (g *Graph) HandleEvent(_ *sim.Engine, j sim.Job) {
 		}
 		c.liveMask &^= 1 << k
 		g.edges[c.edge].timeouts++
+		if g.obsSink != nil {
+			g.obsSink.Emit(g.eng.Now(),
+				obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameTimeout, uint32(c.edge)),
+				encodeID(kindAttempt, slot, gen, k), 0)
+		}
 		if c.liveMask != 0 {
 			return // a hedge twin is still racing
 		}
@@ -403,6 +470,11 @@ func (g *Graph) HandleEvent(_ *sim.Engine, j sim.Job) {
 		}
 		c.hedgeIdx = c.attempt
 		e.hedges++
+		if g.obsSink != nil {
+			g.obsSink.Emit(g.eng.Now(),
+				obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameHedge, uint32(e.idx)),
+				encodeID(kindAttempt, slot, gen, c.attempt), 0)
+		}
 		g.issueTo(slot, bi)
 	case kindFail:
 		g.completeCall(slot, false)
@@ -421,6 +493,11 @@ func (g *Graph) maybeRetry(slot int32) {
 	if e.pol.RetryBudget > 0 {
 		if e.budget < 1 {
 			e.budgetDenied++
+			if g.obsSink != nil {
+				g.obsSink.Emit(g.eng.Now(),
+					obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameBudgetDenied, uint32(e.idx)),
+					uint64(uint32(slot)), 0)
+			}
 			g.completeCall(slot, false)
 			return
 		}
@@ -428,6 +505,17 @@ func (g *Graph) maybeRetry(slot int32) {
 	}
 	c.retries++
 	e.retries++
+	if g.obsSink != nil {
+		now := g.eng.Now()
+		g.obsSink.Emit(now,
+			obs.Key(obs.KindInstant, obs.LayerIngress, obs.NameRetry, uint32(e.idx)),
+			encodeID(kindAttempt, slot, c.gen, c.retries), 0)
+		if e.pol.RetryBudget > 0 {
+			g.obsSink.Emit(now,
+				obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameBudget, uint32(e.idx)),
+				uint64(e.budget*1000), 0)
+		}
+	}
 	backoff := e.pol.Backoff << (c.retries - 1)
 	if backoff > e.pol.BackoffCap {
 		backoff = e.pol.BackoffCap
@@ -450,6 +538,12 @@ func (g *Graph) AttemptLost(j sim.Job) {
 	}
 	c.liveMask &^= 1 << k
 	g.edges[c.edge].lost++
+	if g.obsSink != nil {
+		// The attempt's span ends flagged lost (B = 2): its backlog died
+		// with a node, no completion record will ever close it.
+		g.obsSink.Emit(g.eng.Now(),
+			obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, uint32(c.edge)), j.ID, 2)
+	}
 	if c.liveMask == 0 && !c.pendRetry {
 		g.maybeRetry(slot)
 	}

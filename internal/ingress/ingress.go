@@ -199,6 +199,12 @@ type Service struct {
 	completions  uint64 // attempts completed at replicas, wasted included
 	wasted       uint64 // completions nobody was waiting for any more
 	wastedCycles cycles.Cycles
+
+	// wastedLat observes wasted completions' latency separately from
+	// attemptLat and the route histograms: a hedge loser's slow finish
+	// is capacity accounting, not request experience, and folding it
+	// into p99 would indict hedging for the very tail it removed.
+	wastedLat sim.Histogram
 }
 
 // Name returns the service's display name.

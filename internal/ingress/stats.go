@@ -76,6 +76,13 @@ type ServiceStats struct {
 	Completions uint64  `json:"completions"`
 	Wasted      uint64  `json:"wasted,omitempty"`
 	WastedMS    float64 `json:"wasted_ms,omitempty"`
+
+	// Wasted-completion latency percentiles, from a histogram kept
+	// separate from the route histograms — hedge losers and post-timeout
+	// finishes no longer skew a route's p99.
+	WastedP50US float64 `json:"wasted_p50_us,omitempty"`
+	WastedP95US float64 `json:"wasted_p95_us,omitempty"`
+	WastedP99US float64 `json:"wasted_p99_us,omitempty"`
 	Utilization float64 `json:"utilization"` // averaged across replicas
 	MeanDepth   float64 `json:"mean_depth"`  // time-averaged, per replica
 	MaxDepth    int     `json:"max_depth"`   // worst single replica
@@ -92,6 +99,11 @@ func (g *Graph) ServiceStats(horizon cycles.Cycles) []ServiceStats {
 			Completions: s.completions,
 			Wasted:      s.wasted,
 			WastedMS:    s.wastedCycles.Micros() / 1e3,
+		}
+		if s.wasted > 0 {
+			st.WastedP50US = s.wastedLat.Quantile(0.50).Micros()
+			st.WastedP95US = s.wastedLat.Quantile(0.95).Micros()
+			st.WastedP99US = s.wastedLat.Quantile(0.99).Micros()
 		}
 		var util, depth float64
 		maxD := 0

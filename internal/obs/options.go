@@ -1,0 +1,20 @@
+package obs
+
+// Options configures the observability layer for one run: a
+// flight-recorder trace ring plus a windowed metrics time series, both
+// in virtual time. A nil *Options keeps the run on the zero-cost path —
+// every instrumentation site is one branch. The same struct serves
+// every front end (cluster runs, traffic loads, service graphs), so a
+// spec built once attaches anywhere.
+type Options struct {
+	// WindowUS is the time-series window width in virtual microseconds
+	// (≤ 0 = 1000).
+	WindowUS float64
+	// RingCap bounds the trace ring in records (≤ 0 = DefaultRingCap).
+	// Overflow overwrites the oldest records, with drop accounting.
+	RingCap int
+	// QueueDepth adds one record per queue admission and completion —
+	// per-replica depth tracks in the trace. Verbose: it multiplies the
+	// record volume, so it is off unless asked for.
+	QueueDepth bool
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteTrace renders the ring's records as Chrome trace-event JSON,
+// viewable in Perfetto (ui.perfetto.dev) or chrome://tracing. Layers
+// become processes, (layer, id) tracks become threads named by the
+// label table, spans use the async begin/end phases (overlapping
+// attempts on one route need no nesting discipline), counters use "C",
+// instants "i". Timestamps are virtual microseconds; records render in
+// canonical order, so the file is byte-identical for any execution
+// layout that produced the same record multiset.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	if r != nil {
+		// Process metadata: one row per layer actually used by a label
+		// or record keeps small traces small; emitting all four is
+		// simpler and still deterministic.
+		for l, name := range layerNames {
+			sep()
+			fmt.Fprintf(bw, `{"args":{"name":%q},"name":"process_name","ph":"M","pid":%d,"tid":0}`, name, l+1)
+		}
+		// Thread metadata from the label table, in sorted key order.
+		keys := make([]uint64, 0, len(r.labels))
+		for k := range r.labels {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			sep()
+			fmt.Fprintf(bw, `{"args":{"name":%q},"name":"thread_name","ph":"M","pid":%d,"tid":%d}`,
+				r.labels[k], uint32(k>>32)+1, uint32(k)+1)
+		}
+		for _, rec := range r.Records() {
+			name := "?"
+			if n := KeyName(rec.Key); int(n) < len(r.names) {
+				name = r.names[n]
+			}
+			pid := int(KeyLayer(rec.Key)) + 1
+			tid := KeyID(rec.Key) + 1
+			ts := strconv.FormatFloat(rec.At.Micros(), 'f', -1, 64)
+			sep()
+			switch KeyKind(rec.Key) {
+			case KindSpanBegin:
+				fmt.Fprintf(bw, `{"cat":%q,"id":"0x%x","name":%q,"ph":"b","pid":%d,"tid":%d,"ts":%s}`,
+					layerNames[pid-1], rec.A, name, pid, tid, ts)
+			case KindSpanEnd:
+				if rec.B != 0 {
+					fmt.Fprintf(bw, `{"args":{"flags":%d},"cat":%q,"id":"0x%x","name":%q,"ph":"e","pid":%d,"tid":%d,"ts":%s}`,
+						rec.B, layerNames[pid-1], rec.A, name, pid, tid, ts)
+				} else {
+					fmt.Fprintf(bw, `{"cat":%q,"id":"0x%x","name":%q,"ph":"e","pid":%d,"tid":%d,"ts":%s}`,
+						layerNames[pid-1], rec.A, name, pid, tid, ts)
+				}
+			case KindInstant:
+				fmt.Fprintf(bw, `{"cat":%q,"name":%q,"ph":"i","pid":%d,"s":"t","tid":%d,"ts":%s}`,
+					layerNames[pid-1], name, pid, tid, ts)
+			case KindCounter:
+				fmt.Fprintf(bw, `{"args":{"v":%d},"name":%q,"ph":"C","pid":%d,"tid":%d,"ts":%s}`,
+					rec.A, name, pid, tid, ts)
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

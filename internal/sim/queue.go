@@ -1,6 +1,9 @@
 package sim
 
-import "xcontainers/internal/cycles"
+import (
+	"xcontainers/internal/cycles"
+	"xcontainers/internal/obs"
+)
 
 // Job is one unit of work flowing through queues. Born is stamped by
 // the traffic source at admission so end-to-end latency survives
@@ -73,6 +76,12 @@ type Queue struct {
 	// simulation this repository runs.
 	busyArea int64
 	busyLast cycles.Cycles
+
+	// trace, when set, receives one depth record per admission and per
+	// completion under the pre-packed keys — the observability layer's
+	// queue instrumentation. Nil costs one branch per operation.
+	trace              obs.Sink
+	traceEnq, traceDeq uint64
 }
 
 // NewQueue creates a station with the given number of servers (≥ 1).
@@ -85,6 +94,15 @@ func NewQueue(eng *Engine, name string, servers int) *Queue {
 	return q
 }
 
+// Trace points the queue's depth instrumentation at sink: every
+// admission emits enqKey with the post-arrival depth, every completion
+// emits deqKey with the post-completion depth and the job's cost. A nil
+// sink turns the instrumentation back off.
+func (q *Queue) Trace(sink obs.Sink, enqKey, deqKey uint64) {
+	q.trace = sink
+	q.traceEnq, q.traceDeq = enqKey, deqKey
+}
+
 // Arrive admits a job: it enters service if a server is free, otherwise
 // waits FIFO.
 func (q *Queue) Arrive(j Job) {
@@ -94,6 +112,9 @@ func (q *Queue) Arrive(j Job) {
 	q.depth++
 	if q.depth > q.maxDepth {
 		q.maxDepth = q.depth
+	}
+	if q.trace != nil {
+		q.trace.Emit(q.eng.now, q.traceEnq, uint64(q.depth), 0)
 	}
 	if q.busy < q.Servers && !q.suspended {
 		q.start(&j)
@@ -191,6 +212,9 @@ func (q *Queue) HandleEvent(e *Engine, j Job) {
 	q.depth--
 	q.noteBusy()
 	q.busy--
+	if q.trace != nil {
+		q.trace.Emit(e.now, q.traceDeq, uint64(q.depth), uint64(j.Cost))
+	}
 	if !q.suspended {
 		if next, ok := q.popWaiting(); ok {
 			q.start(&next)

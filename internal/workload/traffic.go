@@ -5,6 +5,7 @@ import (
 
 	"xcontainers/internal/apps"
 	"xcontainers/internal/cycles"
+	"xcontainers/internal/obs"
 	"xcontainers/internal/runtimes"
 	"xcontainers/internal/sim"
 )
@@ -62,6 +63,11 @@ type TrafficLoad struct {
 	// containers, each with its own queue, workers, and cores
 	// (0 = 1) — the multi-container Serve experiments.
 	Replicas int
+
+	// Observe, when non-nil, arms the observability layer: a trace ring
+	// plus a windowed time series in the result. Nil keeps the run on
+	// the zero-cost path.
+	Observe *obs.Options
 }
 
 // TrafficResult is one traffic experiment's outcome. All rates are in
@@ -88,6 +94,10 @@ type TrafficResult struct {
 	PerRequest  cycles.Cycles // CPU demand per request
 	Population  int           // resolved closed-loop population
 	DurationSec float64       // resolved horizon
+
+	// TimeSeries and Trace are set only when Observe was armed.
+	TimeSeries *obs.TimeSeries
+	Trace      *obs.Recorder
 }
 
 // targetCompletions sizes auto-duration closed-loop runs: large enough
@@ -127,12 +137,34 @@ func (l TrafficLoad) Run() TrafficResult {
 	}
 
 	eng := sim.NewEngine()
+	var ob *trafficObs
+	if l.Observe != nil {
+		ob = newTrafficObs(*l.Observe, horizon)
+	}
 	queues := make([]*sim.Queue, replicas)
 	var latency sim.Histogram
 	for i := range queues {
 		q := sim.NewQueue(eng, fmt.Sprintf("container-%d", i), parallel)
-		q.OnDone = func(j sim.Job) { latency.Observe(eng.Now() - j.Born) }
+		if ob == nil {
+			q.OnDone = func(j sim.Job) { latency.Observe(eng.Now() - j.Born) }
+		} else {
+			ob.traceQueue(q, uint32(i))
+			q.OnDone = func(j sim.Job) {
+				lat := eng.Now() - j.Born
+				latency.Observe(lat)
+				ob.stream.Emit(eng.Now(), ob.kServed, uint64(lat), uint64(j.Cost))
+			}
+		}
 		queues[i] = q
+	}
+	arrive := func(q *sim.Queue, j sim.Job) {
+		if ob != nil {
+			// Arrivals are series-only — one ring record per admission
+			// would double the trace volume for a constant counter track
+			// (queue-depth tracing covers admission visibility).
+			ob.smp.Feed(eng.Now(), ob.kArrive, j.ID, 0)
+		}
+		q.Arrive(j)
 	}
 
 	if open {
@@ -146,7 +178,7 @@ func (l TrafficLoad) Run() TrafficResult {
 			arr = sim.PoissonRate(l.Rate)
 		}
 		eng.DriveArrivals(arr, sim.NewRand(l.Seed), horizon, func(id uint64) {
-			queues[int(id-1)%replicas].Arrive(sim.Job{ID: id, Cost: per, Born: eng.Now()})
+			arrive(queues[int(id-1)%replicas], sim.Job{ID: id, Cost: per, Born: eng.Now()})
 		})
 	} else {
 		// Closed loop: a fixed population re-issues on completion; each
@@ -158,7 +190,7 @@ func (l TrafficLoad) Run() TrafficResult {
 			q.OnDone = func(j sim.Job) {
 				done(j)
 				if eng.Now() < horizon {
-					q.Arrive(sim.Job{ID: j.ID, Cost: per, Born: eng.Now()})
+					arrive(q, sim.Job{ID: j.ID, Cost: per, Born: eng.Now()})
 				}
 			}
 		}
@@ -166,7 +198,7 @@ func (l TrafficLoad) Run() TrafficResult {
 		// the first Step are indistinguishable from zero-time events,
 		// and skip one closure per connection.
 		for i := 0; i < conc; i++ {
-			queues[i%replicas].Arrive(sim.Job{ID: uint64(i + 1), Cost: per, Born: 0})
+			arrive(queues[i%replicas], sim.Job{ID: uint64(i + 1), Cost: per, Born: 0})
 		}
 	}
 
@@ -200,5 +232,51 @@ func (l TrafficLoad) Run() TrafficResult {
 	res.P95US = latency.Quantile(0.95).Micros()
 	res.P99US = latency.Quantile(0.99).Micros()
 	res.MaxUS = latency.Max().Micros()
+	if ob != nil {
+		ts := ob.smp.Finish(ob.rec)
+		ts.EventsFired = eng.Fired()
+		res.TimeSeries = ts
+		res.Trace = ob.rec
+	}
 	return res
+}
+
+// trafficObs is one traffic run's observability state: a single-engine
+// Stream (trace ring + auto-sealing sampler) fed from the event loop in
+// nondecreasing virtual time — the same sink shape the cluster's
+// unsharded path uses.
+type trafficObs struct {
+	cfg    obs.Options
+	rec    *obs.Recorder
+	smp    *obs.Sampler
+	stream obs.Stream
+
+	kArrive, kServed uint64
+}
+
+func newTrafficObs(cfg obs.Options, horizon cycles.Cycles) *trafficObs {
+	o := &trafficObs{
+		cfg:     cfg,
+		rec:     obs.NewRecorder(cfg.RingCap),
+		kArrive: obs.Key(obs.KindCounter, obs.LayerCluster, obs.NameArrive, 0),
+		kServed: obs.Key(obs.KindCounter, obs.LayerCluster, obs.NameServed, 0),
+	}
+	o.rec.Label(obs.LayerCluster, 0, "load")
+	o.smp = obs.NewSampler(cycles.FromMicros(cfg.WindowUS), horizon,
+		func() obs.Quantiler { return new(sim.Histogram) })
+	o.smp.AutoSeal = true
+	o.stream.Rec = o.rec
+	o.stream.Smp = o.smp
+	return o
+}
+
+// traceQueue labels one replica's track and, when asked for, wires its
+// depth instrumentation.
+func (o *trafficObs) traceQueue(q *sim.Queue, id uint32) {
+	o.rec.Label(obs.LayerSim, id, q.Name)
+	if o.cfg.QueueDepth {
+		q.Trace(&o.stream,
+			obs.Key(obs.KindCounter, obs.LayerSim, obs.NameEnq, id),
+			obs.Key(obs.KindCounter, obs.LayerSim, obs.NameDeq, id))
+	}
 }

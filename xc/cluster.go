@@ -72,6 +72,10 @@ type ClusterSpec struct {
 	// ShardWorkers bounds the goroutines driving shard engines
 	// (0 = min(Shards, GOMAXPROCS)). Purely a wall-clock knob.
 	ShardWorkers int
+	// Observe, when non-nil, arms the observability layer: the report
+	// gains a TimeSeries and a WriteTrace-able flight-recorder trace,
+	// byte-identical for any Shards >= 1 and any ShardWorkers.
+	Observe *ObserveSpec
 }
 
 // Cluster is a fleet factory: one container architecture plus platform
@@ -155,6 +159,7 @@ func (c *Cluster) Serve(w *Workload, spec ClusterSpec, t *TrafficSpec) (*Cluster
 		Shards:        spec.Shards,
 		EpochUS:       spec.EpochMicros,
 		ShardWorkers:  spec.ShardWorkers,
+		Observe:       spec.Observe.options(),
 	}
 	if in := spec.Ingress; in != nil {
 		cfg.Ingress = &cluster.IngressConfig{Route: in.route(), Cores: in.cores}
@@ -246,6 +251,13 @@ type ClusterReport struct {
 	// join-shortest-queue front door (ClusterSpec.Ingress nil).
 	Routes          []RouteReport   `json:"routes,omitempty"`
 	IngressServices []ServiceReport `json:"ingress_services,omitempty"`
+
+	// TimeSeries appears only when the run was observed
+	// (ClusterSpec.Observe); without a spec the report marshals
+	// byte-identically to earlier releases.
+	TimeSeries *TimeSeries `json:"time_series,omitempty"`
+
+	trace *obsRecorder
 }
 
 func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *ClusterReport {
@@ -318,6 +330,8 @@ func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *Cl
 	}
 	rep.Routes = res.Routes
 	rep.IngressServices = res.IngressServices
+	rep.TimeSeries = res.TimeSeries
+	rep.trace = res.Trace
 	return rep
 }
 

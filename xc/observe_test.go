@@ -1,0 +1,149 @@
+package xc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeObserve arms observability on the single-engine Serve path:
+// the report gains a time series whose totals agree with the traffic
+// stats, the trace renders as JSON, and fixed seeds stay deterministic.
+func TestServeObserve(t *testing.T) {
+	run := func() *Report {
+		p := MustNewPlatform(XContainer)
+		rep, err := p.Serve(App("memcached"),
+			Traffic().Rate(400_000).Duration(0.2).Seed(9).Containers(2).
+				Observe(Observe().WindowMicros(500).QueueDepth()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	ts := rep.TimeSeries
+	if ts == nil || len(ts.Windows) == 0 {
+		t.Fatal("observed Serve run has no time series")
+	}
+	var arrived, served uint64
+	for _, w := range ts.Windows {
+		arrived += w.Arrived
+		served += w.Served
+	}
+	if arrived != rep.Traffic.Arrived {
+		t.Errorf("series arrivals %d != report arrivals %d", arrived, rep.Traffic.Arrived)
+	}
+	if served != rep.Traffic.Completed {
+		t.Errorf("series served %d != report completions %d", served, rep.Traffic.Completed)
+	}
+	if ts.EventsFired == 0 || ts.TraceRecords == 0 {
+		t.Errorf("series missing run accounting: %d events, %d records", ts.EventsFired, ts.TraceRecords)
+	}
+
+	var trace bytes.Buffer
+	if err := rep.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace has no events")
+	}
+
+	a, _ := rep.JSON()
+	b, _ := run().JSON()
+	if !bytes.Equal(a, b) {
+		t.Error("fixed-seed observed runs must be byte-identical")
+	}
+	if !strings.Contains(string(a), `"time_series"`) {
+		t.Error("observed report JSON missing time_series section")
+	}
+}
+
+// TestServeUnobservedOmitsSections: without a spec, the Serve report
+// must not mention observability at all — the wire shape earlier
+// releases pinned — and WriteTrace must refuse.
+func TestServeUnobservedOmitsSections(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	rep, err := p.Serve(App("memcached"), Traffic().Rate(400_000).Duration(0.1).Seed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"time_series", "block_cache"} {
+		if strings.Contains(string(blob), banned) {
+			t.Errorf("unobserved report JSON contains %q", banned)
+		}
+	}
+	if err := rep.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Error("WriteTrace on an unobserved run must error")
+	}
+}
+
+// TestRunObserveBlockCache: Workload.Observe surfaces the tier-1
+// interpreter's block-cache counters in the Run report, gated so the
+// unobserved report stays byte-identical.
+func TestRunObserveBlockCache(t *testing.T) {
+	p := MustNewPlatform(XContainer)
+	rep, err := p.Run(SyscallLoop("getpid", 500).Observe(Observe()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := rep.BlockCache
+	if bc == nil {
+		t.Fatal("observed Run report has no block_cache section")
+	}
+	if bc.Hits == 0 || bc.Misses == 0 {
+		t.Errorf("block cache counters empty: %+v", bc)
+	}
+	if bc.HitRatio <= 0 || bc.HitRatio >= 1 {
+		t.Errorf("hit ratio %v out of range", bc.HitRatio)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"block_cache"`) {
+		t.Error("observed Run report JSON missing block_cache section")
+	}
+
+	plain, err := p.Run(SyscallLoop("getpid", 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BlockCache != nil {
+		t.Error("unobserved Run report has a block_cache section")
+	}
+}
+
+// TestClusterObserveSpec smoke-tests the ClusterSpec attach point: the
+// sharded fleet report carries a time series and a trace, identical to
+// the single-engine observability contract exercised in
+// internal/cluster's invariance suite.
+func TestClusterObserveSpec(t *testing.T) {
+	c, err := NewCluster(XContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ClusterSpec{
+		Nodes: 2, NodeCores: 4, Replicas: 4, Policy: Spread,
+		Shards:  2,
+		Observe: Observe(),
+	}
+	rep, err := c.Serve(App("memcached"), spec, Traffic().Rate(600_000).Duration(0.2).Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimeSeries == nil || len(rep.TimeSeries.Windows) == 0 {
+		t.Fatal("observed cluster run has no time series")
+	}
+	if err := rep.WriteTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -120,6 +120,23 @@ type Report struct {
 	Latency *LatencyStats `json:"latency,omitempty"`
 	Queue   *QueueStats   `json:"queue,omitempty"`
 	Traffic *TrafficStats `json:"traffic,omitempty"`
+
+	// TimeSeries and BlockCache appear only when the run was observed
+	// (xc.Observe attached to the traffic spec or workload); without a
+	// spec the report marshals byte-identically to earlier releases.
+	TimeSeries *TimeSeries      `json:"time_series,omitempty"`
+	BlockCache *BlockCacheStats `json:"block_cache,omitempty"`
+
+	trace *obsRecorder
+}
+
+// BlockCacheStats is the tier-1 interpreter's predecode block-cache
+// section: pure observability counters, never read back by the model.
+type BlockCacheStats struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRatio      float64 `json:"hit_ratio"`
 }
 
 // Run builds the workload, executes its warm-up passes, boots an
@@ -262,6 +279,18 @@ func (p *Platform) report(w *Workload, inst *Instance, base counterBaseline) *Re
 			// Application workloads iterate their main loop w.iters times.
 			rep.Throughput.IterationsPerSec = float64(w.iters) / runSecs
 		}
+	}
+	if w.observe != nil {
+		cnt := &inst.Proc.CPU.Counters
+		bc := &BlockCacheStats{
+			Hits:          cnt.BlockHits,
+			Misses:        cnt.BlockMisses,
+			Invalidations: cnt.BlockInvalidations,
+		}
+		if looked := bc.Hits + bc.Misses; looked > 0 {
+			bc.HitRatio = float64(bc.Hits) / float64(looked)
+		}
+		rep.BlockCache = bc
 	}
 	return rep
 }

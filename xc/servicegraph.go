@@ -96,6 +96,7 @@ type ServiceGraphSpec struct {
 	edges    []graphEdge
 	entryTo  string
 	entryPol *IngressSpec
+	observe  *ObserveSpec
 	err      error
 }
 
@@ -128,6 +129,14 @@ func (g *ServiceGraphSpec) Entry(to string, pol *IngressSpec) *ServiceGraphSpec 
 // services; FanOut services issue all routes in parallel.
 func (g *ServiceGraphSpec) Route(from, to string, pol *IngressSpec) *ServiceGraphSpec {
 	g.edges = append(g.edges, graphEdge{from: from, to: to, pol: pol})
+	return g
+}
+
+// Observe arms the observability layer for the run: causal
+// request/attempt spans across every route in the trace, plus a
+// TimeSeries in the report. Nil detaches.
+func (g *ServiceGraphSpec) Observe(o *ObserveSpec) *ServiceGraphSpec {
+	g.observe = o
 	return g
 }
 
@@ -231,6 +240,13 @@ type GraphReport struct {
 
 	Routes   []RouteReport   `json:"routes"`
 	Services []ServiceReport `json:"services"`
+
+	// TimeSeries appears only when the run was observed
+	// (ServiceGraphSpec.Observe); without a spec the report marshals
+	// byte-identically to earlier releases.
+	TimeSeries *TimeSeries `json:"time_series,omitempty"`
+
+	trace *obsRecorder
 }
 
 // ServeGraph runs one traffic experiment over the topology on this
@@ -264,9 +280,15 @@ func (p *Platform) ServeGraph(g *ServiceGraphSpec, t *TrafficSpec) (*GraphReport
 	}
 	horizon := cycles.FromSeconds(dur)
 
+	var ob *graphObs
+	if g.observe != nil {
+		ob = newGraphObs(g.observe.opts, horizon)
+	}
+
 	// Build services and their replica queues; wire faults.
 	svcs := make(map[string]*ingress.Service, len(g.services))
 	totalServers := 0
+	queueID := uint32(0)
 	for _, spec := range g.services {
 		app := spec.w.Model()
 		if app == nil {
@@ -288,6 +310,10 @@ func (p *Platform) ServeGraph(g *ServiceGraphSpec, t *TrafficSpec) (*GraphReport
 				w = spec.weights[i]
 			}
 			q := sim.NewQueue(eng, fmt.Sprintf("%s/%d", spec.name, i), cores)
+			if ob != nil {
+				ob.traceQueue(q, queueID)
+				queueID++
+			}
 			svc.AddBackend(q, per, w, nil)
 			totalServers += cores
 		}
@@ -328,8 +354,31 @@ func (p *Platform) ServeGraph(g *ServiceGraphSpec, t *TrafficSpec) (*GraphReport
 		entryPol.ConnSetup = ingress.ConnSetupCost(rt)
 	}
 	gr.SetEntry(svcs[g.entryTo], entryPol)
+	if ob != nil {
+		gr.Observe(&ob.stream, ob.rec)
+	}
 
-	// Drive the entry and collect root latency.
+	// Drive the entry and collect root latency. With observability on,
+	// admissions count into the arrival series (series-only — the
+	// graph's request span already marks the instant in the trace) and
+	// root completions into the served/erred series.
+	admit := gr.Admit
+	if ob != nil {
+		admit = func(client uint64) {
+			ob.smp.Feed(eng.Now(), ob.kArrive, client, 0)
+			gr.Admit(client)
+		}
+	}
+	rootObs := func(lat cycles.Cycles, ok bool) {
+		if ob == nil {
+			return
+		}
+		if ok {
+			ob.stream.Emit(eng.Now(), ob.kServed, uint64(lat), 0)
+		} else {
+			ob.stream.Emit(eng.Now(), ob.kErred, uint64(lat), 0)
+		}
+	}
 	var (
 		rootLat   sim.Histogram
 		open      = t.rate > 0 || t.burst != nil
@@ -340,6 +389,7 @@ func (p *Platform) ServeGraph(g *ServiceGraphSpec, t *TrafficSpec) (*GraphReport
 	)
 	if open {
 		gr.OnRootDone = func(_ uint64, lat cycles.Cycles, ok bool) {
+			rootObs(lat, ok)
 			if ok {
 				rootLat.Observe(lat)
 				completed++
@@ -354,26 +404,27 @@ func (p *Platform) ServeGraph(g *ServiceGraphSpec, t *TrafficSpec) (*GraphReport
 		default:
 			arr = sim.PoissonRate(t.rate)
 		}
-		eng.DriveArrivals(arr, sim.NewRand(t.seed), horizon, gr.Admit)
+		eng.DriveArrivals(arr, sim.NewRand(t.seed), horizon, admit)
 	} else {
 		conns = t.conns
 		if conns <= 0 {
 			conns = 2 * totalServers
 		}
 		reissue = func(_ uint64, lat cycles.Cycles, ok bool) {
+			rootObs(lat, ok)
 			if ok {
 				rootLat.Observe(lat)
 				completed++
 			}
 			if eng.Now() < horizon {
 				nextConn++
-				gr.Admit(nextConn)
+				admit(nextConn)
 			}
 		}
 		gr.OnRootDone = reissue
 		for i := 0; i < conns; i++ {
 			nextConn++
-			gr.Admit(nextConn)
+			admit(nextConn)
 		}
 	}
 	eng.Run(horizon)
@@ -410,6 +461,12 @@ func (p *Platform) ServeGraph(g *ServiceGraphSpec, t *TrafficSpec) (*GraphReport
 		if t.burst != nil {
 			rep.Throughput.OfferedPerSec = t.burst.PeakRate * t.burst.OnSeconds / (t.burst.OnSeconds + t.burst.OffSeconds)
 		}
+	}
+	if ob != nil {
+		ts := ob.smp.Finish(ob.rec)
+		ts.EventsFired = eng.Fired()
+		rep.TimeSeries = ts
+		rep.trace = ob.rec
 	}
 	return rep, nil
 }

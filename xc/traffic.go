@@ -28,6 +28,7 @@ type TrafficSpec struct {
 	workers    int
 	cores      int
 	containers int
+	observe    *ObserveSpec
 }
 
 // Traffic starts a spec. With no knobs set, Serve runs a saturating
@@ -93,6 +94,13 @@ func (t *TrafficSpec) Containers(n int) *TrafficSpec {
 	return t
 }
 
+// Observe arms the observability layer for the run: the report gains a
+// TimeSeries and a WriteTrace-able flight-recorder trace. Nil detaches.
+func (t *TrafficSpec) Observe(o *ObserveSpec) *TrafficSpec {
+	t.observe = o
+	return t
+}
+
 // validate rejects specs the engine cannot give a meaningful answer
 // for, mirroring netsim.Pipeline.Simulate's input contract.
 func (t *TrafficSpec) validate() error {
@@ -149,6 +157,7 @@ func (p *Platform) Serve(w *Workload, t *TrafficSpec) (*Report, error) {
 		Workers: t.workers, Cores: t.cores, Concurrency: t.conns,
 		Rate: t.rate, Paced: t.paced, Burst: t.burst,
 		DurationSec: t.duration, Seed: t.seed, Replicas: t.containers,
+		Observe: t.observe.options(),
 	}.Run()
 
 	horizon := cycles.FromSeconds(res.DurationSec)
@@ -185,5 +194,7 @@ func (p *Platform) Serve(w *Workload, t *TrafficSpec) (*Report, error) {
 		Containers:  max(1, t.containers),
 		Seed:        t.seed,
 	}
+	rep.TimeSeries = res.TimeSeries
+	rep.trace = res.Trace
 	return rep, nil
 }

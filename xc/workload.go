@@ -25,6 +25,7 @@ type Workload struct {
 	iters       uint32
 	granularity int
 	warmup      uint
+	observe     *ObserveSpec
 	err         error
 }
 
@@ -98,6 +99,14 @@ func (w *Workload) Granularity(n int) *Workload {
 // draws between cold and warmed binaries.
 func (w *Workload) Warmup(passes uint) *Workload {
 	w.warmup = passes
+	return w
+}
+
+// Observe arms tier-1 observability for Platform.Run: the report gains
+// the interpreter's block-cache section. Without it, the report
+// marshals byte-identically to earlier releases.
+func (w *Workload) Observe(o *ObserveSpec) *Workload {
+	w.observe = o
 	return w
 }
 
