@@ -60,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 	rtName := fs.String("runtime", "xcontainer", "sweep: architecture: "+xc.KindUsage())
 	duration := fs.Float64("duration", 0.5, "sweep: horizon per replication in virtual seconds")
 
+	vcpus := fs.Int("vcpus", 0, "SMP experiments: host worker goroutines executing vCPU lanes in parallel (0 = GOMAXPROCS); changes wall-clock speed only, never results")
+
 	benchJSON := fs.Bool("bench-json", false, "measure the event kernel and write a BENCH_<date>.json snapshot")
 	benchOut := fs.String("bench-out", "", "bench-json: output path (default BENCH_<date>.json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -70,6 +72,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return errUsage
 	}
+
+	bench.SetSMPWorkers(*vcpus)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

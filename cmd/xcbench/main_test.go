@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -54,6 +56,40 @@ func TestHumanAndMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(md.String(), "|") {
 		t.Errorf("markdown output has no table:\n%s", md.String())
+	}
+}
+
+// TestVCPUsDeterministic pins the deterministic-SMP CLI contract: the
+// -vcpus flag (host workers executing vCPU lanes in parallel) changes
+// wall-clock speed only — `-exp smp -json` output is byte-identical
+// for -vcpus 1 vs -vcpus 4, at GOMAXPROCS 1 and at the host's real
+// parallelism, and the worker count never leaks into the JSON.
+func TestVCPUsDeterministic(t *testing.T) {
+	smpJSON := func(vcpus int) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-exp", "smp", "-json", "-vcpus", strconv.Itoa(vcpus)}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	base := smpJSON(1)
+	if strings.Contains(base, "vcpus") {
+		t.Errorf("-vcpus leaked into the JSON report:\n%s", base)
+	}
+	var reports []*bench.Report
+	if err := json.Unmarshal([]byte(base), &reports); err != nil {
+		t.Fatalf("smp -json is not a report array: %v\n%s", err, base)
+	}
+	for _, gmp := range []int{1, runtime.GOMAXPROCS(0)} {
+		prev := runtime.GOMAXPROCS(gmp)
+		for _, vcpus := range []int{1, 4} {
+			if got := smpJSON(vcpus); got != base {
+				runtime.GOMAXPROCS(prev)
+				t.Fatalf("GOMAXPROCS=%d -vcpus %d diverged from -vcpus 1:\n got %s\nwant %s", gmp, vcpus, got, base)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 }
 

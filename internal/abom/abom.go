@@ -122,6 +122,56 @@ func IsReturnSkip(b [8]byte, n int) bool {
 	return n >= 2 && ((b[0] == 0x0f && b[1] == 0x05) || (b[0] == 0xeb && int8(b[1]) == -9))
 }
 
+// retSkipSlots sizes the ReturnSkipCache's direct-mapped table. A hot
+// loop re-dispatches the same handful of call sites, so a few slots
+// keyed by return-address bits give near-perfect hit rates; conflicts
+// only cost a re-probe.
+const retSkipSlots = 8
+
+type retSkipEntry struct {
+	ret, gen uint64
+	skip     bool
+	valid    bool
+}
+
+// ReturnSkipStats counts inline-dispatch activity: how often a
+// vsyscall return resolved from the memo (no text probe) versus
+// probing the text bytes.
+type ReturnSkipStats struct {
+	Inlined uint64 // returns answered by the memo
+	Probes  uint64 // returns that read the text window
+}
+
+// ReturnSkipCache memoizes IsReturnSkip per call site. The answer for
+// a given return address can only change when the text changes — ABOM
+// phase-2 rewrites the leftover syscall into the jmp-back — so each
+// entry is validated against the text generation and a steady-state
+// patched loop pays one atomic load and a table hit instead of an
+// 8-byte text probe per vsyscall. Callers serialize access the same
+// way they serialize the CPU the vsyscall arrived on (env handlers run
+// one-at-a-time per container; deterministic SMP resolves traps at
+// barriers).
+type ReturnSkipCache struct {
+	entries [retSkipSlots]retSkipEntry
+	Stats   ReturnSkipStats
+}
+
+// ReturnSkip reports whether the code at return address ret must be
+// skipped over (IsReturnSkip semantics), consulting the memo first.
+func (c *ReturnSkipCache) ReturnSkip(t *arch.Text, ret uint64) bool {
+	e := &c.entries[(ret>>1)%retSkipSlots]
+	gen := t.Generation()
+	if e.valid && e.ret == ret && e.gen == gen {
+		c.Stats.Inlined++
+		return e.skip
+	}
+	b, n := t.Peek8(ret)
+	skip := IsReturnSkip(b, n)
+	*e = retSkipEntry{ret: ret, gen: gen, skip: skip, valid: true}
+	c.Stats.Probes++
+	return skip
+}
+
 // OnSyscall is invoked by the X-Kernel when forwarding a trapped
 // syscall. sysRIP is the address of the syscall instruction that
 // trapped (RIP has already advanced past it: sysRIP = RIP-2). The

@@ -43,6 +43,35 @@ func TestTier1SteadyStateAllocFree(t *testing.T) {
 	})
 }
 
+// TestTier1SuperblockSteadyStateAllocFree: once a hot loop has formed
+// a superblock trace, re-running the program dispatches through the
+// trace arena and allocates nothing — 0 allocs/instruction with the
+// trace tier engaged, enforced.
+func TestTier1SuperblockSteadyStateAllocFree(t *testing.T) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(500, func(a *arch.Assembler) { a.Nop().Work(10).PushRax().PopRax() })
+	a.Hlt()
+	clk := &cycles.Clock{}
+	cpu := arch.NewCPU(a.MustAssemble(), nullEnv{}, clk, &cycles.Default)
+	if err := cpu.Run(1 << 30); err != nil { // warm-up: heat the chain, form the trace
+		t.Fatal(err)
+	}
+	if cpu.Counters.SuperblockForms == 0 || cpu.Counters.SuperblockHits == 0 {
+		t.Fatalf("warm-up did not engage the trace tier: %+v", cpu.Counters)
+	}
+	hitsBefore := cpu.Counters.SuperblockHits
+	requireZeroAllocs(t, "superblock loop", 20, func() {
+		cpu.Reset()
+		clk.Reset()
+		if err := cpu.Run(1 << 30); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if cpu.Counters.SuperblockHits <= hitsBefore {
+		t.Error("measured runs did not execute through the trace")
+	}
+}
+
 // TestTier1BudgetExitAllocFree: exhausting the instruction budget is
 // the scheduler-quantum hot exit (RunConcurrent slices programs into
 // quanta); it must return the typed ErrBudget without formatting a

@@ -31,7 +31,10 @@ func (nullEnv) InvalidOpcode(cpu *arch.CPU) bool { return false }
 // ABOM, vsyscall calls return through the 9-byte-patch return-address
 // skip (mirroring libos.HandleVsyscall), and jump-into-middle faults
 // are repaired. It exercises live text patching under the interpreter.
-type patchEnv struct{ ab *abom.ABOM }
+type patchEnv struct {
+	ab      *abom.ABOM
+	retSkip *abom.ReturnSkipCache
+}
 
 func (e patchEnv) Syscall(cpu *arch.CPU) arch.Action {
 	e.ab.OnSyscall(cpu.Text, cpu.RIP-2, cpu.Regs[arch.RAX])
@@ -40,7 +43,7 @@ func (e patchEnv) Syscall(cpu *arch.CPU) arch.Action {
 
 func (e patchEnv) VsyscallCall(cpu *arch.CPU, entry uint64) arch.Action {
 	ret := cpu.ReadStack(0)
-	if b, n := cpu.Text.Peek8(ret); abom.IsReturnSkip(b, n) {
+	if e.retSkip.ReturnSkip(cpu.Text, ret) {
 		cpu.PokeStack(0, ret+2)
 	}
 	cpu.Ret()
@@ -102,6 +105,73 @@ func BenchmarkTier1SyscallLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkTier1SuperblockLoop measures the trace tier's steady state:
+// a hot compute loop whose chain crossed the heat threshold during the
+// first iteration, so the measured runs dispatch once into the formed
+// superblock and execute straight-line records until the loop falls
+// through. The delta against BenchmarkTier1SyscallLoop is what trace
+// formation buys over per-block chain dispatch.
+func BenchmarkTier1SuperblockLoop(b *testing.B) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(1000, func(a *arch.Assembler) { a.Nop().Work(10).PushRax().PopRax() })
+	a.Hlt()
+	clk := &cycles.Clock{}
+	cpu := arch.NewCPU(a.MustAssemble(), nullEnv{}, clk, &cycles.Default)
+	if err := cpu.Run(1 << 30); err != nil { // warm-up forms the trace
+		b.Fatal(err)
+	}
+	if cpu.Counters.SuperblockForms == 0 {
+		b.Fatal("warm-up did not form a superblock")
+	}
+	before := cpu.Counters.Instructions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Reset()
+		clk.Reset()
+		if err := cpu.Run(1 << 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	instr := cpu.Counters.Instructions - before
+	if instr > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instr), "ns/instr")
+		b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	}
+}
+
+// BenchmarkTier1SuperblockOff is the control: the identical program
+// with trace formation disabled, so only the block cache's chain
+// dispatch runs. Compare ns/instr against BenchmarkTier1SuperblockLoop.
+func BenchmarkTier1SuperblockOff(b *testing.B) {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(1000, func(a *arch.Assembler) { a.Nop().Work(10).PushRax().PopRax() })
+	a.Hlt()
+	clk := &cycles.Clock{}
+	cpu := arch.NewCPU(a.MustAssemble(), nullEnv{}, clk, &cycles.Default)
+	cpu.DisableSuperblocks = true
+	if err := cpu.Run(1 << 30); err != nil {
+		b.Fatal(err)
+	}
+	before := cpu.Counters.Instructions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Reset()
+		clk.Reset()
+		if err := cpu.Run(1 << 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	instr := cpu.Counters.Instructions - before
+	if instr > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instr), "ns/instr")
+		b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	}
+}
+
 // BenchmarkTier1ABOMWarmup measures the warm-up regime: fresh text each
 // iteration, live cmpxchg patches landing in the loop body while it
 // executes — the worst case for a block cache, which must invalidate
@@ -112,7 +182,7 @@ func BenchmarkTier1ABOMWarmup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clk := &cycles.Clock{}
-		cpu := arch.NewCPU(warmupText(200), patchEnv{ab: abom.New()}, clk, &cycles.Default)
+		cpu := arch.NewCPU(warmupText(200), patchEnv{ab: abom.New(), retSkip: &abom.ReturnSkipCache{}}, clk, &cycles.Default)
 		if err := cpu.Run(1 << 30); err != nil {
 			b.Fatal(err)
 		}

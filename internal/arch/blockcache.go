@@ -6,50 +6,89 @@ import (
 	"xcontainers/internal/cycles"
 )
 
-// This file implements the predecoded basic-block translation cache
-// behind CPU.Run. The interpreter's original hot path paid, per
-// simulated instruction, an RWMutex read-lock, a fresh 8-byte slice
-// allocation, and a full Decode. The cache pays those once per
-// straight-line run ("block") instead: blocks decode lazily into a
-// flat instruction arena, an offset-indexed table maps every text
-// offset that has ever been an entry point to its block, and executed
-// blocks chain their observed successors so hot loops re-enter the
-// next block without even the table lookup.
+// This file implements the predecoded translation cache behind CPU.Run:
+// a basic-block cache (PR 5) with superblock trace formation on top.
+//
+// The interpreter's original hot path paid, per simulated instruction,
+// an RWMutex read-lock, a fresh 8-byte slice allocation, and a full
+// Decode. The block cache pays those once per straight-line run
+// ("block") instead: blocks decode lazily into a flat instruction
+// arena, an offset-indexed table maps every text offset that has ever
+// been an entry point to its block, and executed blocks chain their
+// observed successors so hot loops re-enter the next block without
+// even the table lookup.
+//
+// Superblocks remove the remaining per-block dispatch: when a block is
+// re-entered through its successor chain often enough (sbHeatThreshold
+// chained dispatches), the chain is compiled into one flat trace —
+// straight-line instruction records across the former block
+// boundaries, with a side-exit check where the observed path can
+// diverge. A trace that closes back on its own head wraps in place, so
+// a hot loop — including the ABOM-patched vsyscall call, which
+// executes as a direct dispatch record — runs entirely inside one
+// record window and never returns to the dispatch loop until it side-
+// exits, faults, or exhausts its budget.
 //
 // Correctness under self-modifying code — ABOM cmpxchg-patches the
 // text the interpreter is executing (§4.4) — comes from Text's
 // generation counter: every store bumps it and records the dirtied
 // span, the CPU re-checks the counter with one atomic load at every
-// block boundary, and on a change invalidates exactly the blocks
-// overlapping the dirtied spans. Because every instruction that can
-// reach a patching handler (syscall, vsyscall call, invalid-opcode
-// trap) terminates its block, a patch can never be missed by the block
-// containing it: the block ends at the patching instruction and the
-// generation check runs before the next block starts.
+// block boundary, and on a change invalidates exactly the blocks and
+// superblocks overlapping the dirtied spans (a superblock's dependency
+// span is the union over its constituent blocks). Because every
+// instruction that can reach a patching handler (syscall, vsyscall
+// call, invalid-opcode trap) terminates its block, trace records for
+// those instructions carry an explicit generation re-check: the patch
+// is observed before the next record could run stale.
 
 const (
 	// maxBlockInstrs caps instructions per block so a pathological
 	// straight-line text can't decode unboundedly ahead of execution.
 	maxBlockInstrs = 64
 
-	// maxArenaInstrs bounds the decoded-instruction arena. Invalidated
-	// blocks leak their arena slots until the next full flush; crossing
-	// this cap triggers that flush. ABOM warm-up on real wrapper
-	// populations stays far below it.
+	// maxArenaInstrs bounds the decoded-instruction arenas (blocks and
+	// superblock records combined). Invalidated entries leak their
+	// slots until the next full flush; crossing this cap triggers that
+	// flush. ABOM warm-up on real wrapper populations stays far below
+	// it.
 	maxArenaInstrs = 1 << 16
+
+	// sbHeatThreshold is how many successor-chain dispatches a block
+	// must absorb before a superblock trace is formed starting at it.
+	// High enough that ABOM's warm-up patches (each site converts
+	// within its first few executions) land before the trace forms, low
+	// enough that any loop hot enough to matter converts almost
+	// immediately.
+	sbHeatThreshold = 16
+
+	// maxSuperInstrs caps records per superblock; maxSuperBlocks caps
+	// constituent blocks per trace walk.
+	maxSuperInstrs = 512
+	maxSuperBlocks = 32
+)
+
+// Trace-boundary flags on decoded records. Plain block records are
+// always 0; only superblock records at former block boundaries carry
+// flags, which is what keeps the shared execution loop's straight-line
+// path to a single branch per record.
+const (
+	sbFlagBoundary uint8 = 1 << iota // verify the continuation offset
+	sbFlagCheckGen                   // record may patch text: re-check generation
+	sbFlagExit                       // unconditional side exit (trace end, not loop-closed)
 )
 
 // decoded is one predecoded instruction, packed to 16 bytes so four
 // fit in a cache line — the locality-first layout that makes block
 // execution a linear walk instead of a pointer chase.
 type decoded struct {
-	op   Op
-	len  uint8
-	reg  uint8
-	reg2 uint8
-	raw0 byte // first encoded byte, for the invalid-opcode fault text
-	_    [3]byte
-	imm  int64
+	op    Op
+	len   uint8
+	reg   uint8
+	reg2  uint8
+	raw0  byte  // first encoded byte, for the invalid-opcode fault text
+	flags uint8 // sbFlag* boundary markers; always 0 inside plain blocks
+	_     [2]byte
+	imm   int64
 }
 
 // block is one decoded straight-line run: instructions
@@ -60,12 +99,26 @@ type block struct {
 	start, end uint32
 	first, n   int32
 	live       bool
+	heat       uint16 // chained dispatches seen; sbHeatThreshold forms a trace
 
 	// Successor chain: the last observed (entry offset → block index)
 	// exits of this block. Two slots cover both arms of a conditional
 	// branch, or a call site's target and fall-through.
 	succOff [2]uint32
 	succBi  [2]int32
+}
+
+// superblock is one trace: records sbArena[first:first+n] entered at
+// text offset entry, invalidated by any store into [lo, hi) — the
+// union of every constituent block's dependency span. loops marks a
+// trace whose last record continues at its own entry; execution wraps
+// to record 0 without redispatching.
+type superblock struct {
+	entry    uint32
+	lo, hi   uint32
+	first, n int32
+	live     bool
+	loops    bool
 }
 
 // blockCache is one CPU's private translation cache over its Text.
@@ -76,17 +129,32 @@ type blockCache struct {
 	blocks []block
 	byOff  []int32   // text offset → block index (-1 = not an entry point)
 	cnt    *Counters // owning CPU's counters, for hit/miss/invalidation accounting
+
+	sbArena []decoded    // superblock record storage, traces are windows
+	sbExits []uint32     // parallel to sbArena: continuation offset of boundary records
+	sbs     []superblock //
+	sbByOff []int32      // text offset → superblock index (-1 = none)
 }
 
 func newBlockCache(t *Text, cnt *Counters) *blockCache {
 	bc := &blockCache{
-		text:  t,
-		gen:   t.Generation(),
-		byOff: make([]int32, t.Size()),
-		cnt:   cnt,
+		text:    t,
+		gen:     t.Generation(),
+		byOff:   make([]int32, t.Size()),
+		sbByOff: make([]int32, t.Size()),
+		cnt:     cnt,
+		// Seed the arenas so the warm-up regime — decode, patch,
+		// invalidate, re-decode, form a trace — appends into existing
+		// capacity instead of growing from nil a doubling at a time.
+		arena:   make([]decoded, 0, 128),
+		blocks:  make([]block, 0, 16),
+		sbArena: make([]decoded, 0, 128),
+		sbExits: make([]uint32, 0, 128),
+		sbs:     make([]superblock, 0, 4),
 	}
 	for i := range bc.byOff {
 		bc.byOff[i] = -1
+		bc.sbByOff[i] = -1
 	}
 	return bc
 }
@@ -104,10 +172,21 @@ func terminates(op Op) bool {
 	return true
 }
 
+// mayPatch reports whether executing op can reach an environment
+// handler that patches text — exactly the records whose superblock
+// continuation must re-check the text generation.
+func mayPatch(op Op) bool {
+	switch op {
+	case OpSyscall, OpCallAbs, OpInvalid:
+		return true
+	}
+	return false
+}
+
 // sync catches the cache up to the text's current generation: blocks
-// overlapping any span dirtied since the cache's generation are
-// invalidated; if the dirty ring no longer covers the gap, everything
-// is flushed.
+// and superblocks overlapping any span dirtied since the cache's
+// generation are invalidated; if the dirty ring no longer covers the
+// gap, everything is flushed.
 func (bc *blockCache) sync() {
 	t := bc.text
 	t.mu.RLock()
@@ -119,6 +198,14 @@ func (bc *blockCache) sync() {
 				b.live = false
 				bc.byOff[b.start] = -1
 				bc.cnt.BlockInvalidations++
+			}
+		}
+		for i := range bc.sbs {
+			s := &bc.sbs[i]
+			if s.live && s.lo < sp.Hi && sp.Lo < s.hi {
+				s.live = false
+				bc.sbByOff[s.entry] = -1
+				bc.cnt.SuperblockInvalidations++
 			}
 		}
 	})
@@ -135,10 +222,19 @@ func (bc *blockCache) flush() {
 			bc.cnt.BlockInvalidations++
 		}
 	}
+	for i := range bc.sbs {
+		if bc.sbs[i].live {
+			bc.cnt.SuperblockInvalidations++
+		}
+	}
 	bc.arena = bc.arena[:0]
 	bc.blocks = bc.blocks[:0]
+	bc.sbArena = bc.sbArena[:0]
+	bc.sbExits = bc.sbExits[:0]
+	bc.sbs = bc.sbs[:0]
 	for i := range bc.byOff {
 		bc.byOff[i] = -1
+		bc.sbByOff[i] = -1
 	}
 }
 
@@ -207,14 +303,121 @@ func (bc *blockCache) decode(off uint32) int32 {
 	return bi
 }
 
-// runCached is CPU.Run's block-at-a-time execution loop.
-//
-// INVARIANT: the per-instruction semantics below — counter order,
-// clock charges, TLB checks, RIP arithmetic, trap actions, fault
-// messages — are a verbatim mirror of CPU.Step. Any change there must
-// land here too; FuzzBlockCache holds the two paths equivalent under
-// random programs and random mid-run patches.
-func (c *CPU) runCached(maxInstr uint64) error {
+// liveSucc returns the block's live recorded successor, preferring
+// slot 0 (the first observed edge). A slot whose block died — an ABOM
+// patch invalidated it during warm-up — is skipped, so a loop whose
+// hot edge was re-recorded in slot 1 after patching still closes.
+func (bc *blockCache) liveSucc(b *block) int32 {
+	for s := 0; s < 2; s++ {
+		if bi := b.succBi[s]; bi >= 0 && bc.blocks[bi].live && bc.blocks[bi].start == b.succOff[s] {
+			return bi
+		}
+	}
+	return -1
+}
+
+// formTrace chain-compiles the hot successor path starting at block
+// head into a superblock. The walk stops at a dead or unrecorded
+// successor, a revisited block, the size caps, or — the loop case — a
+// successor that is the head itself, which makes the trace wrap in
+// place. Formation is a pure copy of already-decoded records, so it
+// needs no text access; the runtime boundary checks validate the path
+// on every pass.
+func (bc *blockCache) formTrace(head int32) bool {
+	if len(bc.arena)+len(bc.sbArena) > maxArenaInstrs {
+		return false // arenas at cap; wait for the flush
+	}
+	hb := &bc.blocks[head]
+	if bc.sbByOff[hb.start] >= 0 {
+		return false
+	}
+	var seq [maxSuperBlocks]int32
+	n, total := 0, int32(0)
+	loops := false
+	for bi := head; ; {
+		b := &bc.blocks[bi]
+		seq[n] = bi
+		n++
+		total += b.n
+		if n == maxSuperBlocks || total >= maxSuperInstrs {
+			break
+		}
+		nxt := bc.liveSucc(b)
+		if nxt < 0 {
+			break
+		}
+		if nxt == head {
+			loops = true
+			break
+		}
+		revisit := false
+		for i := 0; i < n; i++ {
+			if seq[i] == nxt {
+				revisit = true
+				break
+			}
+		}
+		if revisit {
+			break
+		}
+		bi = nxt
+	}
+	if n < 2 && !loops {
+		return false // a lone non-looping block gains nothing over the block cache
+	}
+
+	first := int32(len(bc.sbArena))
+	lo, hi := hb.start, hb.end
+	for i := 0; i < n; i++ {
+		b := &bc.blocks[seq[i]]
+		if b.start < lo {
+			lo = b.start
+		}
+		if b.end > hi {
+			hi = b.end
+		}
+		recs := bc.arena[b.first : b.first+b.n]
+		for k := range recs {
+			r := recs[k]
+			r.flags = 0
+			cont := uint32(0)
+			if k == len(recs)-1 {
+				// Former block boundary: verify the continuation (and,
+				// after a record that can reach a patching handler, the
+				// text generation) before running the next record.
+				r.flags = sbFlagBoundary
+				if mayPatch(r.op) {
+					r.flags |= sbFlagCheckGen
+				}
+				switch {
+				case i+1 < n:
+					cont = bc.blocks[seq[i+1]].start
+				case loops:
+					cont = hb.start
+				default:
+					r.flags |= sbFlagExit
+				}
+			}
+			bc.sbArena = append(bc.sbArena, r)
+			bc.sbExits = append(bc.sbExits, cont)
+		}
+	}
+	si := int32(len(bc.sbs))
+	bc.sbs = append(bc.sbs, superblock{
+		entry: hb.start,
+		lo:    lo, hi: hi,
+		first: first, n: int32(len(bc.sbArena)) - first,
+		live:  true,
+		loops: loops,
+	})
+	bc.sbByOff[hb.start] = si
+	bc.cnt.SuperblockForms++
+	return true
+}
+
+// runCached is CPU.Run's dispatch loop: superblock hit, successor
+// chain, indexed lookup (decoding on miss) — in that order.
+func (c *CPU) runCached(maxInstr uint64, deadline cycles.Cycles) error {
 	bc := c.cache
 	t := c.Text
 	base, size := t.Base, uint64(len(bc.byOff))
@@ -224,18 +427,24 @@ func (c *CPU) runCached(maxInstr uint64) error {
 		if c.Halted || c.Blocked || c.Fault != nil {
 			return c.Fault
 		}
+		if c.Trap != TrapNone {
+			return nil // deferred trap pending; the owner resolves it
+		}
 		executed := c.Counters.Instructions - startInstr
 		if executed >= maxInstr {
 			return ErrBudget
+		}
+		if c.Clock.Now() >= deadline {
+			return nil
 		}
 		if g := t.gen.Load(); g != bc.gen {
 			bc.sync()
 			prev = -1 // block indexes survive, but chains may be stale
 		}
-		if len(bc.arena) > maxArenaInstrs {
-			// Reclaim slots leaked by invalidated blocks (or a huge
-			// straight-line text). The flush truncates bc.blocks, so
-			// every held index — prev included — is void. At most one
+		if len(bc.arena)+len(bc.sbArena) > maxArenaInstrs {
+			// Reclaim slots leaked by invalidated blocks and traces (or
+			// a huge straight-line text). The flush truncates bc.blocks,
+			// so every held index — prev included — is void. At most one
 			// block decodes per iteration, bounding the arena at
 			// maxArenaInstrs+maxBlockInstrs.
 			bc.flush()
@@ -247,6 +456,18 @@ func (c *CPU) runCached(maxInstr uint64) error {
 			return c.Fault
 		}
 		off := uint32(rip - base)
+
+		if !c.DisableSuperblocks {
+			if si := bc.sbByOff[off]; si >= 0 {
+				sb := &bc.sbs[si]
+				bc.cnt.SuperblockHits++
+				c.execRecords(bc.sbArena[sb.first:sb.first+sb.n],
+					bc.sbExits[sb.first:sb.first+sb.n],
+					sb.loops, base, maxInstr-executed, deadline, bc)
+				prev = -1 // the trace ran across chains; re-dispatch cold
+				continue
+			}
+		}
 
 		// Successor chain first, indexed lookup (decoding on miss) after.
 		bi := int32(-1)
@@ -260,7 +481,18 @@ func (c *CPU) runCached(maxInstr uint64) error {
 				bc.cnt.BlockHits++
 			}
 		}
-		if bi < 0 {
+		if bi >= 0 {
+			// A chained dispatch is the hot-edge signal trace formation
+			// keys on: blocks only get here while the path through them
+			// repeats.
+			blk := &bc.blocks[bi]
+			blk.heat++
+			if blk.heat == sbHeatThreshold && !c.DisableSuperblocks {
+				if !bc.formTrace(bi) {
+					blk.heat = 0 // retry after another round of heat
+				}
+			}
+		} else {
 			bi = bc.lookupIdx(off)
 			if prev >= 0 {
 				pb := &bc.blocks[prev] // re-take: decode may have grown blocks
@@ -273,113 +505,214 @@ func (c *CPU) runCached(maxInstr uint64) error {
 			}
 		}
 		blk := &bc.blocks[bi]
-
-		n := uint64(blk.n)
-		if left := maxInstr - executed; left < n {
-			n = left // stop mid-block on the exact budget boundary
-		}
-		ins := bc.arena[blk.first : blk.first+blk.n]
-		checkTLB := c.TLB != nil && c.AS != nil
-		for i := uint64(0); i < n; i++ {
-			if checkTLB {
-				if pg := c.RIP / PageSize; pg != c.lastFetchPage {
-					_, ok, miss := c.TLB.Lookup(c.AS, pg)
-					if !ok {
-						c.Fault = fmt.Errorf("cpu: instruction fetch from unmapped page %#x", c.RIP)
-						return c.Fault
-					}
-					if miss {
-						c.Clock.Advance(c.Costs.TLBMissWalk)
-					}
-					c.lastFetchPage = pg
-				}
-			}
-			d := &ins[i]
-			c.Counters.Instructions++
-			c.Clock.Advance(1) // base cost per instruction
-
-			switch d.op {
-			case OpNop:
-				c.RIP += uint64(d.len)
-			case OpHlt:
-				c.RIP += uint64(d.len)
-				c.Halted = true
-			case OpWork:
-				c.RIP += uint64(d.len)
-				c.Clock.Advance(cycles.Cycles(d.imm))
-				c.Counters.WorkCycles += uint64(d.imm)
-			case OpMovR32Imm, OpMovR64Imm:
-				c.Regs[d.reg] = uint64(uint32(d.imm))
-				if d.op == OpMovR64Imm {
-					c.Regs[d.reg] = uint64(d.imm) // sign-extended by REX.W mov
-				}
-				c.RIP += uint64(d.len)
-			case OpMovRaxRsp8:
-				c.Regs[RAX] = c.ReadStack(uint64(d.imm))
-				c.RIP += uint64(d.len)
-			case OpMovRegReg:
-				c.Regs[d.reg] = c.Regs[d.reg2]
-				c.RIP += uint64(d.len)
-			case OpSyscall:
-				c.Counters.RawSyscalls++
-				c.RIP += uint64(d.len)
-				switch c.Env.Syscall(c) {
-				case ActionBlock:
-					c.Blocked = true
-				case ActionExit:
-					c.Halted = true
-				}
-			case OpCallAbs:
-				target := uint64(d.imm) // already sign-extended
-				c.Counters.VsyscallCalls++
-				c.Push8(c.RIP + uint64(d.len))
-				c.RIP = target
-				switch c.Env.VsyscallCall(c, target) {
-				case ActionBlock:
-					c.Blocked = true
-				case ActionExit:
-					c.Halted = true
-				}
-			case OpCallRel32:
-				c.Push8(c.RIP + uint64(d.len))
-				c.RIP = uint64(int64(c.RIP) + int64(d.len) + d.imm)
-			case OpRet:
-				c.RIP = c.Pop8()
-			case OpJmpRel8, OpJmpRel32:
-				c.RIP = uint64(int64(c.RIP) + int64(d.len) + d.imm)
-			case OpJnzRel8, OpJnzRel32:
-				c.RIP += uint64(d.len)
-				if c.Regs[RCX] != 0 {
-					c.RIP = uint64(int64(c.RIP) + d.imm)
-				}
-			case OpDecRcx:
-				c.Regs[RCX]--
-				c.RIP += uint64(d.len)
-			case OpPushImm32:
-				c.Push8(uint64(uint32(d.imm)))
-				c.RIP += uint64(d.len)
-			case OpPushRax:
-				c.Push8(c.Regs[RAX])
-				c.RIP += uint64(d.len)
-			case OpPopRax:
-				c.Regs[RAX] = c.Pop8()
-				c.RIP += uint64(d.len)
-			case OpPushRdi:
-				c.Push8(c.Regs[RDI])
-				c.RIP += uint64(d.len)
-			case OpPopRdi:
-				c.Regs[RDI] = c.Pop8()
-				c.RIP += uint64(d.len)
-			case OpInvalid:
-				c.Counters.InvalidTraps++
-				if c.Env != nil && c.Env.InvalidOpcode(c) {
-					break // RIP repaired by the trap handler
-				}
-				c.Fault = fmt.Errorf("cpu: invalid opcode %#02x at %#x", d.raw0, c.RIP)
-			default:
-				c.Fault = fmt.Errorf("cpu: unimplemented op %v at %#x", d.op, c.RIP)
-			}
-		}
+		c.execRecords(bc.arena[blk.first:blk.first+blk.n], nil, false,
+			base, maxInstr-executed, deadline, bc)
 		prev = bi
 	}
+}
+
+// execRecords executes one window of predecoded records — a basic
+// block (exits nil, every flag zero) or a superblock trace. It stops
+// at the end of the window, on halt/block/fault/deferred-trap, on
+// budget or deadline exhaustion, or at a trace side exit; the caller's
+// dispatch loop re-establishes every invariant before the next window.
+//
+// INVARIANT: the per-instruction semantics below — counter order,
+// clock charges, TLB checks, RIP arithmetic, trap actions, fault
+// messages — are a verbatim mirror of CPU.Step. Any change there must
+// land here too; FuzzBlockCache holds the paths equivalent under
+// random programs and random mid-run patches.
+//
+// Records that can stop execution (halt, block, fault, env calls) are
+// always the last record of a block window or carry sbFlagBoundary in
+// a trace — terminates() pins that — so the straight-line path only
+// pays the budget, deadline, and flags tests.
+func (c *CPU) execRecords(recs []decoded, exits []uint32, loops bool,
+	base uint64, left uint64, deadline cycles.Cycles, bc *blockCache) {
+	checkTLB := c.TLB != nil && c.AS != nil
+	// The window's hot state — RIP, the clock, the instruction count —
+	// lives in locals so the straight-line path keeps it in registers.
+	// It is flushed back to the CPU before every env call (handlers
+	// observe and mutate all three) and at every exit, and reloaded
+	// after env calls return.
+	rip := c.RIP
+	now := c.Clock.Now()
+	nExec := uint64(0)
+	flush := func() {
+		c.RIP = rip
+		c.Clock.AdvanceTo(now)
+		c.Counters.Instructions += nExec
+		nExec = 0
+	}
+	for i := 0; i < len(recs); {
+		if left == 0 {
+			flush()
+			return
+		}
+		if now >= deadline {
+			flush()
+			return
+		}
+		if checkTLB {
+			if pg := rip / PageSize; pg != c.lastFetchPage {
+				_, ok, miss := c.TLB.Lookup(c.AS, pg)
+				if !ok {
+					flush()
+					c.Fault = fmt.Errorf("cpu: instruction fetch from unmapped page %#x", rip)
+					return
+				}
+				if miss {
+					now += c.Costs.TLBMissWalk
+				}
+				c.lastFetchPage = pg
+			}
+		}
+		d := &recs[i]
+		nExec++
+		left--
+		now++ // base cost per instruction
+
+		switch d.op {
+		case OpNop:
+			rip += uint64(d.len)
+		case OpHlt:
+			rip += uint64(d.len)
+			c.Halted = true
+		case OpWork:
+			rip += uint64(d.len)
+			now += cycles.Cycles(d.imm)
+			c.Counters.WorkCycles += uint64(d.imm)
+		case OpMovR32Imm, OpMovR64Imm:
+			c.Regs[d.reg] = uint64(uint32(d.imm))
+			if d.op == OpMovR64Imm {
+				c.Regs[d.reg] = uint64(d.imm) // sign-extended by REX.W mov
+			}
+			rip += uint64(d.len)
+		case OpMovRaxRsp8:
+			c.Regs[RAX] = c.ReadStack(uint64(d.imm))
+			rip += uint64(d.len)
+		case OpMovRegReg:
+			c.Regs[d.reg] = c.Regs[d.reg2]
+			rip += uint64(d.len)
+		case OpSyscall:
+			c.Counters.RawSyscalls++
+			rip += uint64(d.len)
+			if c.DeferTraps {
+				c.Trap = TrapSyscall
+			} else {
+				flush()
+				act := c.Env.Syscall(c)
+				rip, now = c.RIP, c.Clock.Now()
+				switch act {
+				case ActionBlock:
+					c.Blocked = true
+				case ActionExit:
+					c.Halted = true
+				}
+			}
+		case OpCallAbs:
+			target := uint64(d.imm) // already sign-extended
+			c.Counters.VsyscallCalls++
+			c.Push8(rip + uint64(d.len))
+			rip = target
+			if c.DeferTraps {
+				c.Trap = TrapVsyscall
+				c.TrapEntry = target
+			} else {
+				flush()
+				act := c.Env.VsyscallCall(c, target)
+				rip, now = c.RIP, c.Clock.Now()
+				switch act {
+				case ActionBlock:
+					c.Blocked = true
+				case ActionExit:
+					c.Halted = true
+				}
+			}
+		case OpCallRel32:
+			c.Push8(rip + uint64(d.len))
+			rip = uint64(int64(rip) + int64(d.len) + d.imm)
+		case OpRet:
+			rip = c.Pop8()
+		case OpJmpRel8, OpJmpRel32:
+			rip = uint64(int64(rip) + int64(d.len) + d.imm)
+		case OpJnzRel8, OpJnzRel32:
+			rip += uint64(d.len)
+			if c.Regs[RCX] != 0 {
+				rip = uint64(int64(rip) + d.imm)
+			}
+		case OpDecRcx:
+			c.Regs[RCX]--
+			rip += uint64(d.len)
+		case OpPushImm32:
+			c.Push8(uint64(uint32(d.imm)))
+			rip += uint64(d.len)
+		case OpPushRax:
+			c.Push8(c.Regs[RAX])
+			rip += uint64(d.len)
+		case OpPopRax:
+			c.Regs[RAX] = c.Pop8()
+			rip += uint64(d.len)
+		case OpPushRdi:
+			c.Push8(c.Regs[RDI])
+			rip += uint64(d.len)
+		case OpPopRdi:
+			c.Regs[RDI] = c.Pop8()
+			rip += uint64(d.len)
+		case OpInvalid:
+			c.Counters.InvalidTraps++
+			if c.DeferTraps {
+				c.Trap = TrapInvalid
+				c.trapRaw = d.raw0
+			} else {
+				flush()
+				if c.Env != nil && c.Env.InvalidOpcode(c) {
+					// RIP repaired by the trap handler
+					rip, now = c.RIP, c.Clock.Now()
+				} else {
+					c.Fault = fmt.Errorf("cpu: invalid opcode %#02x at %#x", d.raw0, rip)
+					return
+				}
+			}
+		default:
+			flush()
+			c.Fault = fmt.Errorf("cpu: unimplemented op %v at %#x", d.op, rip)
+			return
+		}
+
+		if d.flags == 0 {
+			i++
+			continue
+		}
+		// Former block boundary inside a trace: full stop check, then
+		// generation and continuation verification before the next
+		// record may run.
+		if c.Halted || c.Blocked || c.Fault != nil || c.Trap != TrapNone {
+			flush()
+			return
+		}
+		if d.flags&sbFlagCheckGen != 0 && c.Text.gen.Load() != bc.gen {
+			bc.cnt.SuperblockSideExits++
+			flush()
+			return // a patch landed; the dispatch loop re-syncs
+		}
+		if d.flags&sbFlagExit != 0 {
+			flush()
+			return // trace end (not loop-closed): normal exit
+		}
+		if rip != base+uint64(exits[i]) {
+			bc.cnt.SuperblockSideExits++
+			flush()
+			return // observed path diverged from the trace
+		}
+		if i+1 < len(recs) {
+			i++
+		} else if loops {
+			i = 0 // loop-closed trace: wrap without redispatching
+		} else {
+			flush()
+			return
+		}
+	}
+	flush()
 }

@@ -290,6 +290,9 @@ func TestBlockCacheCounters(t *testing.T) {
 	code = append(code, EncJnzRel8(-5)...)
 	code = append(code, EncHlt()...)
 	cpu := NewCPU(NewText(UserTextBase, code), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+	// Superblocks off: past sbHeatThreshold the loop would convert to a
+	// trace and stop ticking the block counters this test pins.
+	cpu.DisableSuperblocks = true
 	if err := cpu.Run(10_000); err != nil || !cpu.Halted {
 		t.Fatalf("run: err=%v halted=%v", err, cpu.Halted)
 	}

@@ -90,13 +90,26 @@ type Counters struct {
 	BlockHits          uint64
 	BlockMisses        uint64
 	BlockInvalidations uint64
+
+	// Superblock accounting (observability only, like the block-cache
+	// counters). A form is one trace compiled from a hot successor
+	// chain; a hit dispatches a trace; a side exit leaves a trace where
+	// the observed path diverged (or the text generation moved under a
+	// patching record); an invalidation kills a live trace.
+	SuperblockForms         uint64
+	SuperblockHits          uint64
+	SuperblockSideExits     uint64
+	SuperblockInvalidations uint64
 }
 
-// WithoutCacheStats returns the counters with block-cache accounting
-// zeroed — the only fields that legitimately differ between the cached
-// and uncached execution paths, which are otherwise held equivalent.
+// WithoutCacheStats returns the counters with block-cache and
+// superblock accounting zeroed — the only fields that legitimately
+// differ between the cached and uncached execution paths, which are
+// otherwise held equivalent.
 func (c Counters) WithoutCacheStats() Counters {
 	c.BlockHits, c.BlockMisses, c.BlockInvalidations = 0, 0, 0
+	c.SuperblockForms, c.SuperblockHits = 0, 0
+	c.SuperblockSideExits, c.SuperblockInvalidations = 0, 0
 	return c
 }
 
@@ -134,10 +147,43 @@ type CPU struct {
 	// uncached equivalence) and as a debugging escape hatch.
 	DisableCache bool
 
+	// DisableSuperblocks keeps the block cache but turns off trace
+	// formation and dispatch, so the three-way differential fuzz can
+	// hold blocks-only and superblock execution equivalent.
+	DisableSuperblocks bool
+
+	// DeferTraps makes environment interactions asynchronous: instead
+	// of calling Env from inside the instruction, the CPU records the
+	// interaction in Trap and stops. The owner delivers it later with
+	// ResolveTrap. This is the deterministic-SMP execution mode — a
+	// parallel quantum touches only CPU-private state, and every
+	// cross-vCPU effect (ABOM text patches, LibOS/kernel state, FS
+	// semantics) happens at the quantum barrier in canonical vCPU
+	// order.
+	DeferTraps bool
+
+	// Trap is the pending deferred environment interaction (TrapNone
+	// when execution may proceed). TrapEntry holds the vsyscall target
+	// for TrapVsyscall; trapRaw the faulting byte for TrapInvalid.
+	Trap      PendingTrap
+	TrapEntry uint64
+	trapRaw   byte
+
 	// cache is the lazily-built predecoded basic-block translation
 	// cache Run executes through (see blockcache.go).
 	cache *blockCache
 }
+
+// PendingTrap identifies a deferred environment interaction recorded
+// under DeferTraps.
+type PendingTrap uint8
+
+const (
+	TrapNone     PendingTrap = iota
+	TrapSyscall              // raw syscall instruction; RIP already advanced
+	TrapVsyscall             // callq into the vsyscall table; return address pushed
+	TrapInvalid              // invalid opcode at RIP
+)
 
 // ErrBudget is returned by Run when the instruction budget runs out
 // before the program halts, blocks, or faults. It is a sentinel rather
@@ -169,7 +215,38 @@ func (c *CPU) Reset() {
 	c.Halted = false
 	c.Blocked = false
 	c.Fault = nil
+	c.Trap = TrapNone
 	c.Stack.Reset()
+}
+
+// ResolveTrap delivers the pending deferred environment interaction.
+// Resolving immediately after the recording instruction reproduces the
+// inline (DeferTraps off) semantics exactly: the architectural effects
+// of the instruction itself — counters, RIP advance, return-address
+// push — were already applied when the trap was recorded.
+func (c *CPU) ResolveTrap() {
+	trap := c.Trap
+	c.Trap = TrapNone
+	switch trap {
+	case TrapSyscall:
+		switch c.Env.Syscall(c) {
+		case ActionBlock:
+			c.Blocked = true
+		case ActionExit:
+			c.Halted = true
+		}
+	case TrapVsyscall:
+		switch c.Env.VsyscallCall(c, c.TrapEntry) {
+		case ActionBlock:
+			c.Blocked = true
+		case ActionExit:
+			c.Halted = true
+		}
+	case TrapInvalid:
+		if c.Env == nil || !c.Env.InvalidOpcode(c) {
+			c.Fault = fmt.Errorf("cpu: invalid opcode %#02x at %#x", c.trapRaw, c.RIP)
+		}
+	}
 }
 
 // InGuestKernelMode applies the X-Kernel's mode test to the current RSP.
@@ -296,6 +373,10 @@ func (c *CPU) Step() bool {
 	case OpSyscall:
 		c.Counters.RawSyscalls++
 		c.RIP += uint64(ins.Len)
+		if c.DeferTraps {
+			c.Trap = TrapSyscall
+			return false
+		}
 		switch c.Env.Syscall(c) {
 		case ActionBlock:
 			c.Blocked = true
@@ -309,6 +390,11 @@ func (c *CPU) Step() bool {
 		c.Counters.VsyscallCalls++
 		c.Push8(c.RIP + uint64(ins.Len))
 		c.RIP = target
+		if c.DeferTraps {
+			c.Trap = TrapVsyscall
+			c.TrapEntry = target
+			return false
+		}
 		switch c.Env.VsyscallCall(c, target) {
 		case ActionBlock:
 			c.Blocked = true
@@ -349,6 +435,11 @@ func (c *CPU) Step() bool {
 		c.RIP += uint64(ins.Len)
 	case OpInvalid:
 		c.Counters.InvalidTraps++
+		if c.DeferTraps {
+			c.Trap = TrapInvalid
+			c.trapRaw = raw[0]
+			return false
+		}
 		if c.Env != nil && c.Env.InvalidOpcode(c) {
 			return true // RIP repaired by the trap handler
 		}
@@ -361,30 +452,50 @@ func (c *CPU) Step() bool {
 	return true
 }
 
+// NoDeadline disables RunUntil's virtual-time stop.
+const NoDeadline = cycles.Cycles(^uint64(0))
+
 // Run executes until halt, block, fault, or exactly maxInstr
 // instructions — the budget is exact: no instruction past it executes,
 // and exhaustion returns the typed ErrBudget. Execution goes through
 // the predecoded basic-block cache unless DisableCache is set.
 func (c *CPU) Run(maxInstr uint64) error {
+	return c.RunUntil(maxInstr, NoDeadline)
+}
+
+// RunUntil is Run with a virtual-time deadline — the lockstep-quantum
+// primitive deterministic SMP is built on. Execution additionally
+// stops, returning nil, as soon as the clock reaches deadline or (with
+// DeferTraps set) an environment interaction is recorded in Trap; the
+// caller resumes after advancing its schedule or resolving the trap.
+// The budget stays exact and budget exhaustion still returns
+// ErrBudget.
+func (c *CPU) RunUntil(maxInstr uint64, deadline cycles.Cycles) error {
 	if c.DisableCache {
-		return c.runUncached(maxInstr)
+		return c.runUncached(maxInstr, deadline)
 	}
 	if c.cache == nil || c.cache.text != c.Text {
 		c.cache = newBlockCache(c.Text, &c.Counters)
 	}
-	return c.runCached(maxInstr)
+	return c.runCached(maxInstr, deadline)
 }
 
 // runUncached is the reference execution loop: one Step per
 // instruction, no translation cache.
-func (c *CPU) runUncached(maxInstr uint64) error {
+func (c *CPU) runUncached(maxInstr uint64, deadline cycles.Cycles) error {
 	start := c.Counters.Instructions
 	for {
 		if c.Halted || c.Blocked || c.Fault != nil {
 			return c.Fault
 		}
+		if c.Trap != TrapNone {
+			return nil
+		}
 		if c.Counters.Instructions-start >= maxInstr {
 			return ErrBudget
+		}
+		if c.Clock.Now() >= deadline {
+			return nil
 		}
 		if !c.Step() {
 			return c.Fault

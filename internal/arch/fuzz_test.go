@@ -72,18 +72,26 @@ func TestInterpreterRandomValidProgramsTerminate(t *testing.T) {
 	}
 }
 
-// FuzzBlockCache is the differential oracle for the basic-block
-// translation cache: cached and uncached execution of the same random
-// program, interleaved with identical random cmpxchg patches (the
-// ABOM situation: the text mutates while the interpreter runs), must
-// produce identical registers, counters, clock, faults, and final
-// text. The budget slices are deliberately prime so block boundaries
-// and slice boundaries drift against each other.
+// FuzzBlockCache is the three-way differential oracle for the
+// translation tiers: the same random program runs on the uncached
+// reference interpreter, the basic-block cache with superblocks off,
+// and the full stack with superblock traces — interleaved with
+// identical random cmpxchg patches (the ABOM situation: the text
+// mutates while the interpreter runs). All three must produce
+// identical registers, counters, clock, faults, and final text. The
+// budget slices are deliberately prime so block, trace, and slice
+// boundaries drift against each other.
 func FuzzBlockCache(f *testing.F) {
 	a := NewAssembler(UserTextBase)
 	a.Loop(5, func(a *Assembler) { a.SyscallN(39).PushRax().PopRax() })
 	a.Hlt()
 	f.Add(a.MustAssemble().Bytes(), []byte{3, 0, 0x50, 9, 1, 0x58, 80, 2, 0x0f})
+	// A hot nop loop that crosses sbHeatThreshold and forms a trace,
+	// then takes a patch in the middle of the trace span.
+	hot := NewAssembler(UserTextBase)
+	hot.Loop(400, func(a *Assembler) { a.Nop().Nop() })
+	hot.Hlt()
+	f.Add(hot.MustAssemble().Bytes(), []byte{0, 0, 7, 0x50, 0, 0, 8, 0x58})
 	f.Add([]byte{0x90, 0x0f, 0x05, 0xf4}, []byte{1, 3, 0xeb, 0xfd})
 	f.Add([]byte{0xeb, 0x00, 0xf4}, []byte{})
 
@@ -91,38 +99,49 @@ func FuzzBlockCache(f *testing.F) {
 		if len(prog) == 0 || len(prog) > 2048 {
 			return
 		}
-		cached := NewCPU(NewText(UserTextBase, prog), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
-		uncached := NewCPU(NewText(UserTextBase, prog), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
-		uncached.DisableCache = true
+		names := [3]string{"uncached", "blocks", "superblocks"}
+		var cpus [3]*CPU
+		for i := range cpus {
+			cpus[i] = NewCPU(NewText(UserTextBase, prog), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+		}
+		cpus[0].DisableCache = true
+		cpus[1].DisableSuperblocks = true
 
+		ref := cpus[0]
 		compare := func(round int) {
 			t.Helper()
-			if cached.Regs != uncached.Regs || cached.RIP != uncached.RIP ||
-				cached.Halted != uncached.Halted || cached.Blocked != uncached.Blocked ||
-				cached.Counters.WithoutCacheStats() != uncached.Counters.WithoutCacheStats() ||
-				cached.Clock.Now() != uncached.Clock.Now() {
-				t.Fatalf("round %d: cached and uncached execution diverged:\ncached   rip=%#x regs=%v counters=%+v clock=%d halted=%v\nuncached rip=%#x regs=%v counters=%+v clock=%d halted=%v",
-					round,
-					cached.RIP, cached.Regs, cached.Counters, cached.Clock.Now(), cached.Halted,
-					uncached.RIP, uncached.Regs, uncached.Counters, uncached.Clock.Now(), uncached.Halted)
+			for i, cpu := range cpus[1:] {
+				if cpu.Regs != ref.Regs || cpu.RIP != ref.RIP ||
+					cpu.Halted != ref.Halted || cpu.Blocked != ref.Blocked ||
+					cpu.Counters.WithoutCacheStats() != ref.Counters.WithoutCacheStats() ||
+					cpu.Clock.Now() != ref.Clock.Now() {
+					t.Fatalf("round %d: %s diverged from the reference:\n%s rip=%#x regs=%v counters=%+v clock=%d halted=%v\nuncached rip=%#x regs=%v counters=%+v clock=%d halted=%v",
+						round, names[i+1],
+						names[i+1], cpu.RIP, cpu.Regs, cpu.Counters, cpu.Clock.Now(), cpu.Halted,
+						ref.RIP, ref.Regs, ref.Counters, ref.Clock.Now(), ref.Halted)
+				}
 			}
 		}
 
 		pi := 0
 		for round := 0; round < 40; round++ {
-			errC := cached.Run(97)
-			errU := uncached.Run(97)
-			if (errC == nil) != (errU == nil) || (errC != nil && errC.Error() != errU.Error()) {
-				t.Fatalf("round %d: errors diverged: cached %v, uncached %v", round, errC, errU)
+			var errs [3]error
+			for i, cpu := range cpus {
+				errs[i] = cpu.Run(97)
+			}
+			for i, err := range errs[1:] {
+				if (err == nil) != (errs[0] == nil) || (err != nil && err.Error() != errs[0].Error()) {
+					t.Fatalf("round %d: errors diverged: %s %v, uncached %v", round, names[i+1], err, errs[0])
+				}
 			}
 			compare(round)
-			if errC == nil || errC != ErrBudget {
-				break // halted, blocked, or faulted on both sides
+			if errs[0] == nil || errs[0] != ErrBudget {
+				break // halted, blocked, or faulted on all sides
 			}
-			// Derive one identical patch for both texts from the fuzz
+			// Derive one identical patch for all texts from the fuzz
 			// input: offset, length 1..8, replacement bytes. The "old"
 			// bytes are whatever is currently there, so the cmpxchg
-			// always takes on both.
+			// always takes everywhere.
 			if pi+2 >= len(patches) {
 				continue
 			}
@@ -139,15 +158,19 @@ func FuzzBlockCache(f *testing.F) {
 					pi++
 				}
 			}
-			old := cached.Text.Fetch(UserTextBase+uint64(off), n)
-			okC, errPC := cached.Text.ForceWrite8(UserTextBase+uint64(off), old, repl)
-			okU, errPU := uncached.Text.ForceWrite8(UserTextBase+uint64(off), old, repl)
-			if okC != okU || (errPC == nil) != (errPU == nil) {
-				t.Fatalf("round %d: patch application diverged", round)
+			old := ref.Text.Fetch(UserTextBase+uint64(off), n)
+			ok0, errP0 := ref.Text.ForceWrite8(UserTextBase+uint64(off), old, repl)
+			for i, cpu := range cpus[1:] {
+				ok, errP := cpu.Text.ForceWrite8(UserTextBase+uint64(off), old, repl)
+				if ok != ok0 || (errP == nil) != (errP0 == nil) {
+					t.Fatalf("round %d: patch application diverged on %s", round, names[i+1])
+				}
 			}
 		}
-		if !bytes.Equal(cached.Text.Bytes(), uncached.Text.Bytes()) {
-			t.Fatal("final text diverged")
+		for i, cpu := range cpus[1:] {
+			if !bytes.Equal(cpu.Text.Bytes(), ref.Text.Bytes()) {
+				t.Fatalf("final text diverged on %s", names[i+1])
+			}
 		}
 	})
 }

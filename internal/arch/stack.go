@@ -17,6 +17,14 @@ type StackMem struct {
 	lastPage uint64
 	lastData *[stackPageWords]uint64
 
+	// home is the first page ever touched, stored inline so the common
+	// single-page stack (a user program that never switches stacks)
+	// costs no heap page and no map — it rides along in the CPU's own
+	// allocation. Further pages fall back to the heap map.
+	homePage uint64
+	homeSet  bool
+	home     [stackPageWords]uint64
+
 	pages      map[uint64]*[stackPageWords]uint64
 	misaligned map[uint64]uint64
 }
@@ -25,6 +33,11 @@ type StackMem struct {
 const stackPageWords = PageSize / 8
 
 func (s *StackMem) page(pg uint64) *[stackPageWords]uint64 {
+	if !s.homeSet || pg == s.homePage {
+		s.homePage, s.homeSet = pg, true
+		s.lastPage, s.lastData = pg, &s.home
+		return &s.home
+	}
 	d := s.pages[pg]
 	if d == nil {
 		if s.pages == nil {
@@ -35,6 +48,16 @@ func (s *StackMem) page(pg uint64) *[stackPageWords]uint64 {
 	}
 	s.lastPage, s.lastData = pg, d
 	return d
+}
+
+// lookup returns the page's words if the page exists, else nil. Unlike
+// page it never claims the home slot, so loads of untouched pages stay
+// allocation- and state-free.
+func (s *StackMem) lookup(pg uint64) *[stackPageWords]uint64 {
+	if s.homeSet && pg == s.homePage {
+		return &s.home
+	}
+	return s.pages[pg]
 }
 
 // Store writes the word at addr.
@@ -60,7 +83,7 @@ func (s *StackMem) Load(addr uint64) uint64 {
 	}
 	d := s.lastData
 	if pg := addr / PageSize; pg != s.lastPage || d == nil {
-		if d = s.pages[pg]; d == nil {
+		if d = s.lookup(pg); d == nil {
 			return 0
 		}
 		s.lastPage, s.lastData = pg, d
@@ -79,7 +102,7 @@ func (s *StackMem) LoadDelete(addr uint64) uint64 {
 	}
 	d := s.lastData
 	if pg := addr / PageSize; pg != s.lastPage || d == nil {
-		if d = s.pages[pg]; d == nil {
+		if d = s.lookup(pg); d == nil {
 			return 0
 		}
 		s.lastPage, s.lastData = pg, d
@@ -94,6 +117,9 @@ func (s *StackMem) LoadDelete(addr uint64) uint64 {
 // allocated so a reset-and-rerun loop (benchmark repetitions, warm-up
 // passes) allocates nothing in steady state.
 func (s *StackMem) Reset() {
+	if s.homeSet {
+		s.home = [stackPageWords]uint64{}
+	}
 	for _, d := range s.pages {
 		*d = [stackPageWords]uint64{}
 	}
@@ -109,6 +135,13 @@ func (s *StackMem) Reset() {
 // representations: they load as zero either way).
 func (s *StackMem) Snapshot() map[uint64]uint64 {
 	out := make(map[uint64]uint64)
+	if s.homeSet {
+		for i, v := range s.home {
+			if v != 0 {
+				out[s.homePage*PageSize+uint64(i)*8] = v
+			}
+		}
+	}
 	for pg, d := range s.pages {
 		for i, v := range d {
 			if v != 0 {

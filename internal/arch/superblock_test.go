@@ -1,0 +1,177 @@
+package arch
+
+// Tests for superblock trace formation on top of the basic-block
+// cache: hot successor chains compile into flat traces, loop-closed
+// traces wrap in place, SMC patches invalidate by span overlap, and —
+// the regression the successor chains' "may be stale" comment warns
+// about — a chain slot naming an invalidated block must miss to the
+// indexed lookup, never dispatch the dead block.
+
+import (
+	"testing"
+
+	"xcontainers/internal/cycles"
+)
+
+// TestSuperblockFormsAndWraps pins the formation life cycle on the
+// simplest hot loop: one self-chaining block crosses sbHeatThreshold,
+// compiles into a loop-closed trace, executes every remaining
+// iteration inside it, and side-exits exactly once when the loop falls
+// through.
+func TestSuperblockFormsAndWraps(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(200, func(a *Assembler) { a.Nop(); a.Nop() })
+	a.Hlt()
+	cpu := NewCPU(a.MustAssemble(), chaosEnv{}, &cycles.Clock{}, &cycles.Default)
+	if err := cpu.Run(1 << 20); err != nil || !cpu.Halted {
+		t.Fatalf("run: err=%v halted=%v", err, cpu.Halted)
+	}
+	cnt := cpu.Counters
+	if cnt.SuperblockForms != 1 {
+		t.Errorf("SuperblockForms = %d, want 1", cnt.SuperblockForms)
+	}
+	if cnt.SuperblockHits != 1 {
+		t.Errorf("SuperblockHits = %d, want 1 (the loop enters the trace once and wraps inside it)", cnt.SuperblockHits)
+	}
+	if cnt.SuperblockSideExits != 1 {
+		t.Errorf("SuperblockSideExits = %d, want 1 (the final fall-through)", cnt.SuperblockSideExits)
+	}
+	if cnt.SuperblockInvalidations != 0 {
+		t.Errorf("SuperblockInvalidations = %d, want 0", cnt.SuperblockInvalidations)
+	}
+	bc := cpu.cache
+	if len(bc.sbs) != 1 {
+		t.Fatalf("traces formed = %d, want 1", len(bc.sbs))
+	}
+	sb := bc.sbs[0]
+	if !sb.loops || !sb.live {
+		t.Errorf("trace loops=%v live=%v, want true/true", sb.loops, sb.live)
+	}
+	// The trace's dependency span covers its one constituent block.
+	bi := bc.byOff[sb.entry]
+	if bi < 0 {
+		t.Fatal("trace head block not indexed")
+	}
+	if b := bc.blocks[bi]; sb.lo > b.start || sb.hi < b.end {
+		t.Errorf("trace span [%d,%d) does not cover block [%d,%d)", sb.lo, sb.hi, b.start, b.end)
+	}
+}
+
+// TestSuperblockInvalidationOnPatch patches a byte inside a formed
+// trace's span between run slices: the trace must be invalidated (and
+// the loop, still hot, re-formed over the patched text), with the
+// cached CPU tracking the uncached reference exactly throughout.
+func TestSuperblockInvalidationOnPatch(t *testing.T) {
+	a := NewAssembler(UserTextBase)
+	a.Loop(300, func(a *Assembler) { a.Nop(); a.Nop() })
+	a.Hlt()
+	w := newTwin(t, a.MustAssemble().Bytes())
+
+	// Deep into the loop: the trace has formed and owns execution.
+	if !w.run(150) {
+		t.Fatal("program finished before the patch")
+	}
+	if w.cached.Counters.SuperblockForms != 1 || w.cached.Counters.SuperblockHits == 0 {
+		t.Fatalf("trace not formed/entered before patch: %+v", w.cached.Counters)
+	}
+
+	// nop -> push %rax inside the loop body (and the trace span).
+	bodyOff := uint64(7) // after the 7-byte mov $300,%rcx
+	w.patch(UserTextBase+bodyOff, []byte{0x90}, []byte{0x50})
+	for w.run(997) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("program did not halt")
+	}
+	cnt := w.cached.Counters
+	if cnt.SuperblockInvalidations == 0 {
+		t.Error("patch inside the trace span did not invalidate the trace")
+	}
+	if cnt.SuperblockForms < 2 {
+		t.Errorf("SuperblockForms = %d, want >= 2 (still-hot loop re-forms after the patch)", cnt.SuperblockForms)
+	}
+}
+
+// TestStaleSuccessorChainMissesToLookup is the regression test for the
+// successor chains' staleness hazard: block A's chain slot keeps
+// naming block B's index after a patch invalidates B. The dispatch
+// loop must reject the stale edge (B is dead), miss to the indexed
+// lookup, re-decode B from the patched text, and re-point A's chain —
+// the dead block can never be dispatched through the stale edge.
+func TestStaleSuccessorChainMissesToLookup(t *testing.T) {
+	// Two-block loop so the predecessor survives the patch: A ends in
+	// an unconditional jmp to B; B decrements and loops back to A.
+	a := NewAssembler(UserTextBase)
+	a.MovR64(RCX, 60)
+	aOff := uint32(a.PC() - UserTextBase)
+	a.Label("a")
+	a.Nop()
+	a.Jmp("b")
+	bOff := uint32(a.PC() - UserTextBase)
+	a.Label("b")
+	a.Nop() // patched below: the only byte of B the patch touches
+	a.DecRcx()
+	a.Jnz("a")
+	a.Hlt()
+	w := newTwin(t, a.MustAssemble().Bytes())
+	w.cached.DisableSuperblocks = true // isolate the chain path
+	w.uncached.DisableSuperblocks = true
+
+	// Warm up until both blocks are decoded and chained to each other.
+	if !w.run(40) {
+		t.Fatal("program finished during warm-up")
+	}
+	bc := w.cached.cache
+	biA := bc.byOff[aOff]
+	biB := bc.byOff[bOff]
+	if biA < 0 || biB < 0 {
+		t.Fatalf("loop blocks not decoded: A=%d B=%d", biA, biB)
+	}
+	staleSlot := -1
+	for s := 0; s < 2; s++ {
+		if bc.blocks[biA].succBi[s] == biB && bc.blocks[biA].succOff[s] == bOff {
+			staleSlot = s
+		}
+	}
+	if staleSlot < 0 {
+		t.Fatalf("A does not chain to B after warm-up: %+v", bc.blocks[biA])
+	}
+
+	missesBefore := w.cached.Counters.BlockMisses
+	invBefore := w.cached.Counters.BlockInvalidations
+
+	// Patch B's nop to push %rax: B is invalidated, A is untouched —
+	// A's chain slot now names a dead block index.
+	w.patch(UserTextBase+uint64(bOff), []byte{0x90}, []byte{0x50})
+	if !w.run(30) {
+		t.Fatal("program finished right after the patch")
+	}
+
+	if got := w.cached.Counters.BlockInvalidations; got == invBefore {
+		t.Error("patch did not invalidate any block")
+	}
+	if bc.blocks[biB].live {
+		t.Error("patched block B still live")
+	}
+	if bc.blocks[biA].heat != 0 && !bc.blocks[biA].live {
+		t.Error("predecessor A should have survived the patch")
+	}
+	if got := w.cached.Counters.BlockMisses; got == missesBefore {
+		t.Error("stale chain was dispatched without an indexed re-lookup")
+	}
+	// The indexed lookup re-decoded B at the same entry offset...
+	nbiB := bc.byOff[bOff]
+	if nbiB < 0 || nbiB == biB || !bc.blocks[nbiB].live {
+		t.Errorf("B not re-decoded: byOff=%d old=%d", nbiB, biB)
+	}
+	// ...and A's chain slot was re-pointed at the live replacement.
+	if got := bc.blocks[biA].succBi[staleSlot]; got != nbiB {
+		t.Errorf("A's chain slot %d = block %d, want re-pointed to %d", staleSlot, got, nbiB)
+	}
+
+	for w.run(200) {
+	}
+	if !w.cached.Halted {
+		t.Fatal("program did not halt")
+	}
+}

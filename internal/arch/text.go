@@ -55,6 +55,15 @@ type Text struct {
 	// by mu. Readers that are ≤ dirtyRingCap generations behind can
 	// invalidate precisely; older readers must flush everything.
 	dirty [dirtyRingCap]textSpan
+
+	// seq is the seqlock word guarding lock-free byte reads: odd while a
+	// store is rewriting bytes, bumped again when the store completes. A
+	// reader snapshots seq, copies, and accepts the copy only if seq is
+	// unchanged and even. Stores are rare (ABOM patches each site at
+	// most twice), so the hot fetch path is two uncontended atomic loads
+	// around a copy — no reader-side RMW, which is what made the RWMutex
+	// reader count the top line of the patched-loop profile.
+	seq atomic.Uint64
 }
 
 // NewText maps code at the given base address, write-protected.
@@ -101,20 +110,49 @@ func (t *Text) Fetch(addr uint64, n int) []byte {
 // returns how many were copied (0 if addr is outside the segment). It
 // is the zero-copy variant of Fetch: the caller owns the buffer, so
 // probing text — ABOM pattern checks, return-address peeks — allocates
-// nothing.
+// nothing. The read is lock-free through the seqlock: the bytes slice
+// never resizes after NewText, so an unstable snapshot is detected by
+// the seq recheck and retried; a persistent writer degrades to the
+// read lock.
 func (t *Text) FetchInto(addr uint64, dst []byte) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	// len(t.bytes) is immutable after construction, so the bounds check
+	// needs no synchronization.
 	if addr < t.Base || addr >= t.Base+uint64(len(t.bytes)) {
 		return 0
 	}
-	return copy(dst, t.bytes[addr-t.Base:])
+	off := addr - t.Base
+	for try := 0; try < 4; try++ {
+		s := t.seq.Load()
+		if s&1 != 0 {
+			continue // store in progress
+		}
+		n := copy(dst, t.bytes[off:])
+		if t.seq.Load() == s {
+			return n
+		}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return copy(dst, t.bytes[off:])
 }
 
 // Peek8 returns up to eight bytes starting at addr by value — the
 // allocation-free instruction-fetch window (no instruction of the
-// subset is longer than seven bytes).
+// subset is longer than seven bytes). The interior case — eight whole
+// bytes available, no store racing — is specialized to a fixed-size
+// copy between two seqlock reads; everything else delegates to
+// FetchInto.
 func (t *Text) Peek8(addr uint64) (b [8]byte, n int) {
+	off := addr - t.Base
+	if addr >= t.Base && off+8 <= uint64(len(t.bytes)) {
+		s := t.seq.Load()
+		if s&1 == 0 {
+			b = [8]byte(t.bytes[off : off+8])
+			if t.seq.Load() == s {
+				return b, 8
+			}
+		}
+	}
 	n = t.FetchInto(addr, b[:])
 	return b, n
 }
@@ -190,7 +228,9 @@ func (t *Text) storeLocked(addr uint64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	t.seq.Add(1) // odd: lock-free readers retry until the store lands
 	copy(t.bytes[addr-t.Base:], p)
+	t.seq.Add(1)
 	off := uint32(addr - t.Base)
 	g := t.gen.Add(1)
 	t.dirty[(g-1)%dirtyRingCap] = textSpan{Lo: off, Hi: off + uint32(len(p))}

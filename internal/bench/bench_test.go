@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"breakdown", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "spawn", "surface", "table1"}
+	want := []string{"breakdown", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "smp", "spawn", "surface", "table1"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

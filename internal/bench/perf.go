@@ -134,6 +134,8 @@ func KernelPerf(budget time.Duration) []PerfResult {
 		measure("trace-overhead", budget, clusterFleet(1000, 4, true)),
 		measure("tier1-syscall-loop", budget, tier1SyscallLoop()),
 		measure("tier1-abom-warmup", budget, tier1ABOMWarmup),
+		measure("tier1-superblock-loop", budget, tier1SuperblockLoop()),
+		measure("tier1-smp-scaling", budget, tier1SMPScaling()),
 	}
 }
 
@@ -228,6 +230,77 @@ func tier1SyscallLoop() func(uint64) uint64 {
 			return 0
 		}
 		return cpu.Counters.Instructions - before
+	}
+}
+
+// tier1SuperblockLoop probes the trace tier's steady state: a hot
+// compute loop whose successor chain crossed the heat threshold during
+// warm-up, so every measured run dispatches once into the formed
+// superblock and executes straight-line records until the loop falls
+// through. Contrast with tier1-syscall-loop (block-chain dispatch with
+// env calls) to see what trace formation buys.
+func tier1SuperblockLoop() func(uint64) uint64 {
+	a := arch.NewAssembler(arch.UserTextBase)
+	a.Loop(1000, func(a *arch.Assembler) { a.Nop().Work(10).PushRax().PopRax() })
+	a.Hlt()
+	clk := &cycles.Clock{}
+	cpu := arch.NewCPU(a.MustAssemble(), perfEnv{}, clk, &cycles.Default)
+	return func(uint64) uint64 {
+		before := cpu.Counters.Instructions
+		cpu.Reset()
+		clk.Reset()
+		if err := cpu.Run(1 << 30); err != nil {
+			return 0
+		}
+		return cpu.Counters.Instructions - before
+	}
+}
+
+// tier1SMPScaling probes the deterministic SMP scheduler end to end:
+// four vCPUs of one container in lockstep quanta on up to GOMAXPROCS
+// host workers. Events are instructions summed across lanes, so
+// NsPerEvent falls with host core count while results stay
+// byte-identical — the tentpole scaling claim as a trend line.
+func tier1SMPScaling() func(uint64) uint64 {
+	rt, err := runtimes.New(runtimes.Config{
+		Kind: runtimes.XContainer, Patched: true, Cloud: runtimes.LocalCluster,
+	})
+	if err != nil {
+		return func(uint64) uint64 { return 0 }
+	}
+	c, err := rt.NewContainer("perf-smp", 4, false)
+	if err != nil {
+		return func(uint64) uint64 { return 0 }
+	}
+	clk := &cycles.Clock{}
+	var procs []*runtimes.Proc
+	for i := 0; i < 4; i++ {
+		a := arch.NewAssembler(arch.UserTextBase)
+		a.Loop(500, func(a *arch.Assembler) {
+			a.Work(500)
+			a.SyscallN(39)
+		})
+		a.Hlt()
+		p, err := rt.StartProcess(c, a.MustAssemble(), clk)
+		if err != nil {
+			return func(uint64) uint64 { return 0 }
+		}
+		procs = append(procs, p)
+	}
+	return func(uint64) uint64 {
+		var before uint64
+		for _, p := range procs {
+			before += p.CPU.Counters.Instructions
+			p.CPU.Reset()
+		}
+		if _, err := rt.RunSMP(procs, 0, 1<<40, 0); err != nil {
+			return 0
+		}
+		var after uint64
+		for _, p := range procs {
+			after += p.CPU.Counters.Instructions
+		}
+		return after - before
 	}
 }
 

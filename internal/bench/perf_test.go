@@ -20,6 +20,8 @@ func TestKernelPerfProbes(t *testing.T) {
 		"trace-overhead":        false,
 		"tier1-syscall-loop":    false,
 		"tier1-abom-warmup":     false,
+		"tier1-superblock-loop": false,
+		"tier1-smp-scaling":     false,
 	}
 	for _, r := range results {
 		if _, ok := want[r.Name]; !ok {

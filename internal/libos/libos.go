@@ -67,7 +67,16 @@ type LibOS struct {
 	mu      sync.Mutex
 	modules map[string]bool
 	Stats   Stats
+
+	// retSkip memoizes the per-vsyscall return-address probe. Accessed
+	// only from HandleVsyscall, which is serialized per container the
+	// same way the CPU itself is.
+	retSkip abom.ReturnSkipCache
 }
+
+// InlineDispatchStats reports the return-skip memo's inline-dispatch
+// counters.
+func (l *LibOS) InlineDispatchStats() abom.ReturnSkipStats { return l.retSkip.Stats }
 
 // New boots an X-LibOS with the given configuration.
 func New(costs *cycles.CostTable, cfg Config) *LibOS {
@@ -162,10 +171,11 @@ func (l *LibOS) HandleVsyscall(cpu *arch.CPU, entry uint64, proc *linuxsim.Proce
 	act := l.doSemantics(cpu, n, proc)
 	cpu.SwitchToUserStack()
 
-	// Return-address check for the 9-byte two-phase patch. Peek8 keeps
-	// this per-call probe allocation-free.
+	// Return-address check for the 9-byte two-phase patch, memoized per
+	// call site and validated by the text generation so steady-state
+	// patched loops dispatch inline without re-probing the text.
 	ret := cpu.ReadStack(0)
-	if b, n := cpu.Text.Peek8(ret); abom.IsReturnSkip(b, n) {
+	if l.retSkip.ReturnSkip(cpu.Text, ret) {
 		cpu.PokeStack(0, ret+2)
 		l.mu.Lock()
 		l.Stats.ReturnSkips++

@@ -2,25 +2,97 @@ package runtimes
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"xcontainers/internal/arch"
 	"xcontainers/internal/cycles"
 )
 
-// RunConcurrent executes several tier-1 processes of one container by
-// interleaving them on the container's vCPUs with the guest
-// scheduler's quantum, charging intra-container context switches
-// (§4.3: same-container switches keep global X-LibOS TLB entries but
-// still pay the address-space change).
+// This file implements deterministic SMP for tier-1 processes: several
+// vCPUs of one container execute genuinely in parallel on host cores,
+// while instruction counts, ABOM statistics, and virtual-time results
+// stay byte-identical for any host parallelism (GOMAXPROCS, worker
+// count). The schedule is lockstep quanta:
 //
-// This is the paper's "multicore processing" claim at instruction
-// granularity: the processes genuinely make interleaved progress, they
-// share text pages — so an ABOM patch made while one process runs
-// benefits every other process of the container — and each keeps its
-// own address space and kernel stack.
+//   - Each process is a vCPU lane with a private virtual clock, seeded
+//     from the shared clock. During a quantum, lanes run concurrently
+//     up to the quantum deadline with trap deferral on: syscalls,
+//     vsyscall calls, and invalid-opcode traps record a pending trap
+//     and pause the lane instead of calling the environment, so the
+//     parallel phase touches only lane-private state (CPU registers,
+//     stack, block cache, TLB) plus lock-free text reads.
+//   - At the barrier, pending traps are resolved in canonical vCPU
+//     order on the caller's goroutine. Only here do cross-vCPU effects
+//     happen — ABOM text patches, LibOS/linuxsim state, spawn/exit —
+//     so their order is a pure function of the virtual schedule, not
+//     of host thread timing.
+//   - Sub-phases repeat until no lane can run before the deadline,
+//     then the deadline advances by one quantum. Wall-clock virtual
+//     time is the maximum over lanes: vCPUs genuinely overlap.
 //
-// Returns the total virtual time consumed on the (single) timeline and
-// an error if any process faults.
+// A consequence of the promotion from the old serialized round-robin:
+// processes on distinct vCPUs no longer pay intra-container context
+// switches (there is nothing to switch), and elapsed virtual time is
+// the slowest lane rather than the sum of all lanes.
+
+// DefaultQuantum is the guest scheduler quantum used when the caller
+// passes zero: the CFS minimum granularity.
+func DefaultQuantum() cycles.Cycles { return cycles.FromMicros(750) }
+
+// smpLane is one vCPU of a deterministic SMP run.
+type smpLane struct {
+	p    *Proc
+	clk  cycles.Clock // private timeline, seeded from the shared clock
+	prev uint64       // Counters.Instructions at the last barrier
+
+	// Slice parameters, written by the coordinator before dispatch and
+	// read by the executing worker (the channel send/receive orders the
+	// accesses).
+	budget   uint64
+	deadline cycles.Cycles
+}
+
+// runnable reports whether the lane can execute before deadline: not
+// terminal, no pending trap (the barrier clears those), clock short of
+// the deadline.
+func (ln *smpLane) runnable(deadline cycles.Cycles) bool {
+	cpu := ln.p.CPU
+	return !cpu.Halted && !cpu.Blocked && cpu.Fault == nil &&
+		cpu.Trap == arch.TrapNone && ln.clk.Now() < deadline
+}
+
+// runSlice executes the lane up to its slice budget and deadline. It
+// touches only lane-private state. The return value is dropped: faults
+// surface through CPU.Fault for the barrier to report in vCPU order,
+// and ErrBudget is not an error here — the barrier's step accounting
+// turns global exhaustion into one.
+func (ln *smpLane) runSlice() {
+	_ = ln.p.CPU.RunUntil(ln.budget, ln.deadline)
+}
+
+// live reports whether the lane still wants CPU time eventually.
+func (ln *smpLane) live() bool {
+	cpu := ln.p.CPU
+	return !cpu.Halted && !cpu.Blocked && cpu.Fault == nil
+}
+
+// RunConcurrent executes several tier-1 processes of one container in
+// lockstep quanta (see the file comment), using up to GOMAXPROCS host
+// workers. Results are byte-identical for any GOMAXPROCS.
+//
+// Returns the elapsed virtual wall-clock time — the slowest vCPU's
+// timeline — and an error if any process faults or the combined step
+// budget is exhausted.
 func (r *Runtime) RunConcurrent(procs []*Proc, quantum cycles.Cycles, maxSteps uint64) (cycles.Cycles, error) {
+	return r.RunSMP(procs, quantum, maxSteps, 0)
+}
+
+// RunSMP is RunConcurrent with an explicit host worker count: the
+// number of OS-scheduled goroutines executing lane slices in parallel.
+// workers <= 0 means GOMAXPROCS. The worker count changes wall-clock
+// speed only, never results.
+func (r *Runtime) RunSMP(procs []*Proc, quantum cycles.Cycles, maxSteps uint64, workers int) (cycles.Cycles, error) {
 	if len(procs) == 0 {
 		return 0, nil
 	}
@@ -34,47 +106,136 @@ func (r *Runtime) RunConcurrent(procs []*Proc, quantum cycles.Cycles, maxSteps u
 		}
 	}
 	if quantum == 0 {
-		quantum = cycles.FromMicros(750) // CFS minimum granularity
+		quantum = DefaultQuantum()
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(procs) {
+		workers = len(procs)
+	}
+
 	start := clk.Now()
-	var steps uint64
-	live := len(procs)
-	idx := -1
-	for live > 0 {
-		// Pick the next runnable process round-robin.
-		next := -1
-		for off := 1; off <= len(procs); off++ {
-			cand := (idx + off) % len(procs)
-			cpu := procs[cand].CPU
-			if !cpu.Halted && !cpu.Blocked && cpu.Fault == nil {
-				next = cand
-				break
+	lanes := make([]smpLane, len(procs))
+	for i, p := range procs {
+		ln := &lanes[i]
+		ln.p = p
+		ln.clk.AdvanceTo(start)
+		ln.prev = p.CPU.Counters.Instructions
+		p.CPU.Clock = &ln.clk
+		p.CPU.DeferTraps = true
+	}
+	// Whatever happens, hand the CPUs back on the shared clock with
+	// trap deferral off and the shared timeline caught up to the
+	// slowest lane.
+	defer func() {
+		for i := range lanes {
+			cpu := lanes[i].p.CPU
+			cpu.Clock = clk
+			cpu.DeferTraps = false
+			clk.AdvanceTo(lanes[i].clk.Now())
+		}
+	}()
+	elapsed := func() cycles.Cycles {
+		max := start
+		for i := range lanes {
+			if t := lanes[i].clk.Now(); t > max {
+				max = t
 			}
 		}
-		if next < 0 {
-			break
-		}
-		if idx >= 0 && next != idx {
-			clk.Advance(r.CtxSwitch(true))
-		}
-		idx = next
-		cpu := procs[idx].CPU
-		deadline := clk.Now() + quantum
-		for clk.Now() < deadline {
-			if !cpu.Step() {
-				break
-			}
-			steps++
-			if steps >= maxSteps {
-				return clk.Now() - start, fmt.Errorf("runtimes: RunConcurrent step budget %d exhausted", maxSteps)
-			}
-		}
-		if cpu.Fault != nil {
-			return clk.Now() - start, cpu.Fault
-		}
-		if cpu.Halted || cpu.Blocked {
-			live--
+		return max - start
+	}
+
+	// Host worker pool. With one worker the coordinator runs slices
+	// inline — same lane order, same results, no channel traffic.
+	var (
+		work chan *smpLane
+		wg   sync.WaitGroup
+	)
+	if workers > 1 {
+		work = make(chan *smpLane, len(procs))
+		defer close(work)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for ln := range work {
+					ln.runSlice()
+					wg.Done()
+				}
+			}()
 		}
 	}
-	return clk.Now() - start, nil
+
+	var total uint64 // instructions across all lanes, exact at barriers
+	deadline := start
+	for {
+		nLive := 0
+		for i := range lanes {
+			if lanes[i].live() {
+				nLive++
+			}
+		}
+		if nLive == 0 {
+			return elapsed(), nil
+		}
+		deadline += quantum
+
+		// Drain the quantum: parallel sub-phases, each followed by a
+		// barrier, until no lane can run before the deadline. A lane
+		// that traps mid-quantum resumes within the same quantum after
+		// its trap resolves.
+		for {
+			n := 0
+			for i := range lanes {
+				ln := &lanes[i]
+				if !ln.runnable(deadline) {
+					continue
+				}
+				// Each lane may run up to the globally remaining step
+				// budget; the barrier detects overshoot. With several
+				// lanes in flight the total can exceed maxSteps by up
+				// to (lanes-1) slices — exhaustion is still always
+				// detected at the very next barrier.
+				ln.budget = maxSteps - total
+				ln.deadline = deadline
+				n++
+				if work != nil {
+					wg.Add(1)
+					work <- ln
+				} else {
+					ln.runSlice()
+				}
+			}
+			if n == 0 {
+				break // quantum drained
+			}
+			if work != nil {
+				wg.Wait()
+			}
+
+			// Barrier. Step accounting first, then cross-vCPU effects
+			// (faults, trap resolution — text patches, LibOS state,
+			// spawn/exit) in canonical vCPU order.
+			for i := range lanes {
+				ln := &lanes[i]
+				c := ln.p.CPU.Counters.Instructions
+				total += c - ln.prev
+				ln.prev = c
+			}
+			if total >= maxSteps {
+				return elapsed(), fmt.Errorf("runtimes: RunConcurrent step budget %d exhausted", maxSteps)
+			}
+			for i := range lanes {
+				cpu := lanes[i].p.CPU
+				if cpu.Fault != nil {
+					return elapsed(), cpu.Fault
+				}
+				if cpu.Trap != arch.TrapNone {
+					cpu.ResolveTrap()
+					if cpu.Fault != nil {
+						return elapsed(), cpu.Fault
+					}
+				}
+			}
+		}
+	}
 }

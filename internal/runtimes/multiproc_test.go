@@ -1,6 +1,8 @@
 package runtimes
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
 	"xcontainers/internal/arch"
@@ -52,10 +54,134 @@ func TestRunConcurrentInterleaves(t *testing.T) {
 	if elapsed == 0 {
 		t.Error("no time consumed")
 	}
-	// Interleaving happened: the guest scheduler charged context
-	// switches between quanta.
-	if rt.Costs.ContextSwitchKernel == 0 {
-		t.Skip("no switch cost to observe")
+	// Parallel wall-clock semantics: three identical processes on
+	// three vCPUs take about one process's time, not three — elapsed
+	// is the slowest lane. Each lane needs at least its own work
+	// cycles; well under twice that proves the lanes overlapped
+	// instead of serializing onto one timeline.
+	laneFloor := cycles.Cycles(200 * 5000)
+	if elapsed < laneFloor {
+		t.Errorf("elapsed %v below one lane's work floor %v", elapsed, laneFloor)
+	}
+	if elapsed > 2*laneFloor {
+		t.Errorf("elapsed %v looks serialized (one lane's work is %v)", elapsed, laneFloor)
+	}
+}
+
+// smpSnapshot captures everything a deterministic SMP run must
+// reproduce exactly: per-lane architectural state and counters, the
+// elapsed wall-clock, and the runtime-global ABOM statistics.
+type smpSnapshot struct {
+	elapsed cycles.Cycles
+	now     cycles.Cycles
+	regs    [][arch.NumRegs]uint64
+	counts  []arch.Counters
+	abom    uint64
+}
+
+func runSMPOnce(t *testing.T, workers int) smpSnapshot {
+	t.Helper()
+	rt := MustNew(Config{Kind: XContainer, Patched: true, Cloud: LocalCluster})
+	c, err := rt.NewContainer("smp", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &cycles.Clock{}
+	var procs []*Proc
+	for i := 0; i < 4; i++ {
+		text := arch.NewAssembler(arch.UserTextBase).
+			Loop(100, func(a *arch.Assembler) {
+				a.Work(2000)
+				a.SyscallN(uint32(syscalls.Getpid))
+				a.SyscallN64(uint32(syscalls.Write))
+			}).Hlt().MustAssemble()
+		p, err := rt.StartProcess(c, text, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	elapsed, err := rt.RunSMP(procs, cycles.FromMicros(100), 100_000_000, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smpSnapshot{elapsed: elapsed, now: clk.Now()}
+	for _, p := range procs {
+		s.regs = append(s.regs, p.CPU.Regs)
+		s.counts = append(s.counts, p.CPU.Counters)
+	}
+	ab := rt.Hyper.ABOM.Stats
+	s.abom = ab.Patched7Case1 + ab.Patched7Case2 + ab.Patched9Phase1 + ab.Patched9Phase2 +
+		ab.RacesLost<<16 + ab.Unrecognized<<24
+	return s
+}
+
+// TestRunSMPDeterministic pins the tentpole determinism claim: the
+// worker count (and GOMAXPROCS) changes wall-clock speed only — every
+// lane's registers, counters, virtual clocks, and the runtime's ABOM
+// stats are byte-identical.
+func TestRunSMPDeterministic(t *testing.T) {
+	base := runSMPOnce(t, 1)
+	if base.elapsed == 0 {
+		t.Fatal("no time consumed")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got := runSMPOnce(t, workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d diverged from workers=1:\n got %+v\nwant %+v", workers, got, base)
+		}
+	}
+	// And under a different host parallelism altogether.
+	prev := runtime.GOMAXPROCS(1)
+	got := runSMPOnce(t, 0)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("GOMAXPROCS=1 diverged:\n got %+v\nwant %+v", got, base)
+	}
+}
+
+// TestRunSMPSharedTextWarmup pins the cross-vCPU patch story under
+// deferred traps: four vCPUs executing one shared text image warm it
+// up together — every patch lands at a barrier in vCPU order, later
+// lanes run the patched sites as function calls, and the combined
+// trap counts stay far below four independent warm-ups.
+func TestRunSMPSharedTextWarmup(t *testing.T) {
+	rt := MustNew(Config{Kind: XContainer, Patched: true, Cloud: LocalCluster})
+	c, err := rt.NewContainer("shared", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := arch.NewAssembler(arch.UserTextBase).
+		Loop(50, func(a *arch.Assembler) { a.SyscallN(uint32(syscalls.Getpid)) }).
+		Hlt().MustAssemble()
+	clk := &cycles.Clock{}
+	var procs []*Proc
+	for i := 0; i < 4; i++ {
+		p, err := rt.StartProcess(c, text, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	if _, err := rt.RunConcurrent(procs, 0, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var calls uint64
+	for i, p := range procs {
+		if !p.CPU.Halted {
+			t.Fatalf("proc %d did not halt", i)
+		}
+		calls += p.CPU.Counters.VsyscallCalls
+	}
+	forwarded := rt.Hyper.Stats.SyscallsForwarded
+	if forwarded+calls != 4*50 {
+		t.Errorf("forwarded %d + function calls %d != 200 site executions", forwarded, calls)
+	}
+	// All four lanes hit the unpatched site in their first slice, so
+	// each may trap once before the first barrier patches it — but
+	// never more.
+	if forwarded == 0 || forwarded > 4 {
+		t.Errorf("forwarded = %d, want 1..4 (shared text must warm up once)", forwarded)
 	}
 }
 

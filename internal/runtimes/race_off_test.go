@@ -1,0 +1,5 @@
+//go:build !race
+
+package runtimes
+
+const raceEnabled = false

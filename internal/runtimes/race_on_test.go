@@ -1,0 +1,7 @@
+//go:build race
+
+package runtimes
+
+// raceEnabled reports whether the race detector instruments this
+// build; its allocations would fail the zero-alloc regression tests.
+const raceEnabled = true
