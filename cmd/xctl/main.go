@@ -18,11 +18,22 @@
 // migrations, scale events, fleet percentiles) prints human-readably or
 // as one JSON document with -json. Runs are deterministic per -seed.
 //
+// -chaos-plan generalizes -fail-node to a declarative fault timeline —
+// crashes, gray (slow-not-dead) windows, network partitions, and
+// crash-restarts, plus an optional health-probe sweep that ejects and
+// readmits replicas — and -deploy runs an SLO-guarded rollout (rolling,
+// canary, or blue-green) that rolls back automatically when the guard's
+// p99 or error-rate ceiling is breached:
+//
+//	xctl -cluster -replicas 500 -deploy "canary@0.1,frac=0.05,err=0.02" \
+//	    -chaos-plan "gray@0.05+10,version=2,err=0.5" -rate 300000 -json
+//
 // -ingress-policy fronts the fleet with the L7 ingress tier instead of
 // the built-in JSQ front door: requests pay the proxy hop and reach
 // replicas under the chosen load balancer (rr|weighted|jsq|p2c) with
-// -keepalive connection amortization and an optional robustness ladder
-// (-timeout-us, -retries, -hedge-p). The report grows per-route and
+// -keepalive connection amortization, an optional robustness ladder
+// (-timeout-us, -retries, -hedge-p), and overload protection
+// (-breaker-rate, -shed-depth). The report grows per-route and
 // per-service sections.
 //
 // -shards runs the fleet on the epoch-sharded engine — the path to
@@ -80,10 +91,14 @@ func run(args []string, stdout io.Writer) error {
 	slo := fs.Float64("slo", 0, "cluster: p99 latency SLO in milliseconds (0 = no latency signal)")
 	autoscale := fs.Bool("autoscale", true, "cluster: enable the autoscaler")
 	failNode := fs.Float64("fail-node", 0, "cluster: kill one seeded-random node at this virtual second")
+	chaosPlan := fs.String("chaos-plan", "", "cluster: declarative fault plan, e.g. \"crash@0.2;gray@0.3+0.1,count=2,err=0.3;probes,interval=0.005\" (kinds: crash|gray|partition|restart, plus probes)")
+	deploySpec := fs.String("deploy", "", "cluster: SLO-guarded rollout, e.g. \"canary@0.1,frac=0.1,err=0.02\" (strategies: rolling|canary|bluegreen)")
 	shards := fs.Int("shards", 0, "cluster: run on the epoch-sharded engine with this many shards (0 = single engine; reports are identical for any value >= 1)")
 	epochUS := fs.Float64("epoch-us", 0, "cluster sharded engine: barrier period in virtual microseconds (0 = twice the per-request cost, capped at 500)")
 	shardWorkers := fs.Int("shard-workers", 0, "cluster sharded engine: goroutines driving shards (0 = min(shards, cores); wall-clock only)")
 	ingressPolicy := fs.String("ingress-policy", "", "cluster: front the fleet with the L7 ingress tier using this load balancer ("+xc.LBUsage()+"; empty = built-in JSQ front door)")
+	breakerRate := fs.Float64("breaker-rate", 0, "cluster ingress: circuit-breaker failure-rate trip threshold in (0,1] (0 = off)")
+	shedDepth := fs.Int("shed-depth", 0, "cluster ingress: shed calls when mean backlog per replica exceeds this depth (0 = off)")
 	keepAlive := fs.Int("keepalive", 100, "cluster ingress: requests amortized per connection (0 = a fresh connection per request)")
 	retries := fs.Int("retries", 0, "cluster ingress: retry attempts after a timeout (needs -timeout-us)")
 	timeoutUS := fs.Float64("timeout-us", 0, "cluster ingress: per-attempt timeout in virtual microseconds (0 = none)")
@@ -117,9 +132,11 @@ func run(args []string, stdout io.Writer) error {
 				runtime: *rtName, app: *appName,
 				nodes: *nodes, maxNodes: *maxNodes, nodeCores: *nodeCores, replicas: *replicas,
 				policy: *policy, sloMillis: *slo, autoscale: *autoscale, failNode: *failNode,
+				chaosPlan: *chaosPlan, deploySpec: *deploySpec,
 				shards: *shards, epochUS: *epochUS, shardWorkers: *shardWorkers,
 				ingressPolicy: *ingressPolicy, keepAlive: *keepAlive, retries: *retries,
 				timeoutUS: *timeoutUS, hedgeP: *hedgeP,
+				breakerRate: *breakerRate, shedDepth: *shedDepth,
 				rate: *rate, duration: *duration, seed: *seed, jsonOut: *jsonOut,
 				sweepRates: *sweepRates, sweepSeeds: *sweepSeeds, parallel: *parallel,
 				traceOut: *traceOut, metricsOut: *metricsOut,
@@ -189,12 +206,15 @@ type clusterOptions struct {
 	nodes, maxNodes, nodeCores, replicas int
 	policy                               string
 	sloMillis, failNode                  float64
+	chaosPlan, deploySpec                string
 	autoscale                            bool
 	shards, shardWorkers                 int
 	epochUS                              float64
 	ingressPolicy                        string
 	keepAlive, retries                   int
 	timeoutUS, hedgeP                    float64
+	breakerRate                          float64
+	shedDepth                            int
 	rate, duration                       float64
 	seed                                 uint64
 	jsonOut                              bool
@@ -230,6 +250,8 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 		SLOMillis: o.sloMillis,
 		Autoscale: o.autoscale,
 		FailNode:  o.failNode,
+		Chaos:     o.chaosPlan,
+		Deploy:    o.deploySpec,
 
 		Shards:       o.shards,
 		EpochMicros:  o.epochUS,
@@ -241,7 +263,8 @@ func runCluster(stdout io.Writer, o clusterOptions) error {
 			return err
 		}
 		in := xc.Ingress().Policy(lb).
-			TimeoutMicros(o.timeoutUS).Retries(o.retries).Hedge(o.hedgeP)
+			TimeoutMicros(o.timeoutUS).Retries(o.retries).Hedge(o.hedgeP).
+			Breaker(o.breakerRate).Shed(o.shedDepth)
 		if o.keepAlive > 0 {
 			in.KeepAlive(o.keepAlive)
 		} else {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xcontainers/xc"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the rollout summary golden")
+
+// armSummary is the golden-pinned digest of one experiment arm: the
+// deploy verdict, any injected chaos, and the fleet-level damage. The
+// full 125-node report is deliberately not pinned here — byte-level
+// report determinism is the xc package's golden suite; this one pins
+// the headline story.
+type armSummary struct {
+	Deploy    *xc.DeployReport `json:"deploy"`
+	Chaos     *xc.ChaosReport  `json:"chaos,omitempty"`
+	Erred     uint64           `json:"erred,omitempty"`
+	Completed uint64           `json:"completed"`
+	Dropped   uint64           `json:"dropped,omitempty"`
+}
+
+func digest(rep *xc.ClusterReport) armSummary {
+	return armSummary{
+		Deploy:    rep.Deploy,
+		Chaos:     rep.Chaos,
+		Erred:     rep.Erred,
+		Completed: rep.Completed,
+		Dropped:   rep.Dropped,
+	}
+}
+
+// TestRolloutBothWays executes the documented entry path end to end and
+// pins the headline pair: the healthy canary promotes all 500 replicas,
+// the poisoned one is caught by the guard and rolled back.
+func TestRolloutBothWays(t *testing.T) {
+	var out bytes.Buffer
+	healthy, poisoned, err := experiment(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := out.String()
+	for _, want := range []string{"promoted", "rolled-back", "healthy", "poisoned-v2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("experiment output missing %q:\n%s", want, s)
+		}
+	}
+
+	if d := healthy.Deploy; d == nil || d.Outcome != "promoted" || d.Upgraded != fleet {
+		t.Fatalf("healthy arm: want all %d replicas promoted, got %+v", fleet, healthy.Deploy)
+	}
+	if healthy.Erred != 0 {
+		t.Fatalf("healthy arm erred %d requests", healthy.Erred)
+	}
+	d := poisoned.Deploy
+	if d == nil || d.Outcome != "rolled-back" || d.RolledBack == 0 || d.Upgraded >= fleet/2 {
+		t.Fatalf("poisoned arm: want an early rollback, got %+v", d)
+	}
+	if poisoned.Erred == 0 {
+		t.Fatal("poisoned arm produced no errors — the gray fault never latched")
+	}
+
+	blob, err := json.MarshalIndent(map[string]armSummary{
+		"healthy":  digest(healthy),
+		"poisoned": digest(poisoned),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	golden := filepath.Join("testdata", "rollout_summary.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", golden, err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Errorf("rollout summary drifted from golden.\ngot:\n%s\nwant:\n%s", blob, want)
+	}
+}
+
+// TestRolloutShardInvariance: the 500-replica poisoned rollout is
+// byte-identical whether the fleet simulates on 2 shards or 8.
+func TestRolloutShardInvariance(t *testing.T) {
+	a, err := rollout(true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rollout(true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("poisoned rollout diverged between Shards=2 and Shards=8")
+	}
+}

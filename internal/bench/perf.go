@@ -7,6 +7,7 @@ import (
 	"xcontainers/internal/abom"
 	"xcontainers/internal/apps"
 	"xcontainers/internal/arch"
+	"xcontainers/internal/chaos"
 	"xcontainers/internal/cluster"
 	"xcontainers/internal/core"
 	"xcontainers/internal/cycles"
@@ -132,6 +133,7 @@ func KernelPerf(budget time.Duration) []PerfResult {
 		measure("cluster-fleet-small", budget, clusterFleet(50, 0, false)),
 		measure("cluster-fleet-sharded", budget, clusterFleet(1000, 4, false)),
 		measure("trace-overhead", budget, clusterFleet(1000, 4, true)),
+		measure("chaos-probe-overhead", budget, chaosProbedFleet(1000, 4)),
 		measure("tier1-syscall-loop", budget, tier1SyscallLoop()),
 		measure("tier1-abom-warmup", budget, tier1ABOMWarmup),
 		measure("tier1-superblock-loop", budget, tier1SuperblockLoop()),
@@ -166,6 +168,44 @@ func clusterFleet(nodes, shards int, observed bool) func(uint64) uint64 {
 	}
 	if observed {
 		cfg.Observe = &cluster.ObserveConfig{WindowUS: 1000}
+	}
+	return func(seed uint64) uint64 {
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return 0
+		}
+		if _, err := c.Run(cluster.Traffic{
+			Concurrency: 10 * nodes, DurationSec: 0.005, Seed: seed,
+		}); err != nil {
+			return 0
+		}
+		return c.EventsFired()
+	}
+}
+
+// chaosProbedFleet is the trace-overhead pattern for the self-healing
+// tier: the 1000-node sharded fleet with a fault-free chaos plan whose
+// health-probe sweep fires every 0.5 ms — ten fleet-wide sweeps per
+// run. Compared against cluster-fleet-sharded, the delta is the cost
+// of probing per event; the sweep itself is allocation-free.
+func chaosProbedFleet(nodes, shards int) func(uint64) uint64 {
+	app, err := apps.ByName("memcached")
+	if err != nil {
+		return func(uint64) uint64 { return 0 }
+	}
+	cfg := cluster.Config{
+		Platform: core.PlatformConfig{
+			Kind: runtimes.XContainer, MeltdownPatched: true,
+			Cloud: runtimes.LocalCluster, FastToolstack: true,
+		},
+		App:       app,
+		Nodes:     nodes,
+		MaxNodes:  nodes,
+		NodeCores: 4,
+		Replicas:  nodes,
+		Policy:    cluster.Spread,
+		Shards:    shards,
+		Chaos:     &chaos.Plan{Probes: &chaos.Probes{IntervalSec: 0.0005}},
 	}
 	return func(seed uint64) uint64 {
 		c, err := cluster.New(cfg)

@@ -18,6 +18,7 @@ func TestKernelPerfProbes(t *testing.T) {
 		"cluster-fleet-small":   false,
 		"cluster-fleet-sharded": false,
 		"trace-overhead":        false,
+		"chaos-probe-overhead":  false,
 		"tier1-syscall-loop":    false,
 		"tier1-abom-warmup":     false,
 		"tier1-superblock-loop": false,
@@ -38,7 +39,8 @@ func TestKernelPerfProbes(t *testing.T) {
 		// serve path itself is pinned alloc-free by the cluster package's
 		// own guard; every other probe is a steady-state hot path.
 		exempt := r.Name == "tier1-abom-warmup" || r.Name == "cluster-fleet-small" ||
-			r.Name == "cluster-fleet-sharded" || r.Name == "trace-overhead"
+			r.Name == "cluster-fleet-sharded" || r.Name == "trace-overhead" ||
+			r.Name == "chaos-probe-overhead"
 		if !raceEnabled && !exempt && r.AllocsPerEvent > 0.01 {
 			t.Errorf("probe %s allocates %.4f/event — hot path regressed", r.Name, r.AllocsPerEvent)
 		}

@@ -1,0 +1,95 @@
+package chaos
+
+// Detector is the per-replica failure detector behind the health
+// sweep: consecutive-outcome hysteresis. A replica is ejected from the
+// routing table after UnhealthyAfter consecutive probe failures and
+// readmitted after HealthyAfter consecutive successes. State lives in
+// flat arrays indexed by replica id, so the steady-state sweep is
+// allocation-free; Grow is the only allocating call.
+type Detector struct {
+	unhealthyAfter int8
+	healthyAfter   int8
+	streak         []int8 // consecutive same-outcome probes
+	out            []bool // currently ejected
+}
+
+// Transition is what one observation did to the replica's membership.
+type Transition int8
+
+const (
+	None    Transition = iota // membership unchanged
+	Eject                     // crossed the unhealthy threshold
+	Readmit                   // crossed the healthy threshold
+)
+
+// NewDetector builds a detector with the probe thresholds. Values < 1
+// fall back to the Probes defaults (3 to eject, 2 to readmit).
+func NewDetector(unhealthyAfter, healthyAfter int) *Detector {
+	if unhealthyAfter < 1 {
+		unhealthyAfter = 3
+	}
+	if healthyAfter < 1 {
+		healthyAfter = 2
+	}
+	return &Detector{
+		unhealthyAfter: int8(min8(unhealthyAfter)),
+		healthyAfter:   int8(min8(healthyAfter)),
+	}
+}
+
+func min8(n int) int {
+	if n > 127 {
+		return 127
+	}
+	return n
+}
+
+// Grow extends the tracked replica set to n entries (new replicas
+// start healthy with a clean streak).
+func (d *Detector) Grow(n int) {
+	for len(d.streak) < n {
+		d.streak = append(d.streak, 0)
+		d.out = append(d.out, false)
+	}
+}
+
+// Observe feeds one probe outcome for replica i and reports the
+// membership transition it caused, if any.
+func (d *Detector) Observe(i int, ok bool) Transition {
+	if ok {
+		if d.streak[i] < 0 {
+			d.streak[i] = 0
+		}
+		if d.streak[i] < 127 {
+			d.streak[i]++
+		}
+		if d.out[i] && d.streak[i] >= d.healthyAfter {
+			d.out[i] = false
+			return Readmit
+		}
+		return None
+	}
+	if d.streak[i] > 0 {
+		d.streak[i] = 0
+	}
+	if d.streak[i] > -127 {
+		d.streak[i]--
+	}
+	if !d.out[i] && -d.streak[i] >= d.unhealthyAfter {
+		d.out[i] = true
+		return Eject
+	}
+	return None
+}
+
+// Ejected reports whether replica i is currently out of the table.
+func (d *Detector) Ejected(i int) bool { return d.out[i] }
+
+// Forget clears replica i's state (e.g. the replica was retired); a
+// reused id starts healthy.
+func (d *Detector) Forget(i int) {
+	if i < len(d.streak) {
+		d.streak[i] = 0
+		d.out[i] = false
+	}
+}

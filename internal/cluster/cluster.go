@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"xcontainers/internal/apps"
+	"xcontainers/internal/chaos"
 	"xcontainers/internal/core"
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/ingress"
@@ -139,8 +140,23 @@ type Config struct {
 
 	// FailNodeAtSec, when > 0, kills one seeded-randomly chosen node at
 	// that virtual time; its containers are rescheduled (cold restart on
-	// surviving nodes, charged as migration downtime).
+	// surviving nodes, charged as migration downtime). Internally this
+	// is lowered to a one-event chaos plan on the legacy failure
+	// stream; it is exclusive with Chaos.
 	FailNodeAtSec float64
+
+	// Chaos, when non-nil, arms the declarative fault plan
+	// (internal/chaos): typed fault events plus an optional health
+	// sweep whose failure detector ejects and readmits replicas. All
+	// randomness comes from dedicated seed-derived streams, so a plan
+	// perturbs nothing but the faults it injects and results stay
+	// byte-identical for any Shards × ShardWorkers.
+	Chaos *chaos.Plan
+
+	// Deploy, when non-nil, runs an SLO-guarded rollout (rolling,
+	// canary, or blue-green) over the fleet at control-window
+	// granularity, with automatic rollback (see DeployConfig).
+	Deploy *DeployConfig
 
 	// IntervalSec is the control-loop period (default 0.05 s).
 	IntervalSec float64
@@ -247,6 +263,21 @@ type container struct {
 	// own replicas, and barriers fold the sums into node accounting in
 	// replica-id order.
 	epochBusy cycles.Cycles
+
+	// Chaos and rollout state. version is the deploy version the
+	// replica runs (1 until a rollout moves it). gray is the active
+	// gray-fault index + 1 (0 = healthy); costScale and errRate are
+	// that window's degradation, with errRng the replica's private
+	// coin stream. partitioned replicas are unreachable from the
+	// routing tier; ejected replicas were removed by the health
+	// detector.
+	version     int
+	gray        int
+	costScale   float64
+	errRate     float64
+	errRng      *sim.Rand
+	partitioned bool
+	ejected     bool
 }
 
 // Cluster is one running fleet. Build with New, execute with Run.
@@ -292,6 +323,12 @@ type Cluster struct {
 	dispatched uint64
 	completed  uint64
 	dropped    uint64
+	erred      uint64 // gray-failure errors on the plain front door
+
+	// chaos executes the fault plan (nil = no plan and no legacy
+	// FailNodeAtSec); dep drives the guarded rollout (nil = none).
+	chaos *chaosExec
+	dep   *deployExec
 
 	// ob is the observability layer (nil = off; see observe.go). Every
 	// emission site guards on the nil, so the disabled run pays one
@@ -458,6 +495,7 @@ func (c *Cluster) addContainer(n *node) *container {
 		cores:   c.cfg.ReplicaCores,
 		memMB:   c.memPer,
 		backend: -1,
+		version: 1,
 	}
 	if c.sh != nil {
 		c.sh.placeReplica(ct)
@@ -576,11 +614,23 @@ func (c *Cluster) better(a, b *node) bool {
 	return a.id < b.id
 }
 
+// routableCt reports whether ct accepts new fleet traffic. Detector
+// ejections take a replica out everywhere; a partition takes it out of
+// the plain front door only — an ingress tier keeps routing to it
+// blindly (that is what a partition means) until timeouts and the
+// health detector steer around it.
+func (c *Cluster) routableCt(ct *container) bool {
+	if ct.gone || ct.draining || ct.node.failed || ct.ejected {
+		return false
+	}
+	return !ct.partitioned || c.cfg.Ingress != nil
+}
+
 // routable lists containers accepting new requests, in id order.
 func (c *Cluster) routable() []*container {
 	out := c.containers[:0:0]
 	for _, ct := range c.containers {
-		if !ct.gone && !ct.draining && !ct.node.failed {
+		if c.routableCt(ct) {
 			out = append(out, ct)
 		}
 	}
@@ -592,7 +642,7 @@ func (c *Cluster) routable() []*container {
 func (c *Cluster) routableCount() int {
 	n := 0
 	for _, ct := range c.containers {
-		if !ct.gone && !ct.draining && !ct.node.failed {
+		if c.routableCt(ct) {
 			n++
 		}
 	}
@@ -626,7 +676,7 @@ func (c *Cluster) dispatch(id uint64) {
 	for i := 0; i < n; i++ {
 		idx := (c.rr + i) % n
 		ct := c.containers[idx]
-		if ct.gone || ct.draining || ct.node.failed {
+		if !c.routableCt(ct) {
 			continue
 		}
 		if best < 0 || ct.q.Depth() < c.containers[best].q.Depth() {
@@ -645,7 +695,8 @@ func (c *Cluster) dispatch(id uint64) {
 	if c.ob != nil {
 		c.ob.smp.Feed(c.eng.Now(), c.ob.kArrive, id, 0)
 	}
-	c.containers[best].q.Arrive(sim.Job{ID: id, Cost: c.per, Born: c.eng.Now()})
+	bct := c.containers[best]
+	bct.q.Arrive(sim.Job{ID: id, Cost: c.costOf(bct), Born: c.eng.Now()})
 }
 
 // onStart attributes a job's busy cycles at the instant service begins,
@@ -658,9 +709,24 @@ func (c *Cluster) onStart(ct *container, j sim.Job) {
 }
 
 // onDone observes one completion: fleet and window statistics,
-// closed-loop re-issue, and drain completion.
+// closed-loop re-issue, and drain completion. A gray replica's
+// completion can come back as an error: the request is Erred rather
+// than served (closed-loop clients still re-issue).
 func (c *Cluster) onDone(ct *container, j sim.Job) {
 	lat := c.eng.Now() - j.Born
+	if ct.errRate > 0 && ct.errRng.Float64() < ct.errRate {
+		c.erred++
+		if c.ob != nil {
+			c.ob.stream.Emit(c.eng.Now(), c.ob.kErred, uint64(lat), 0)
+		}
+		if c.closedLoop && c.eng.Now() < c.horizon {
+			c.dispatch(j.ID)
+		}
+		if ct.draining && ct.q.Depth() == 0 {
+			c.retire(ct)
+		}
+		return
+	}
 	c.fleet.Observe(lat)
 	c.win.Observe(lat)
 	c.completed++

@@ -5,6 +5,7 @@ import (
 
 	"xcontainers/internal/cycles"
 	"xcontainers/internal/runtimes"
+	"xcontainers/internal/sim"
 )
 
 // tick is the single-engine control loop: one virtual-time heartbeat
@@ -43,6 +44,9 @@ func (c *Cluster) controlStep(now cycles.Cycles) {
 			}
 		}
 		c.rebalance(now, window)
+		if c.dep != nil {
+			c.deployStep(now, p99)
+		}
 	}
 	c.notePeaks()
 
@@ -72,7 +76,7 @@ func (c *Cluster) windowUtil(window cycles.Cycles) float64 {
 func (c *Cluster) backlogged() bool {
 	depth, servers := 0, 0
 	for _, ct := range c.containers {
-		if ct.gone || ct.draining || ct.node.failed {
+		if !c.routableCt(ct) {
 			continue
 		}
 		depth += ct.q.Depth()
@@ -108,7 +112,7 @@ func (c *Cluster) scaleDown(now cycles.Cycles) {
 	}
 	var victim *container
 	for _, ct := range c.containers {
-		if ct.gone || ct.draining || ct.node.failed || ct.q.Suspended() {
+		if !c.routableCt(ct) || ct.q.Suspended() {
 			continue
 		}
 		if victim == nil || ct.q.Depth() < victim.q.Depth() ||
@@ -191,10 +195,15 @@ func (c *Cluster) movable(n *node) *container {
 	return ct
 }
 
-// failNode kills one seeded-randomly chosen live node and reschedules
-// its containers onto survivors (cold restarts — the dead node's state
-// is gone, so the checkpoint path is unavailable).
-func (c *Cluster) failNode() {
+// failNode kills one node drawn from the legacy failure stream — the
+// FailNodeAtSec path, byte-compatible with pre-chaos reports.
+func (c *Cluster) failNode() { c.failOneNode(c.rng) }
+
+// failOneNode kills one live node chosen from rng and reschedules its
+// containers onto survivors (cold restarts — the dead node's state is
+// gone, so the checkpoint path is unavailable). Chaos crash faults
+// pass the dedicated chaos stream; correlated failures draw repeatedly.
+func (c *Cluster) failOneNode(rng *sim.Rand) bool {
 	now := c.timeNow()
 	var alive []*node
 	for _, n := range c.nodes {
@@ -203,9 +212,9 @@ func (c *Cluster) failNode() {
 		}
 	}
 	if len(alive) == 0 {
-		return
+		return false
 	}
-	victim := alive[int(c.rng.Uint64()%uint64(len(alive)))]
+	victim := alive[int(rng.Uint64()%uint64(len(alive)))]
 	victim.failed = true
 	victim.removedAt = now
 	c.event(now, "node-failure", fmt.Sprintf("node %d down, %d containers to reschedule", victim.id, victim.live))
@@ -233,6 +242,7 @@ func (c *Cluster) failNode() {
 		}
 		c.migrate(ct, dst, "failover")
 	}
+	return true
 }
 
 // migrate moves a container to dst, charging the blackout window: the

@@ -16,10 +16,11 @@ type Migration struct {
 	Reason     string  // "rebalance" or "failover"
 }
 
-// ScaleEvent records one control-loop action.
+// ScaleEvent records one control-loop action — scaling, failure,
+// chaos injection, or rollout step.
 type ScaleEvent struct {
 	AtSec  float64
-	Action string // add-node, add-replica, remove-replica, remove-node, node-failure, stranded, at-capacity, error
+	Action string // add-node, add-replica, remove-replica, remove-node, node-failure, stranded, at-capacity, error, chaos-*, deploy-*
 	Detail string
 }
 
@@ -54,6 +55,10 @@ type Result struct {
 	// plus waiting backlogs that died with a failed node (failover and
 	// stranded containers alike; in-service requests drain).
 	Dropped uint64
+	// Erred counts plain-front-door requests a gray replica answered
+	// with an error (behind ingress, route errors feed the retry
+	// ladder and terminal failures land in Dropped).
+	Erred uint64
 
 	Throughput float64 // completed requests per virtual second
 	LatencyUS  float64 // mean sojourn across the fleet, µs
@@ -82,6 +87,13 @@ type Result struct {
 	// front door.
 	Routes          []ingress.RouteStats
 	IngressServices []ingress.ServiceStats
+
+	// Chaos and Deploy are the fault-injection and guarded-rollout
+	// report sections — nil unless Config armed them (the legacy
+	// FailNodeAtSec knob reports through ScaleEvents only, keeping
+	// pre-chaos reports byte-identical).
+	Chaos  *ChaosResult
+	Deploy *DeployResult
 
 	// TimeSeries and Trace are the observability layer's outputs — nil
 	// unless Config.Observe armed it. Both are deterministic under the

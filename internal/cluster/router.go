@@ -70,7 +70,7 @@ func (t *fleetTable) rebuild() {
 	}
 	for i, ct := range t.c.containers {
 		t.depth[i] = int32(ct.q.Depth())
-		if ct.gone || ct.draining || ct.node.failed {
+		if !t.c.routableCt(ct) {
 			continue
 		}
 		t.ups = append(t.ups, int32(i))
@@ -147,7 +147,7 @@ func (t *fleetTable) pickRR() int {
 	for i := 0; i < n; i++ {
 		idx := (t.rr + i) % n
 		ct := t.c.containers[idx]
-		if ct.gone || ct.draining || ct.node.failed {
+		if !t.c.routableCt(ct) {
 			continue
 		}
 		t.rr = idx + 1

@@ -33,6 +33,12 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 		// seed-derived stream, distinct from arrivals and failures.
 		c.graph.Reseed(t.Seed ^ 0x16c4e5500)
 	}
+	if err := c.armChaos(t.Seed); err != nil {
+		return nil, err
+	}
+	if err := c.armDeploy(); err != nil {
+		return nil, err
+	}
 	c.notePeaks()
 	if c.ob != nil {
 		c.ob.arm(c.horizon, c.sh)
@@ -48,8 +54,8 @@ func (c *Cluster) Run(t Traffic) (*Result, error) {
 	// The first tick fires at the interval, or at the horizon when the
 	// run is shorter — every run gets at least one control evaluation.
 	c.eng.At(min(c.interval, c.horizon), c.tick)
-	if at := cycles.FromSeconds(c.cfg.FailNodeAtSec); c.cfg.FailNodeAtSec > 0 && at <= c.horizon {
-		c.eng.At(at, c.failNode)
+	if c.chaos != nil {
+		c.chaos.armSingle()
 	}
 
 	conc := 0
@@ -146,6 +152,13 @@ func (c *Cluster) assemble(t Traffic, dur float64, open bool, conc int) *Result 
 	res.Arrived = c.dispatched
 	res.Completed = c.completed
 	res.Dropped = c.dropped
+	res.Erred = c.erred
+	if x := c.chaos; x != nil && !x.legacy {
+		res.Chaos = &x.res
+	}
+	if d := c.dep; d != nil {
+		res.Deploy = &d.res
+	}
 	res.Throughput = float64(c.completed) / dur
 	res.LatencyUS = c.fleet.MeanMicros()
 	res.P50US = c.fleet.Quantile(0.50).Micros()

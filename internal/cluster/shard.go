@@ -58,6 +58,7 @@ type shardState struct {
 	latSum    uint64 // exact integer latency total — the fleet mean's numerator
 	latN      uint64
 	completed uint64
+	erred     uint64 // gray-failure errors since the last barrier
 
 	fleetCompleted uint64 // ingress: attempts completed at this shard's replicas
 
@@ -103,8 +104,6 @@ type shardRun struct {
 	epoch cycles.Cycles
 
 	controlDue cycles.Cycles // 0 = no further control evaluations
-	failAt     cycles.Cycles
-	failDone   bool
 
 	arr     sim.Arrivals
 	arrRng  *sim.Rand
@@ -168,6 +167,20 @@ func (s *shardRun) replicaDone(ct *container, j sim.Job) {
 	ss := &s.shards[ct.shard]
 	now := ss.eng.Now()
 	lat := now - j.Born
+	if ct.errRate > 0 && ct.errRng.Float64() < ct.errRate {
+		// Gray completion: the replica answered with an error. The coin
+		// comes from the replica's private stream and its completions
+		// are engine-local, so the draw sequence is shard-layout
+		// invariant. Closed-loop clients still re-issue.
+		ss.erred++
+		if o := s.c.ob; o != nil {
+			ss.ob.Emit(now, o.kErred, uint64(lat), 0)
+		}
+		if s.collectDone {
+			ss.done = append(ss.done, doneRec{at: now, rep: int32(ct.id - 1), id: j.ID})
+		}
+		return
+	}
 	ss.fleet.Observe(lat)
 	ss.win.Observe(lat)
 	ss.latSum += uint64(lat)
@@ -205,7 +218,12 @@ func (s *shardRun) accScan(i int) {
 func (s *shardRun) attemptDone(ct *container, j sim.Job) {
 	ss := &s.shards[ct.shard]
 	ss.fleetCompleted++
-	ss.fdone = append(ss.fdone, fdoneRec{at: ss.eng.Now(), born: j.Born, id: j.ID, cost: j.Cost})
+	// The gray-failure coin is drawn at completion time from the
+	// replica's private stream: its completions are engine-local, so
+	// the draw sequence is shard-layout invariant. The barrier decides
+	// whether anyone was still waiting for the answer.
+	erred := ct.errRate > 0 && ct.errRng.Float64() < ct.errRate
+	ss.fdone = append(ss.fdone, fdoneRec{at: ss.eng.Now(), born: j.Born, id: j.ID, cost: j.Cost, erred: erred})
 }
 
 // admitNow routes one request at the current barrier instant — the
@@ -233,7 +251,8 @@ func (s *shardRun) admitNow(id uint64) {
 	if c.ob != nil {
 		c.ob.countArrive(s.now)
 	}
-	c.containers[rep].q.Arrive(sim.Job{ID: id, Cost: c.per, Born: s.now, Stage: rep})
+	ct := c.containers[rep]
+	ct.q.Arrive(sim.Job{ID: id, Cost: c.costOf(ct), Born: s.now, Stage: rep})
 }
 
 // start arms the run: barrier schedule, arrival stream or population,
@@ -252,13 +271,6 @@ func (s *shardRun) start(t Traffic, open bool, conc int) {
 		s.epoch = 1
 	}
 	s.controlDue = min(c.interval, c.horizon)
-	s.failDone = true
-	if c.cfg.FailNodeAtSec > 0 {
-		if at := cycles.FromSeconds(c.cfg.FailNodeAtSec); at <= c.horizon {
-			s.failAt = at
-			s.failDone = false
-		}
-	}
 	s.collectDone = !open && s.fi == nil
 	s.table.rng = sim.NewRand(t.Seed ^ 0x16c4e5500) // routing stream, as on the single engine
 	s.table.rebuild()
@@ -316,8 +328,13 @@ func (s *shardRun) step() bool {
 	if s.controlDue > s.now && s.controlDue < next {
 		next = s.controlDue
 	}
-	if !s.failDone && s.failAt > s.now && s.failAt < next {
-		next = s.failAt
+	if x := s.c.chaos; x != nil {
+		// Fault events and probe sweeps land on their exact instants:
+		// the barrier schedule caps the epoch at the next chaos due
+		// time, exactly as it does for the control loop.
+		if d := x.nextDue(); d > s.now && d < next {
+			next = d
+		}
 	}
 	if next > s.c.horizon {
 		next = s.c.horizon
@@ -365,6 +382,10 @@ func (s *shardRun) barrier() {
 		ss := &s.shards[i]
 		c.win.Merge(&ss.win)
 		ss.win.Reset()
+		// Fold the epoch's gray errors centrally: the deploy guard
+		// reads c.erred per control window.
+		c.erred += ss.erred
+		ss.erred = 0
 	}
 	s.table.rebuild()
 	if s.fi != nil {
@@ -373,9 +394,7 @@ func (s *shardRun) barrier() {
 		s.processDone()
 	}
 	mutated := false
-	if !s.failDone && s.now >= s.failAt {
-		s.failDone = true
-		c.failNode()
+	if c.chaos != nil && c.chaos.atBarrier(s.now) {
 		mutated = true
 	}
 	if s.controlDue != 0 && s.now >= s.controlDue {
@@ -462,8 +481,8 @@ func (s *shardRun) genArrivals(next cycles.Cycles) {
 			if c.ob != nil {
 				c.ob.countArrive(t)
 			}
-			sh := c.containers[rep].shard
-			s.engines[sh].ScheduleAt(t, s.shards[sh].sink, sim.Job{ID: s.nextID, Cost: c.per, Born: t, Stage: rep})
+			ct := c.containers[rep]
+			s.engines[ct.shard].ScheduleAt(t, s.shards[ct.shard].sink, sim.Job{ID: s.nextID, Cost: c.costOf(ct), Born: t, Stage: rep})
 		}
 		s.nextArr = t + s.arr.Next(s.arrRng)
 	}

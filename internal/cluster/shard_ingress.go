@@ -53,10 +53,11 @@ func fiDecode(id uint64) (slot int32, gen uint32, k uint8) {
 // fdoneRec is one fleet-replica attempt completion, buffered by the
 // owning shard until the barrier.
 type fdoneRec struct {
-	at   cycles.Cycles
-	born cycles.Cycles
-	id   uint64
-	cost cycles.Cycles
+	at    cycles.Cycles
+	born  cycles.Cycles
+	id    uint64
+	cost  cycles.Cycles
+	erred bool // gray completion: cycles burned, answer was an error
 }
 
 // pdoneRec is one proxy completion (shard 0 only).
@@ -78,6 +79,7 @@ type fcall struct {
 	hedgeIdx  uint8
 	liveMask  uint16
 	pendRetry bool
+	brSkip    bool // fast-failed before issue; not a breaker outcome
 	lastBE    int32
 }
 
@@ -106,14 +108,15 @@ type fiTimer struct {
 
 // fiEvent is one entry of a barrier's canonical batch.
 type fiEvent struct {
-	at   cycles.Cycles
-	kind uint8
-	k    uint8
-	slot int32
-	gen  uint32
-	cost cycles.Cycles
-	born cycles.Cycles
-	id   uint64 // proxyDone: the client request id
+	at    cycles.Cycles
+	kind  uint8
+	k     uint8
+	erred bool // fleetDone: the replica answered with an error
+	slot  int32
+	gen   uint32
+	cost  cycles.Cycles
+	born  cycles.Cycles
+	id    uint64 // proxyDone: the client request id
 }
 
 // fiEdge mirrors ingress.Edge's accounting for one route.
@@ -129,6 +132,8 @@ type fiEdge struct {
 	budgetDenied uint64
 	noBackend    uint64
 	handshakes   uint64
+	errors       uint64
+	shed         uint64
 	lat          sim.Histogram
 }
 
@@ -147,6 +152,8 @@ func (e *fiEdge) stats(route string) ingress.RouteStats {
 		BudgetDenied: e.budgetDenied,
 		NoBackend:    e.noBackend,
 		Handshakes:   e.handshakes,
+		Errors:       e.errors,
+		Shed:         e.shed,
 
 		MeanUS: e.lat.MeanMicros(),
 		P50US:  e.lat.Quantile(0.50).Micros(),
@@ -161,6 +168,7 @@ type fleetIngress struct {
 
 	pol      ingress.RoutePolicy // ingress→fleet route, normalized
 	entryPol ingress.RoutePolicy // client→ingress: connection regime only
+	br       *ingress.Breaker    // nil unless the route arms the breaker
 
 	proxyQ    *sim.Queue
 	proxyCost cycles.Cycles
@@ -200,6 +208,24 @@ func fiNormalize(p ingress.RoutePolicy) ingress.RoutePolicy {
 	if p.BackoffCap == 0 {
 		p.BackoffCap = 8 * p.Backoff
 	}
+	if p.BreakerFailureRate > 0 {
+		if p.BreakerWindow <= 0 {
+			p.BreakerWindow = 20
+		}
+		if p.BreakerCooldown == 0 {
+			if p.Timeout > 0 {
+				p.BreakerCooldown = 10 * p.Timeout
+			} else {
+				p.BreakerCooldown = cycles.FromMicros(1000)
+			}
+		}
+		if p.BreakerProbeP <= 0 {
+			p.BreakerProbeP = 0.25
+		}
+		if p.BreakerProbeQuota <= 0 {
+			p.BreakerProbeQuota = 3
+		}
+	}
 	return p
 }
 
@@ -221,6 +247,7 @@ func newFleetIngress(c *Cluster) *fleetIngress {
 		}),
 		proxyCost: ingress.ProxyRequestCost(c.arch.rt),
 	}
+	fi.br = ingress.NewBreaker(fi.pol)
 	fi.proxyQ = sim.NewQueue(c.sh.engines[0], "ingress", cores)
 	eng := c.sh.engines[0]
 	fi.proxyQ.OnDone = func(j sim.Job) {
@@ -296,7 +323,7 @@ func (fi *fleetIngress) processEpoch() {
 		ss := &fi.c.sh.shards[i]
 		for _, f := range ss.fdone {
 			slot, gen, k := fiDecode(f.id)
-			ev = append(ev, fiEvent{at: f.at, kind: fiEvFleetDone, k: k, slot: slot, gen: gen, cost: f.cost, born: f.born})
+			ev = append(ev, fiEvent{at: f.at, kind: fiEvFleetDone, k: k, erred: f.erred, slot: slot, gen: gen, cost: f.cost, born: f.born})
 		}
 		ss.fdone = ss.fdone[:0]
 	}
@@ -368,6 +395,23 @@ func (fi *fleetIngress) processEvent(e *fiEvent) {
 				o.cen.Emit(e.at,
 					obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameWasted, 0),
 					uint64(e.at-e.born), 0)
+			}
+			return
+		}
+		if e.erred {
+			// Gray failure: the replica burned the cycles but answered
+			// with an error. The attempt dies like a timeout would, and
+			// the call retries or fails under its policy.
+			fi.fleetE.errors++
+			if o := fi.c.ob; o != nil {
+				// The span ends flagged errored (B = 3).
+				o.cen.Emit(e.at,
+					obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, 0),
+					fiEncode(e.slot, e.gen, e.k), 3)
+			}
+			c.liveMask &^= 1 << e.k
+			if c.liveMask == 0 && !c.pendRetry {
+				fi.maybeRetry(e.slot, e.at)
 			}
 			return
 		}
@@ -450,8 +494,41 @@ func (fi *fleetIngress) startFleetCall(client uint64, born cycles.Cycles) {
 	c.hedgeIdx = fiNoHedge
 	c.liveMask = 0
 	c.pendRetry = false
+	c.brSkip = false
 	c.lastBE = -1
+	if fi.br != nil && !fi.br.Admit(c.fborn, fi.c.sh.table.rng) {
+		// Breaker fast failure: no replica cycles spent, no outcome
+		// fed back. Probe admission draws from the routing stream,
+		// like the single-engine graph.
+		c.brSkip = true
+		fi.fleetE.failed++
+		fi.rootDone(slot, c.fborn, false)
+		return
+	}
+	if fi.pol.ShedDepth > 0 && fi.overloaded() {
+		fi.fleetE.shed++
+		c.brSkip = true
+		fi.fleetE.failed++
+		fi.rootDone(slot, c.fborn, false)
+		return
+	}
 	fi.issueAttempt(slot)
+}
+
+// overloaded mirrors Edge.overloaded against the epoch route table:
+// total effective depth (barrier snapshot + this barrier's
+// assignments) over the routable fleet exceeds ShedDepth per replica.
+func (fi *fleetIngress) overloaded() bool {
+	t := fi.c.sh.table
+	up := len(t.ups)
+	if up == 0 {
+		return false
+	}
+	depth := 0
+	for _, i := range t.ups {
+		depth += int(t.depth[i])
+	}
+	return depth > fi.pol.ShedDepth*up
 }
 
 // issueAttempt routes the call's next attempt, or fails the call when
@@ -463,6 +540,7 @@ func (fi *fleetIngress) issueAttempt(slot int32) {
 	if bi < 0 {
 		fi.fleetE.noBackend++
 		fi.fleetE.failed++
+		fi.calls[slot].brSkip = true // not a breaker outcome, like the graph
 		fi.rootDone(slot, fi.c.sh.now, false)
 		return
 	}
@@ -483,24 +561,29 @@ func (fi *fleetIngress) issueTo(slot int32, bi int) {
 			obs.Key(obs.KindSpanBegin, obs.LayerIngress, obs.NameAttempt, 0),
 			fiEncode(slot, c.gen, k), 0)
 	}
-	cost := fi.c.per
-	if p := &fi.pol; p.ConnSetup > 0 {
-		if !p.KeepAlive {
-			fi.fleetE.handshakes++
-			cost += p.ConnSetup
-		} else {
-			for len(fi.kaLeft) <= bi {
-				fi.kaLeft = append(fi.kaLeft, 0)
-			}
-			if fi.kaLeft[bi] == 0 {
+	ct := fi.c.containers[bi]
+	if !ct.partitioned {
+		cost := fi.c.costOf(ct)
+		if p := &fi.pol; p.ConnSetup > 0 {
+			if !p.KeepAlive {
 				fi.fleetE.handshakes++
 				cost += p.ConnSetup
-				fi.kaLeft[bi] = int32(p.KeepAliveReqs)
+			} else {
+				for len(fi.kaLeft) <= bi {
+					fi.kaLeft = append(fi.kaLeft, 0)
+				}
+				if fi.kaLeft[bi] == 0 {
+					fi.fleetE.handshakes++
+					cost += p.ConnSetup
+					fi.kaLeft[bi] = int32(p.KeepAliveReqs)
+				}
+				fi.kaLeft[bi]--
 			}
-			fi.kaLeft[bi]--
 		}
+		ct.q.Arrive(sim.Job{ID: fiEncode(slot, c.gen, k), Cost: cost, Born: now})
 	}
-	fi.c.containers[bi].q.Arrive(sim.Job{ID: fiEncode(slot, c.gen, k), Cost: cost, Born: now})
+	// A partitioned replica's attempt is lost in the network: nothing
+	// is enqueued, and the timeout below is the only way it ends.
 	if fi.pol.Timeout > 0 {
 		fi.pushTimer(fiTimer{due: now + fi.pol.Timeout, kind: fiEvTimeout, k: k, slot: slot, gen: c.gen})
 	}
@@ -571,6 +654,9 @@ func (fi *fleetIngress) rootDone(slot int32, at cycles.Cycles, ok bool) {
 	call := &fi.calls[slot]
 	client := call.client
 	lat := at - call.born
+	if fi.br != nil && !call.brSkip {
+		fi.br.Report(at, ok)
+	}
 	if ok {
 		fi.entryE.completed++
 		fi.entryE.lat.Observe(lat)
@@ -624,8 +710,13 @@ func (fi *fleetIngress) attemptLost(j sim.Job) {
 // ingress→fleet route, then the client entry route (Connect before
 // SetEntry, as buildIngress orders them).
 func (fi *fleetIngress) routeStats() []ingress.RouteStats {
+	fl := fi.fleetE.stats("ingress->fleet")
+	if fi.br != nil {
+		fl.BreakerOpens = fi.br.Opens()
+		fl.BreakerFastFails = fi.br.FastFails()
+	}
 	return []ingress.RouteStats{
-		fi.fleetE.stats("ingress->fleet"),
+		fl,
 		fi.entryE.stats("client->ingress"),
 	}
 }

@@ -67,6 +67,7 @@ type call struct {
 	hedgeIdx  uint8  // attempt index of the hedge, noHedge if none
 	liveMask  uint16 // bit per attempt still eligible to win
 	pendRetry bool   // a backoff timer is pending; no attempt is live
+	brSkip    bool   // fast-failed before issue; not a breaker outcome
 	lastBE    int16  // replica of the newest attempt (hedge avoids it)
 }
 
@@ -134,6 +135,7 @@ func (g *Graph) AddService(name string, mode CallMode) *Service {
 // the edge's cache behaviour (see Edge.hit); 0 for a hard dependency.
 func (g *Graph) Connect(from, to *Service, pol RoutePolicy, hit float64) *Edge {
 	e := &Edge{g: g, idx: int32(len(g.edges)), from: from, to: to, pol: pol.normalized(), hit: hit}
+	e.br = NewBreaker(e.pol)
 	g.edges = append(g.edges, e)
 	from.edges = append(from.edges, e)
 	return e
@@ -143,6 +145,7 @@ func (g *Graph) Connect(from, to *Service, pol RoutePolicy, hit float64) *Edge {
 // enters through, replacing any previous entry.
 func (g *Graph) SetEntry(root *Service, pol RoutePolicy) *Edge {
 	e := &Edge{g: g, idx: int32(len(g.edges)), from: nil, to: root, pol: pol.normalized()}
+	e.br = NewBreaker(e.pol)
 	g.edges = append(g.edges, e)
 	g.entry = e
 	return e
@@ -209,7 +212,22 @@ func (g *Graph) startCall(e *Edge, parent int32, parentGen uint32, client uint64
 	c.hedgeIdx = noHedge
 	c.liveMask = 0
 	c.pendRetry = false
+	c.brSkip = false
 	c.lastBE = -1
+	if e.br != nil && !e.br.Admit(c.born, g.rng) {
+		// Breaker fast failure: fail through the event loop like
+		// no-backend does, without feeding the outcome back (the call
+		// never touched a replica).
+		c.brSkip = true
+		g.eng.Schedule(0, g.ref, sim.Job{ID: encodeID(kindFail, slot, c.gen, 0)})
+		return
+	}
+	if e.pol.ShedDepth > 0 && e.overloaded() {
+		e.shed++
+		c.brSkip = true
+		g.eng.Schedule(0, g.ref, sim.Job{ID: encodeID(kindFail, slot, c.gen, 0)})
+		return
+	}
 	g.issueAttempt(slot)
 }
 
@@ -224,6 +242,7 @@ func (g *Graph) issueAttempt(slot int32) {
 	bi := e.pick()
 	if bi < 0 {
 		e.noBackend++
+		c.brSkip = true
 		g.eng.Schedule(0, g.ref, sim.Job{ID: encodeID(kindFail, slot, c.gen, 0)})
 		return
 	}
@@ -246,7 +265,11 @@ func (g *Graph) issueTo(slot int32, bi int) {
 			obs.Key(obs.KindSpanBegin, obs.LayerIngress, obs.NameAttempt, uint32(e.idx)),
 			encodeID(kindAttempt, slot, c.gen, k), 0)
 	}
-	b.q.Arrive(sim.Job{ID: encodeID(kindAttempt, slot, c.gen, k), Cost: e.attemptCost(b), Born: now})
+	if !b.unreachable {
+		b.q.Arrive(sim.Job{ID: encodeID(kindAttempt, slot, c.gen, k), Cost: e.attemptCost(b), Born: now})
+	}
+	// A partitioned replica's attempt is lost in the network: nothing
+	// is enqueued, and the timeout below is the only way it ends.
 	if e.pol.Timeout > 0 {
 		g.eng.Schedule(e.pol.Timeout, g.ref, sim.Job{ID: encodeID(kindTimeout, slot, c.gen, k)})
 	}
@@ -258,10 +281,10 @@ func (g *Graph) issueTo(slot int32, bi int) {
 }
 
 // attemptDone is every backend queue's completion hook: j finished at
-// a replica of s. If the call is still racing and this attempt is
+// replica bi of s. If the call is still racing and this attempt is
 // live, the response wins; otherwise the cycles were wasted — the
 // request timed out, was retried elsewhere, or a hedge twin won.
-func (g *Graph) attemptDone(s *Service, j sim.Job) {
+func (g *Graph) attemptDone(s *Service, bi int, j sim.Job) {
 	s.completions++
 	now := g.eng.Now()
 	kind, slot, gen, k := decodeID(j.ID)
@@ -294,6 +317,43 @@ func (g *Graph) attemptDone(s *Service, j sim.Job) {
 		return
 	}
 	e := g.edges[c.edge]
+	if c.parent >= 0 {
+		if f := &g.frames[c.parent]; f.gen != c.parentGen || f.failed {
+			// The caller's frame already failed (a sibling hard
+			// dependency died) or moved on: this completion bought
+			// nothing. The cycles are wasted capacity, and the call
+			// fails without opening a downstream subtree — a doomed
+			// fan-out must not fan further work out.
+			s.wasted++
+			s.wastedCycles += j.Cost
+			s.wastedLat.Observe(now - j.Born)
+			if g.obsSink != nil {
+				g.obsSink.Emit(now,
+					obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, uint32(e.idx)), j.ID, 1)
+				g.obsSink.Emit(now,
+					obs.Key(obs.KindCounter, obs.LayerIngress, obs.NameWasted, 0), uint64(now-j.Born), 0)
+			}
+			c.liveMask = 0
+			g.completeCall(slot, false)
+			return
+		}
+	}
+	if b := s.backends[bi]; b.errRate > 0 && b.errRng.Float64() < b.errRate {
+		// Gray failure: the replica burned the cycles but answered
+		// with an error. The attempt dies like a timeout would, and
+		// the call retries or fails under its policy.
+		e.errors++
+		if g.obsSink != nil {
+			// The span ends flagged errored (B = 3).
+			g.obsSink.Emit(now,
+				obs.Key(obs.KindSpanEnd, obs.LayerIngress, obs.NameAttempt, uint32(e.idx)), j.ID, 3)
+		}
+		c.liveMask &^= 1 << k
+		if c.liveMask == 0 && !c.pendRetry {
+			g.maybeRetry(slot)
+		}
+		return
+	}
 	s.attemptLat.Observe(now - j.Born)
 	if g.obsSink != nil {
 		g.obsSink.Emit(now,
@@ -399,6 +459,9 @@ func (g *Graph) completeCall(slot int32, ok bool) {
 	e := g.edges[c.edge]
 	lat := g.eng.Now() - c.born
 	parent, parentGen, client := c.parent, c.parentGen, c.client
+	if e.br != nil && !c.brSkip {
+		e.br.Report(g.eng.Now(), ok)
+	}
 	if ok {
 		e.completed++
 		e.lat.Observe(lat)

@@ -138,6 +138,25 @@ type RoutePolicy struct {
 	// replica; first completion wins, the loser is wasted work. Hedging
 	// waits for hedgeMinSamples completions before engaging.
 	HedgeP float64
+
+	// BreakerFailureRate, when > 0, arms the per-route circuit
+	// breaker: a tumbling window of BreakerWindow call outcomes whose
+	// failure rate reaches this threshold opens the breaker, calls fail
+	// fast for BreakerCooldown, then half-open admits seeded probes
+	// with probability BreakerProbeP until BreakerProbeQuota
+	// consecutive successes re-close it (one probe failure re-opens).
+	BreakerFailureRate float64
+	BreakerWindow      int           // outcomes per window (0 = 20)
+	BreakerCooldown    cycles.Cycles // open hold (0 = 10× Timeout, else 1 ms)
+	BreakerProbeP      float64       // half-open admission (0 = 0.25)
+	BreakerProbeQuota  int           // successes to close (0 = 3)
+
+	// ShedDepth, when > 0, arms utilization-triggered load shedding on
+	// this route: a new call arriving while the target's mean backlog
+	// per up replica exceeds ShedDepth is failed fast instead of
+	// queued — the overload valve that keeps latency bounded when the
+	// fleet is saturated.
+	ShedDepth int
 }
 
 // normalized applies defaults and caps.
@@ -153,6 +172,24 @@ func (p RoutePolicy) normalized() RoutePolicy {
 	}
 	if p.BackoffCap == 0 {
 		p.BackoffCap = 8 * p.Backoff
+	}
+	if p.BreakerFailureRate > 0 {
+		if p.BreakerWindow <= 0 {
+			p.BreakerWindow = 20
+		}
+		if p.BreakerCooldown == 0 {
+			if p.Timeout > 0 {
+				p.BreakerCooldown = 10 * p.Timeout
+			} else {
+				p.BreakerCooldown = cycles.FromMicros(1000)
+			}
+		}
+		if p.BreakerProbeP <= 0 {
+			p.BreakerProbeP = 0.25
+		}
+		if p.BreakerProbeQuota <= 0 {
+			p.BreakerProbeQuota = 3
+		}
 	}
 	return p
 }
@@ -178,6 +215,19 @@ type backend struct {
 
 	kaLeft int // keep-alive: requests left on the open connections
 	cw     int // smooth weighted round-robin current weight
+
+	// unreachable models a network partition between this tier and the
+	// replica: attempts routed here are lost in the network (no replica
+	// cycles spent, only the timeout reaps them) while the replica
+	// itself keeps draining what it already holds.
+	unreachable bool
+
+	// errRate, when > 0, is the gray-failure lever: a completed
+	// attempt returns an error with this probability, drawn from a
+	// dedicated per-replica stream so fault coins never perturb the
+	// routing stream.
+	errRate float64
+	errRng  *sim.Rand
 }
 
 // Service is one node of the graph: a named replica set plus the edges
@@ -222,7 +272,7 @@ func (s *Service) AddBackend(q *sim.Queue, cost cycles.Cycles, weight int, after
 	idx := len(s.backends)
 	s.backends = append(s.backends, b)
 	q.OnDone = func(j sim.Job) {
-		s.g.attemptDone(s, j)
+		s.g.attemptDone(s, idx, j)
 		if after != nil {
 			after(j)
 		}
@@ -237,6 +287,24 @@ func (s *Service) SetDown(i int, down bool) { s.backends[i].down = down }
 // SetCost changes a replica's per-request demand — the brown-out lever
 // (a slow replica keeps accepting traffic at a multiple of the cost).
 func (s *Service) SetCost(i int, cost cycles.Cycles) { s.backends[i].cost = cost }
+
+// SetUnreachable (un)partitions a replica from this tier: attempts
+// routed to an unreachable replica vanish into the network and only
+// their timeouts reap them, so routes without a timeout cannot recover
+// from a partition — exactly the production failure mode.
+func (s *Service) SetUnreachable(i int, v bool) { s.backends[i].unreachable = v }
+
+// SetErrorRate arms (rate > 0) or clears (rate = 0) a replica's
+// gray-failure error rate. seed derives the replica's private coin
+// stream on first arming; re-arming keeps the stream so windows
+// continue rather than replay.
+func (s *Service) SetErrorRate(i int, rate float64, seed uint64) {
+	b := s.backends[i]
+	b.errRate = rate
+	if rate > 0 && b.errRng == nil {
+		b.errRng = sim.NewRand(seed)
+	}
+}
 
 // Edge is one route: calls from one service (or the client) into
 // another, under a policy. Edges are created in Connect order and
@@ -255,6 +323,7 @@ type Edge struct {
 
 	rr     int // round-robin cursor
 	budget float64
+	br     *Breaker // nil unless the policy arms the circuit breaker
 
 	// lat observes successful full-call latency (admission → call
 	// completion, downstream subtree included) — the reported
@@ -272,6 +341,8 @@ type Edge struct {
 	budgetDenied uint64
 	noBackend    uint64
 	handshakes   uint64
+	errors       uint64 // gray-failure attempt errors at this route's target
+	shed         uint64 // calls failed fast by the overload valve
 }
 
 // Name renders the route like "ingress->app"; the entry edge's source
@@ -419,6 +490,20 @@ func (e *Edge) attemptCost(b *backend) cycles.Cycles {
 	}
 	b.kaLeft--
 	return cost
+}
+
+// overloaded is the shed predicate: the target's total backlog spread
+// over its up replicas exceeds the route's ShedDepth.
+func (e *Edge) overloaded() bool {
+	depth, up := 0, 0
+	for _, b := range e.to.backends {
+		if b.down {
+			continue
+		}
+		depth += b.q.Depth()
+		up++
+	}
+	return up > 0 && depth > e.pol.ShedDepth*up
 }
 
 // hedgeDelay is the armed hedge trigger: the route target's observed

@@ -23,6 +23,11 @@ type RouteStats struct {
 	NoBackend    uint64 `json:"no_backend,omitempty"`
 	Handshakes   uint64 `json:"handshakes,omitempty"`
 
+	Errors           uint64 `json:"errors,omitempty"`
+	Shed             uint64 `json:"shed,omitempty"`
+	BreakerOpens     uint64 `json:"breaker_opens,omitempty"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails,omitempty"`
+
 	MeanUS float64 `json:"mean_us"`
 	P50US  float64 `json:"p50_us"`
 	P95US  float64 `json:"p95_us"`
@@ -32,7 +37,7 @@ type RouteStats struct {
 
 // statsOf snapshots one edge.
 func statsOf(e *Edge) RouteStats {
-	return RouteStats{
+	st := RouteStats{
 		Route:     e.Name(),
 		Calls:     e.calls,
 		Completed: e.completed,
@@ -47,12 +52,20 @@ func statsOf(e *Edge) RouteStats {
 		NoBackend:    e.noBackend,
 		Handshakes:   e.handshakes,
 
+		Errors: e.errors,
+		Shed:   e.shed,
+
 		MeanUS: e.lat.MeanMicros(),
 		P50US:  e.lat.Quantile(0.50).Micros(),
 		P95US:  e.lat.Quantile(0.95).Micros(),
 		P99US:  e.lat.Quantile(0.99).Micros(),
 		MaxUS:  e.lat.Max().Micros(),
 	}
+	if e.br != nil {
+		st.BreakerOpens = e.br.Opens()
+		st.BreakerFastFails = e.br.FastFails()
+	}
+	return st
 }
 
 // RouteStats snapshots every edge in creation order (the entry edge

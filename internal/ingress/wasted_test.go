@@ -1,0 +1,68 @@
+package ingress
+
+import (
+	"testing"
+
+	"xcontainers/internal/sim"
+)
+
+// TestDoomedFanOutCompletionCountsWasted is the regression test for
+// the fan-out accounting gap: when a hard child of a fan-out fails,
+// the surviving soft children's completions used to count as ordinary
+// wins — opening downstream subtrees and reporting zero wasted work —
+// even though the caller was already doomed. They must be accounted as
+// wasted capacity and must not fan further work out.
+func TestDoomedFanOutCompletionCountsWasted(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGraph(eng, 1)
+
+	front := g.AddService("front", FanOut)
+	cache := g.AddService("cache", Sequential)
+	db := g.AddService("db", Sequential)
+	deep := g.AddService("deep", Sequential)
+
+	front.AddBackend(sim.NewQueue(eng, "front", 1), 1_000, 1, nil)
+	cq := sim.NewQueue(eng, "cache", 1)
+	cache.AddBackend(cq, 50_000, 1, nil) // slow: completes after the db verdict
+	dq := sim.NewQueue(eng, "db", 1)
+	db.AddBackend(dq, 1_000, 1, nil)
+	deepQ := sim.NewQueue(eng, "deep", 1)
+	deep.AddBackend(deepQ, 1_000, 1, nil)
+
+	// The cache is a soft branch (hit ≈ 0 so it always issues but its
+	// failure degrades) with its own downstream tier; the db is a hard
+	// dependency with every replica down, so its child call fails
+	// immediately and dooms the frame.
+	g.Connect(front, cache, RoutePolicy{}, 1e-12)
+	g.Connect(cache, deep, RoutePolicy{}, 0)
+	g.Connect(front, db, RoutePolicy{}, 0)
+	db.SetDown(0, true)
+	g.SetEntry(front, RoutePolicy{})
+
+	g.Admit(1)
+	eng.RunUntilIdle()
+
+	if g.Failed() != 1 {
+		t.Fatalf("failed = %d, want the root to fail on the hard branch", g.Failed())
+	}
+	st := g.ServiceStats(eng.Now())
+	var cacheStats ServiceStats
+	for _, s := range st {
+		if s.Service == "cache" {
+			cacheStats = s
+		}
+	}
+	if cacheStats.Completions != 1 {
+		t.Fatalf("cache completions = %d", cacheStats.Completions)
+	}
+	if cacheStats.Wasted != 1 {
+		t.Fatalf("cache wasted = %d, want 1: the completion raced a doomed caller", cacheStats.Wasted)
+	}
+	if cacheStats.WastedMS <= 0 {
+		t.Fatalf("wasted_ms = %v, want the burned cycles accounted", cacheStats.WastedMS)
+	}
+	// The doomed branch must not open its downstream subtree.
+	if deepQ.Arrived != 0 {
+		t.Fatalf("deep tier saw %d attempts from a doomed caller", deepQ.Arrived)
+	}
+}

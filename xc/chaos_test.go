@@ -1,0 +1,154 @@
+package xc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// chaosServe runs the façade-level chaos scenario: every fault kind,
+// health probes, and a breaker-armed ingress tier.
+func chaosServe(t *testing.T, shards int) *ClusterReport {
+	t.Helper()
+	c, err := NewCluster(XContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ClusterSpec{
+		Nodes: 2, MaxNodes: 4, NodeCores: 4, Replicas: 4,
+		Policy: Spread, SLOMillis: 0.8, Autoscale: true,
+		Chaos: "crash@0.15;gray@0.2+0.15,count=2,err=0.3;partition@0.3+0.1,frac=0.25;" +
+			"restart@0.45,count=2,recovery=0.01;probes,interval=0.01,timeout-us=2000",
+		Ingress: Ingress().Policy(PowerOfTwo).KeepAlive(32).
+			TimeoutMicros(400).Retries(2).BackoffMicros(50).RetryBudget(0.2).
+			Breaker(0.5).Shed(512),
+		Shards: shards,
+	}
+	rep, err := c.Serve(App("nginx"), spec, Traffic().Rate(700_000).Duration(0.6).Seed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestChaosReportKernelGolden pins the full chaos report to the byte.
+func TestChaosReportKernelGolden(t *testing.T) {
+	rep := chaosServe(t, 4)
+	if rep.Chaos == nil || rep.Chaos.Faults != 4 {
+		t.Fatalf("chaos section missing or incomplete: %+v", rep.Chaos)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cluster_chaos.json", blob)
+}
+
+// TestChaosShardInvarianceFacade: the golden scenario is byte-identical
+// across shard counts end to end.
+func TestChaosShardInvarianceFacade(t *testing.T) {
+	a, err := chaosServe(t, 1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaosServe(t, 4).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("chaos report diverged between Shards=1 and Shards=4")
+	}
+}
+
+// deployServe runs a canary rollout; poisoned latches a gray window
+// onto v2 replicas as they upgrade.
+func deployServe(t *testing.T, poisoned bool) *ClusterReport {
+	t.Helper()
+	c, err := NewCluster(XContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ClusterSpec{
+		Nodes: 2, MaxNodes: 2, NodeCores: 4, Replicas: 6,
+		Policy: Spread,
+		Deploy: "canary@0.1,frac=0.34,bake=3,err=0.02,after=2,p99us=1e6",
+		Shards: 2,
+	}
+	if poisoned {
+		spec.Chaos = "gray@0.05+10,version=2,cost=1.5,err=0.5"
+	}
+	rep, err := c.Serve(App("nginx"), spec, Traffic().Rate(300_000).Duration(1.2).Seed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDeployGoldenBothWays pins the headline pair: the same rollout
+// spec promotes when the canary is healthy and rolls back when a
+// version-targeted gray fault poisons it.
+func TestDeployGoldenBothWays(t *testing.T) {
+	healthy := deployServe(t, false)
+	if d := healthy.Deploy; d == nil || d.Outcome != "promoted" || d.Upgraded < 6 {
+		t.Fatalf("healthy canary: %+v", healthy.Deploy)
+	}
+	blob, err := healthy.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cluster_deploy_promote.json", blob)
+
+	poisoned := deployServe(t, true)
+	if d := poisoned.Deploy; d == nil || d.Outcome != "rolled-back" || d.RolledBack == 0 {
+		t.Fatalf("poisoned canary: %+v", poisoned.Deploy)
+	}
+	if poisoned.Erred == 0 {
+		t.Fatal("poisoned canary produced no errors")
+	}
+	blob, err = poisoned.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cluster_deploy_rollback.json", blob)
+}
+
+// TestChaosSpecErrors: bad DSLs fail at Serve with useful messages.
+func TestChaosSpecErrors(t *testing.T) {
+	c, err := NewCluster(XContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		spec ClusterSpec
+		want string
+	}{
+		{ClusterSpec{Chaos: "meteor@0.1"}, "unknown fault kind"},
+		{ClusterSpec{Chaos: "gray@0.1"}, "needs a duration"},
+		{ClusterSpec{Deploy: "yolo@0.1"}, "unknown deploy strategy"},
+		{ClusterSpec{Chaos: "crash@0.2", FailNode: 0.1}, "exclusive"},
+	}
+	for _, tc := range cases {
+		_, err := c.Serve(App("nginx"), tc.spec, Traffic().Rate(100_000).Duration(0.1))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %+v: got %v, want %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestChaosReportString smoke-checks the terminal rendering of the new
+// sections.
+func TestChaosReportString(t *testing.T) {
+	rep := deployServe(t, true)
+	s := rep.String()
+	for _, want := range []string{"deploy:", "rolled-back", "errors:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	s = chaosServe(t, 4).String()
+	for _, want := range []string{"chaos:", "health:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xcontainers/internal/chaos"
 	"xcontainers/internal/cluster"
 	"xcontainers/internal/core"
 )
@@ -53,7 +54,21 @@ type ClusterSpec struct {
 	Autoscale bool
 	// FailNode, when > 0, kills one seeded-randomly chosen node at that
 	// virtual second; its containers are rescheduled onto survivors.
+	// It is the one-fault special case of Chaos and exclusive with it.
 	FailNode float64
+	// Chaos, when non-empty, arms a declarative fault plan — the
+	// semicolon-separated DSL of chaos.Parse: "kind@at[+dur],key=val"
+	// entries over crash/gray/partition/restart, plus "probes,..."
+	// for the health sweep that ejects and readmits replicas. Example:
+	// "gray@0.2+0.1,count=3,err=0.3;probes,interval=0.005". The report
+	// grows a chaos section.
+	Chaos string
+	// Deploy, when non-empty, runs an SLO-guarded rollout — the DSL of
+	// cluster.ParseDeploy: "strategy@start[,key=val...]" with strategy
+	// rolling, canary, or bluegreen, e.g. "canary@0.1,frac=0.1,err=0.02".
+	// The guard watches windowed p99 and error rate and rolls back on
+	// consecutive breaches. The report grows a deploy section.
+	Deploy string
 	// Ingress, when non-nil, fronts the fleet with the L7 ingress tier:
 	// requests pay the proxy hop and reach replicas under the spec's
 	// load-balancing and robustness policy, instead of the built-in
@@ -164,6 +179,20 @@ func (c *Cluster) Serve(w *Workload, spec ClusterSpec, t *TrafficSpec) (*Cluster
 	if in := spec.Ingress; in != nil {
 		cfg.Ingress = &cluster.IngressConfig{Route: in.route(), Cores: in.cores}
 	}
+	if spec.Chaos != "" {
+		plan, err := chaos.Parse(spec.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Chaos = plan
+	}
+	if spec.Deploy != "" {
+		dep, err := cluster.ParseDeploy(spec.Deploy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Deploy = dep
+	}
 	cl, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
@@ -205,6 +234,32 @@ type MigrationReport struct {
 	Reason     string  `json:"reason"`
 }
 
+// ChaosReport summarizes what a fault plan injected and what the
+// health machinery detected.
+type ChaosReport struct {
+	Faults      int `json:"faults"`
+	Crashes     int `json:"crashes,omitempty"`
+	GrayWindows int `json:"gray_windows,omitempty"`
+	Partitions  int `json:"partitions,omitempty"`
+	Restarts    int `json:"restarts,omitempty"`
+
+	ProbesSent    uint64 `json:"probes_sent,omitempty"`
+	ProbeFailures uint64 `json:"probe_failures,omitempty"`
+	Ejections     int    `json:"ejections,omitempty"`
+	Readmissions  int    `json:"readmissions,omitempty"`
+}
+
+// DeployReport summarizes one SLO-guarded rollout.
+type DeployReport struct {
+	Strategy      string  `json:"strategy"`
+	StartedSec    float64 `json:"started_sec"`
+	FinishedSec   float64 `json:"finished_sec,omitempty"`
+	Upgraded      int     `json:"upgraded"`
+	RolledBack    int     `json:"rolled_back,omitempty"`
+	Outcome       string  `json:"outcome"`
+	GuardBreaches int     `json:"guard_breaches,omitempty"`
+}
+
 // ScaleEventReport records one autoscaler action.
 type ScaleEventReport struct {
 	AtSec  float64 `json:"at_sec"`
@@ -231,9 +286,12 @@ type ClusterReport struct {
 	Latency    LatencyStats `json:"latency"`
 	Queue      QueueStats   `json:"queue"`
 
-	Arrived     uint64 `json:"arrived"`
-	Completed   uint64 `json:"completed"`
-	Dropped     uint64 `json:"dropped,omitempty"`
+	Arrived   uint64 `json:"arrived"`
+	Completed uint64 `json:"completed"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+	// Erred counts requests gray replicas answered with an error at the
+	// plain front door (behind ingress, errors feed the retry ladder).
+	Erred       uint64 `json:"erred,omitempty"`
 	Connections int    `json:"connections,omitempty"`
 
 	Nodes          []NodeReport `json:"nodes"`
@@ -251,6 +309,12 @@ type ClusterReport struct {
 	// join-shortest-queue front door (ClusterSpec.Ingress nil).
 	Routes          []RouteReport   `json:"routes,omitempty"`
 	IngressServices []ServiceReport `json:"ingress_services,omitempty"`
+
+	// Chaos and Deploy appear only when ClusterSpec armed them; without
+	// a plan or rollout the report marshals byte-identically to earlier
+	// releases.
+	Chaos  *ChaosReport  `json:"chaos,omitempty"`
+	Deploy *DeployReport `json:"deploy,omitempty"`
 
 	// TimeSeries appears only when the run was observed
 	// (ClusterSpec.Observe); without a spec the report marshals
@@ -288,6 +352,7 @@ func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *Cl
 		Arrived:     res.Arrived,
 		Completed:   res.Completed,
 		Dropped:     res.Dropped,
+		Erred:       res.Erred,
 		Connections: res.Population,
 
 		PeakNodes:      res.PeakNodes,
@@ -330,6 +395,30 @@ func (c *Cluster) report(w *Workload, spec ClusterSpec, res *cluster.Result) *Cl
 	}
 	rep.Routes = res.Routes
 	rep.IngressServices = res.IngressServices
+	if x := res.Chaos; x != nil {
+		rep.Chaos = &ChaosReport{
+			Faults:        x.Faults,
+			Crashes:       x.Crashes,
+			GrayWindows:   x.GrayWindows,
+			Partitions:    x.Partitions,
+			Restarts:      x.Restarts,
+			ProbesSent:    x.ProbesSent,
+			ProbeFailures: x.ProbeFailures,
+			Ejections:     x.Ejections,
+			Readmissions:  x.Readmissions,
+		}
+	}
+	if d := res.Deploy; d != nil {
+		rep.Deploy = &DeployReport{
+			Strategy:      d.Strategy,
+			StartedSec:    d.StartedSec,
+			FinishedSec:   d.FinishedSec,
+			Upgraded:      d.Upgraded,
+			RolledBack:    d.RolledBack,
+			Outcome:       d.Outcome,
+			GuardBreaches: d.GuardBreaches,
+		}
+	}
 	rep.TimeSeries = res.TimeSeries
 	rep.trace = res.Trace
 	return rep
@@ -378,6 +467,31 @@ func (r *ClusterReport) String() string {
 		fmt.Fprintf(&b, "\n  %7.3fs %-14s %s", e.AtSec, e.Action, e.Detail)
 	}
 	b.WriteByte('\n')
+	if x := r.Chaos; x != nil {
+		fmt.Fprintf(&b, "chaos:          %d faults (%d crashes, %d gray, %d partitioned, %d restarts)\n",
+			x.Faults, x.Crashes, x.GrayWindows, x.Partitions, x.Restarts)
+		if x.ProbesSent > 0 {
+			fmt.Fprintf(&b, "health:         %d probes, %d failed, %d ejections / %d readmissions\n",
+				x.ProbesSent, x.ProbeFailures, x.Ejections, x.Readmissions)
+		}
+		if r.Erred > 0 {
+			fmt.Fprintf(&b, "errors:         %d requests answered with errors\n", r.Erred)
+		}
+	}
+	if d := r.Deploy; d != nil {
+		fmt.Fprintf(&b, "deploy:         %s %s at %.3fs", d.Strategy, d.Outcome, d.StartedSec)
+		if d.FinishedSec > 0 {
+			fmt.Fprintf(&b, " (finished %.3fs)", d.FinishedSec)
+		}
+		fmt.Fprintf(&b, ", %d upgraded", d.Upgraded)
+		if d.RolledBack > 0 {
+			fmt.Fprintf(&b, ", %d rolled back", d.RolledBack)
+		}
+		if d.GuardBreaches > 0 {
+			fmt.Fprintf(&b, ", %d guard breaches", d.GuardBreaches)
+		}
+		b.WriteByte('\n')
+	}
 	writeIngressSections(&b, r.Routes, r.IngressServices)
 	return b.String()
 }

@@ -61,6 +61,8 @@ type IngressSpec struct {
 	retryBudget float64
 	hedgeP      float64
 	cacheHit    float64
+	breakerRate float64
+	shedDepth   int
 	cores       int
 }
 
@@ -123,6 +125,23 @@ func (i *IngressSpec) Hedge(p float64) *IngressSpec {
 	return i
 }
 
+// Breaker arms the route's circuit breaker: a tumbling window of call
+// outcomes whose failure rate reaches rate trips the route open —
+// calls fail fast without spending replica cycles — until a cooldown
+// and seeded half-open probes re-close it (rate in (0,1]; 0 = off).
+func (i *IngressSpec) Breaker(rate float64) *IngressSpec {
+	i.breakerRate = rate
+	return i
+}
+
+// Shed arms utilization-triggered load shedding: a call arriving while
+// the route's mean backlog per up replica exceeds depth is failed fast
+// instead of deepening the queues (0 = off).
+func (i *IngressSpec) Shed(depth int) *IngressSpec {
+	i.shedDepth = depth
+	return i
+}
+
 // CacheHit marks the route as a tiered-cache lookup: with probability
 // p a successful call short-circuits the caller's remaining routes
 // (declare the fallback tier as the next Route of the same service),
@@ -154,5 +173,8 @@ func (i *IngressSpec) route() ingress.RoutePolicy {
 		Backoff:       cycles.FromMicros(i.backoffUS),
 		RetryBudget:   i.retryBudget,
 		HedgeP:        i.hedgeP,
+
+		BreakerFailureRate: i.breakerRate,
+		ShedDepth:          i.shedDepth,
 	}
 }
